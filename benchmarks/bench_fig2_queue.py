@@ -1,0 +1,44 @@
+"""Figure 2: average rounds per request on the distributed queue.
+
+Paper shape (Section VII-B):
+* latency grows logarithmically in n,
+* the curves for enqueue probability p >= 0.5 roughly coincide,
+* p < 0.5 is clearly faster (the queue is empty most of the time, so
+  DEQUEUEs return ⊥ without the DHT round-trip).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figures import figure2
+from repro.experiments.tables import render_series
+
+
+def test_figure2_queue(benchmark):
+    rows = run_once(benchmark, figure2)
+    print()
+    print(render_series(rows, x="n", y="avg_rounds", series="p",
+                        title="Figure 2 — queue: avg rounds/request"))
+
+    sizes = sorted({r["n"] for r in rows})
+    by = {(r["n"], r["p"]): r["avg_rounds"] for r in rows}
+
+    # log growth: the largest n is slower than the smallest, but far less
+    # than proportionally (x8 size -> less than x3 latency)
+    for p in (1.0, 0.5):
+        lo, hi = by[(sizes[0], p)], by[(sizes[-1], p)]
+        assert hi > lo * 0.9, f"p={p}: latency did not grow with n"
+        assert hi < lo * (sizes[-1] / sizes[0]) ** 0.5, (
+            f"p={p}: latency grew super-logarithmically ({lo} -> {hi})"
+        )
+    # empty-queue regime is faster at every size
+    for n in sizes:
+        assert by[(n, 0.0)] < by[(n, 1.0)], f"n={n}: p=0 not faster than p=1"
+        assert by[(n, 0.25)] < by[(n, 0.75)], f"n={n}: p=.25 not faster than p=.75"
+    # the p >= 0.5 curves roughly coincide (within 25%)
+    for n in sizes:
+        hi_band = [by[(n, p)] for p in (1.0, 0.75, 0.5)]
+        assert max(hi_band) < min(hi_band) * 1.25, f"n={n}: p>=0.5 curves diverge"
+
+    benchmark.extra_info["rows"] = rows

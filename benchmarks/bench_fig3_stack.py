@@ -1,0 +1,57 @@
+"""Figure 3: average rounds per request on the distributed stack.
+
+Paper shape (Section VII-C):
+* logarithmic growth in n,
+* every p > 0 curve roughly coincides and sits *above* the queue's
+  (the stage-4 barrier delays the next aggregation wave),
+* p = 0 (pure POPs on an empty stack) matches the queue's p = 0 curve.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figures import PROBABILITIES, figure2, figure3
+from repro.experiments.tables import render_series
+
+
+def test_figure3_stack(benchmark):
+    def both():
+        stack_rows = figure3()
+        sizes = sorted({r["n"] for r in stack_rows})
+        queue_rows = figure2(sizes=[sizes[-1]], probabilities=(0.5, 0.0))
+        return stack_rows, queue_rows
+
+    stack_rows, queue_rows = run_once(benchmark, both)
+    print()
+    print(render_series(stack_rows, x="n", y="avg_rounds", series="p",
+                        title="Figure 3 — stack: avg rounds/request"))
+
+    sizes = sorted({r["n"] for r in stack_rows})
+    by = {(r["n"], r["p"]): r["avg_rounds"] for r in stack_rows}
+
+    # log growth for the loaded curves
+    lo, hi = by[(sizes[0], 0.5)], by[(sizes[-1], 0.5)]
+    assert hi < lo * (sizes[-1] / sizes[0]) ** 0.5, "super-logarithmic growth"
+    # the p>0 curves form one band that tightens as n grows (at the
+    # paper's 10^4+ sizes they coincide; at laptop sizes the stage-4
+    # barrier cost is relatively larger for push-heavy mixes)
+    n_large = sizes[-1]
+    band = [by[(n_large, p)] for p in PROBABILITIES if p > 0]
+    assert max(band) < min(band) * 1.45, f"n={n_large}: p>0 curves diverge"
+    ratio_small = by[(sizes[0], 1.0)] / by[(sizes[0], 0.25)]
+    ratio_large = by[(n_large, 1.0)] / by[(n_large, 0.25)]
+    assert ratio_large <= ratio_small + 0.05, "band does not tighten with n"
+    # pop-only curve is the fastest (no DHT operations at all)
+    for n in sizes:
+        assert by[(n, 0.0)] < min(by[(n, p)] for p in PROBABILITIES if p > 0)
+
+    # the stack's loaded curve sits above the queue's at the same size
+    # (stage-4 barrier), while the p=0 curves agree within 20%
+    queue_by = {(r["n"], r["p"]): r["avg_rounds"] for r in queue_rows}
+    n = sizes[-1]
+    assert by[(n, 0.5)] > queue_by[(n, 0.5)], "stack not slower than queue at p=0.5"
+    ratio = by[(n, 0.0)] / queue_by[(n, 0.0)]
+    assert 0.8 < ratio < 1.2, f"p=0 stack/queue mismatch: {ratio:.2f}"
+
+    benchmark.extra_info["rows"] = stack_rows

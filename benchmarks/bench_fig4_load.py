@@ -1,0 +1,43 @@
+"""Figure 4: queue vs stack under increasing per-node request rates.
+
+Paper shape (Section VII-C): at fixed n with a 50/50 operation mix, the
+queue's latency stays roughly flat as the per-node request probability
+grows (batching absorbs load), while the stack *improves* — at high rates
+most PUSH/POP pairs annihilate locally and answer immediately.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figures import figure4
+from repro.experiments.tables import render_series
+
+
+def test_figure4_load_sweep(benchmark):
+    rows = run_once(benchmark, figure4)
+    print()
+    print(render_series(rows, x="rate", y="avg_rounds", series="structure",
+                        title="Figure 4 — queue vs stack under load (50/50 mix)"))
+
+    rates = sorted({r["rate"] for r in rows})
+    stack = {r["rate"]: r["avg_rounds"] for r in rows if r["structure"] == "stack"}
+    queue = {r["rate"]: r["avg_rounds"] for r in rows if r["structure"] == "queue"}
+
+    # the stack improves markedly with load
+    assert stack[rates[-1]] < stack[rates[0]] * 0.6, (
+        f"stack did not speed up with load: {stack}"
+    )
+    # at high load the stack beats the queue (local annihilation)
+    assert stack[rates[-1]] < queue[rates[-1]], "stack not faster at high load"
+    # the queue stays comparatively flat (within 2x across the sweep)
+    assert max(queue.values()) < min(queue.values()) * 2.0, (
+        f"queue latency not flat: {queue}"
+    )
+    # annihilation volume grows with the rate
+    annihilated = {
+        r["rate"]: r["annihilated"] for r in rows if r["structure"] == "stack"
+    }
+    assert annihilated[rates[-1]] > annihilated[rates[0]]
+
+    benchmark.extra_info["rows"] = rows

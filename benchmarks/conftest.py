@@ -1,0 +1,14 @@
+"""Shared benchmark helpers.
+
+Benchmarks regenerate the paper's tables/figures; the measured unit is
+*simulated rounds* (deterministic), with wall-clock tracked by
+pytest-benchmark as a secondary statistic.  Default sizes are
+laptop-scale; set ``SKUEUE_FULL=1`` for the paper-scale sweep.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Figures 2-4 from the command line.
+
+Run:  python examples/paper_figures.py [fig2|fig3|fig4|all]
+Set SKUEUE_FULL=1 for the paper-scale sweep (takes much longer).
+"""
+
+import sys
+
+from repro.experiments import figure2, figure3, figure4, render_series
+
+
+def main() -> None:
+    which = sys.argv[1] if len(sys.argv) > 1 else "all"
+    if which in ("fig2", "all"):
+        rows = figure2()
+        print(render_series(rows, x="n", y="avg_rounds", series="p",
+                            title="Figure 2 — queue: avg rounds/request"))
+        print()
+    if which in ("fig3", "all"):
+        rows = figure3()
+        print(render_series(rows, x="n", y="avg_rounds", series="p",
+                            title="Figure 3 — stack: avg rounds/request"))
+        print()
+    if which in ("fig4", "all"):
+        rows = figure4()
+        print(render_series(rows, x="rate", y="avg_rounds", series="structure",
+                            title="Figure 4 — queue vs stack under load"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy setup shim: this environment has no `wheel` package and no
+network, so PEP 517/660 editable builds are unavailable; plain
+``setup.py develop`` via pip's legacy path works with the metadata from
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""Skueue — a scalable, sequentially consistent distributed queue.
+
+Full reproduction of Feldmann, Scheideler & Setzer, *"Skueue: A Scalable
+and Sequentially Consistent Distributed Queue"*, IPDPS 2018 (full
+version: arXiv:1802.07504): the linearized De Bruijn overlay, the
+consistent-hashing DHT, the batched four-stage queue protocol with
+JOIN/LEAVE, the distributed stack variant, a Definition-1 sequential
+consistency checker, baselines, and the paper's full evaluation harness.
+
+Quickstart::
+
+    from repro import SkueueCluster
+
+    cluster = SkueueCluster(n_processes=16, seed=1)
+    cluster.enqueue(pid=3, item="job-1")
+    handle = cluster.dequeue(pid=11)
+    cluster.run_until_done()
+    assert cluster.result_of(handle) == "job-1"
+"""
+
+from repro.core.cluster import SkackCluster, SkueueCluster
+from repro.core.requests import BOTTOM
+
+__version__ = "1.0.0"
+
+__all__ = ["BOTTOM", "SkackCluster", "SkueueCluster", "__version__"]

@@ -1,0 +1,50 @@
+"""Reference sequential queue/stack — the semantic oracles.
+
+Used by the consistency checker's replay and by property-based tests:
+a sequentially consistent distributed structure must agree with these
+under the witness order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.requests import BOTTOM
+
+__all__ = ["SequentialQueue", "SequentialStack"]
+
+
+class SequentialQueue:
+    """Plain FIFO queue with the paper's ⊥-on-empty convention."""
+
+    def __init__(self) -> None:
+        self._items: deque = deque()
+
+    def enqueue(self, item) -> None:
+        self._items.append(item)
+
+    def dequeue(self):
+        if not self._items:
+            return BOTTOM
+        return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class SequentialStack:
+    """Plain LIFO stack with the paper's ⊥-on-empty convention."""
+
+    def __init__(self) -> None:
+        self._items: list = []
+
+    def push(self, item) -> None:
+        self._items.append(item)
+
+    def pop(self):
+        if not self._items:
+            return BOTTOM
+        return self._items.pop()
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,19 @@
+"""Skueue core: batches, anchor, 4-stage protocol, membership, stack."""
+
+from repro.core.anchor import QueueAnchorState, StackAnchorState
+from repro.core.batch import Batch, combine_runs
+from repro.core.cluster import SkackCluster, SkueueCluster
+from repro.core.requests import BOTTOM, INSERT, REMOVE, OpRecord
+
+__all__ = [
+    "BOTTOM",
+    "Batch",
+    "INSERT",
+    "OpRecord",
+    "QueueAnchorState",
+    "REMOVE",
+    "SkackCluster",
+    "SkueueCluster",
+    "StackAnchorState",
+    "combine_runs",
+]

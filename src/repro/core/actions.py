@@ -1,0 +1,46 @@
+"""Integer action codes for all protocol messages.
+
+Small ints keep per-message dispatch cheap at simulation scale; grouping
+them here gives one place to see the full message vocabulary of the
+protocol (Sections III, IV and VI of the paper).
+"""
+
+from __future__ import annotations
+
+# -- aggregation waves (Section III) -----------------------------------------
+A_AGG = 0  # child -> parent: combined batch (stage 1)
+A_SERVE = 1  # parent -> child: decomposed position intervals (stage 3)
+
+# -- DHT traffic (stage 4 / Section II-B) -------------------------------------
+A_RT_PUT = 2  # routed PUT(e, k(p))
+A_RT_GET = 3  # routed GET(k(p), v)
+A_GET_REPLY = 4  # DHT node -> requester: dequeued/popped element
+A_PUT_ACK = 5  # DHT node -> requester: PUT stored (stack stage-4 barrier)
+
+# -- membership (Section IV) ---------------------------------------------------
+A_JOIN_RT = 6  # routed JOIN(v) towards the responsible node
+A_JOIN_GRANT = 7  # responsible node -> joiner: intro + DHT data slice
+A_SLICE_REQ = 8  # responsible node -> earlier joiner: hand range to newcomer
+A_SLICE = 9  # data handover to a joiner
+A_LEAVE_REQ = 10  # leaving node -> left neighbour: may I leave?
+A_LEAVE_GRANT = 11  # left neighbour -> leaving node: replacement created
+A_RESP_LEAVE = 12  # replacement -> its responsible node: new grant to record
+A_SET_NEIGH = 13  # splice: set pred+succ of an integrated node
+A_SET_PRED = 14  # splice: set pred of the segment's final successor
+A_DEPART_REQ = 15  # responsible node -> replacement: prepare to depart
+A_DEPART_META = 16  # replacement -> responsible node: joiners + successor
+A_DEPART_COMMIT = 17  # responsible node -> replacement: cycle spliced, dump
+A_DEPART_DUMP = 18  # replacement -> responsible node: DHT data handover
+A_ABSORB = 19  # segment owner -> member: redistributed DHT data
+A_ACK_UP = 20  # update phase: acknowledgement up the old tree
+A_UPDATE_OVER = 21  # new anchor -> everyone (down the new tree)
+A_FIND_MIN = 22  # routed probe for the leftmost node (anchor handoff)
+A_MIN_IS = 23  # probe answer: the global minimum node
+A_ANCHOR_XFER = 24  # anchor state transfer to the new leftmost node
+A_REQUEUE = 25  # receiver of a stray relay batch -> sender: resend yourself
+A_JOIN_DEFER = 26  # departing zombie -> responsible node: re-route this JOIN
+A_RESP_XFER = 27  # splice: remaining grant chain moves to the new pred
+A_NEW_RESP = 28  # tells a replacement who its responsible node is now
+A_CHASE = 29  # find a marooned batch up the wave and bounce it back
+
+__all__ = [name for name in list(globals()) if name.startswith("A_")]

@@ -1,0 +1,144 @@
+"""Anchor state: position-interval assignment (stage 2, Sections III-D, VI).
+
+The anchor — the leftmost virtual node — owns three counters:
+
+* ``first``/``last``: the occupied position range of the queue, with the
+  invariant ``first <= last + 1`` (equality means the queue is empty);
+* ``counter``: the virtual value counter of Section V, from which every
+  request receives its unique rank in the total order ``<`` that
+  witnesses sequential consistency.
+
+For the stack, ``first`` disappears and a monotone ``ticket`` counter is
+added: positions get reused when the stack shrinks, so elements are
+disambiguated by ``(position, ticket)`` pairs (Section VI).
+
+Assignments are plain tuples because they travel inside SERVE messages:
+
+* queue run:  ``(lo, hi, value_start)``
+* stack run:  ``(lo, hi, value_start, ticket_ref)`` where ``ticket_ref``
+  is the ticket of position ``hi`` for pop runs (tickets *decrease* going
+  down the interval) and of position ``lo`` for push runs (tickets
+  *increase* going up).
+"""
+
+from __future__ import annotations
+
+__all__ = ["QueueAnchorState", "StackAnchorState"]
+
+
+class QueueAnchorState:
+    """``v0.first``, ``v0.last`` and the value counter of Section V.
+
+    ``epoch`` numbers the update phases this anchor has triggered
+    (Section IV); it travels with the anchor state on handoff so epochs
+    stay globally monotone.
+    """
+
+    __slots__ = ("first", "last", "counter", "epoch")
+
+    def __init__(
+        self, first: int = 0, last: int = -1, counter: int = 1, epoch: int = 0
+    ) -> None:
+        self.first = first
+        self.last = last
+        self.counter = counter
+        self.epoch = epoch
+
+    @property
+    def size(self) -> int:
+        """Current queue size: ``last - first + 1`` (Section III-D)."""
+        return self.last - self.first + 1
+
+    def assign(self, runs) -> list[tuple[int, int, int]]:
+        """Turn each batch run into a position interval (stage 2).
+
+        Insert runs take fresh positions past ``last``; removal runs take
+        from ``first`` but are clamped at ``last`` — removal requests
+        beyond the clamp will return ⊥ in stage 3/4.
+        """
+        out: list[tuple[int, int, int]] = []
+        value = self.counter
+        for i, op in enumerate(runs):
+            if i % 2 == 0:  # insert run
+                lo = self.last + 1
+                hi = self.last + op
+                self.last += op
+            else:  # removal run
+                lo = self.first
+                hi = min(self.first + op - 1, self.last)
+                self.first = min(self.first + op, self.last + 1)
+            out.append((lo, hi, value))
+            value += op
+        self.counter = value
+        if self.first > self.last + 1:
+            raise AssertionError(
+                f"anchor invariant broken: first={self.first} last={self.last}"
+            )
+        return out
+
+    # -- anchor handoff (Section IV) -----------------------------------------
+    def export(self) -> tuple:
+        return (self.first, self.last, self.counter, self.epoch)
+
+    @classmethod
+    def restore(cls, state: tuple) -> "QueueAnchorState":
+        return cls(*state)
+
+
+class StackAnchorState:
+    """``v0.last``, the monotone ``v0.ticket`` and the value counter."""
+
+    __slots__ = ("last", "ticket", "counter", "epoch")
+
+    def __init__(
+        self, last: int = 0, ticket: int = 0, counter: int = 1, epoch: int = 0
+    ) -> None:
+        self.last = last
+        self.ticket = ticket
+        self.counter = counter
+        self.epoch = epoch
+
+    @property
+    def size(self) -> int:
+        """Current stack size (positions run 1..last; 0 means empty)."""
+        return self.last
+
+    def assign(self, runs) -> list[tuple[int, int, int, int]]:
+        """Assign intervals to the pop run then the push run (Section VI).
+
+        Pop runs take the *top* of the stack ``[max(1, last-k+1), last]``;
+        the ticket of position ``hi`` is the current ticket minus the
+        number of live elements above ``hi`` (zero here, since ``hi`` is
+        the top), and decreases by one per position going down.  Push
+        runs extend past ``last`` with fresh, monotonically increasing
+        tickets.
+        """
+        pops = runs[0] if len(runs) > 0 else 0
+        pushes = runs[1] if len(runs) > 1 else 0
+        if len(runs) > 2:
+            raise ValueError(f"stack batches have at most 2 runs, got {list(runs)}")
+        out: list[tuple[int, int, int, int]] = []
+        value = self.counter
+
+        hi = self.last
+        lo = max(1, self.last - pops + 1)
+        out.append((lo, hi, value, self.ticket))
+        value += pops
+        self.last = max(0, self.last - pops)
+
+        lo2 = self.last + 1
+        hi2 = self.last + pushes
+        out.append((lo2, hi2, value, self.ticket + 1))
+        value += pushes
+        self.last += pushes
+        self.ticket += pushes
+
+        self.counter = value
+        return out
+
+    def export(self) -> tuple:
+        return (self.last, self.ticket, self.counter, self.epoch)
+
+    @classmethod
+    def restore(cls, state: tuple) -> "StackAnchorState":
+        return cls(*state)

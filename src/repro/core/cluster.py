@@ -1,0 +1,281 @@
+"""Public facade: build a Skueue/Skack cluster and drive it.
+
+A cluster owns one simulation engine, builds the LDB over an initial set
+of processes, and exposes the paper's four operations —
+ENQUEUE/DEQUEUE (PUSH/POP for the stack) plus JOIN/LEAVE — along with
+run helpers and introspection for tests, examples and benchmarks.
+
+Typical use::
+
+    cluster = SkueueCluster(n_processes=32, seed=7)
+    handle = cluster.enqueue(pid=3, item="job-1")
+    deq = cluster.dequeue(pid=20)
+    cluster.run_until_done()
+    assert cluster.result_of(deq) == "job-1"
+
+Simulation-level conveniences (documented substitutions, see DESIGN.md):
+the number of De Bruijn routing bits is recomputed by the cluster after
+each update phase (a real deployment would piggyback the size estimate on
+the UPDATE_OVER broadcast).
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import A_JOIN_RT
+from repro.core.protocol import ClusterContext, QueueNode
+from repro.core.requests import BOTTOM, INSERT, REMOVE, OpRecord
+from repro.core.stack import StackNode
+from repro.overlay.ldb import LEFT, MIDDLE, RIGHT, LdbTopology, vid_of, virtual_label
+from repro.overlay.routing import route_steps_for
+from repro.sim.async_runner import AsyncRunner
+from repro.sim.metrics import Metrics
+from repro.sim.sync_runner import SyncRunner
+from repro.util.hashing import label_of
+from repro.util.rng import RngStreams
+
+__all__ = ["SkackCluster", "SkueueCluster"]
+
+
+class SkueueCluster:
+    """A distributed queue over ``n_processes`` simulated processes."""
+
+    node_class = QueueNode
+    insert_name = "enqueue"
+    remove_name = "dequeue"
+    empty_name = "dequeue_empty"
+
+    def __init__(
+        self,
+        n_processes: int,
+        seed: int = 0,
+        runner: str = "sync",
+        delay_policy=None,
+        shuffle_delivery: bool = True,
+        store_samples: bool = False,
+        salt: str | None = None,
+    ) -> None:
+        if n_processes < 1:
+            raise ValueError("need at least one process")
+        self.rng = RngStreams(seed)
+        metrics = Metrics(store_samples=store_samples)
+        if runner == "sync":
+            self.runtime = SyncRunner(
+                self.rng, metrics, shuffle_delivery=shuffle_delivery
+            )
+        elif runner == "async":
+            self.runtime = AsyncRunner(self.rng, metrics, delay_policy=delay_policy)
+        else:
+            raise ValueError(f"unknown runner {runner!r}")
+        self.salt = salt if salt is not None else f"skueue-{seed}"
+        self.topology = LdbTopology(list(range(n_processes)), salt=self.salt)
+        self.ctx = ClusterContext(
+            self.runtime,
+            salt=self.salt,
+            route_steps=route_steps_for(len(self.topology)),
+            insert_name=self.insert_name,
+            remove_name=self.remove_name,
+            empty_name=self.empty_name,
+            on_update_over=self._on_update_over,
+        )
+        anchor_vid = self.topology.min_vid()
+        for vid in self.topology.vids:
+            pred = self.topology.pred(vid)
+            succ = self.topology.succ(vid)
+            node = self.node_class(
+                self.ctx,
+                vid,
+                self.topology.label(vid),
+                pred,
+                self.topology.label(pred),
+                succ,
+                self.topology.label(succ),
+                is_anchor=(vid == anchor_vid),
+            )
+            self.runtime.add_actor(node)
+        self.runtime.kick()
+        self._op_counts: dict[int, int] = {}
+        self.live_pids: set[int] = set(range(n_processes))
+        self.joining_pids: set[int] = set()
+        self.leaving_pids: set[int] = set()
+        self._next_pid = n_processes
+
+    # -- metrics / records ------------------------------------------------------
+    @property
+    def metrics(self) -> Metrics:
+        return self.runtime.metrics
+
+    @property
+    def records(self) -> list[OpRecord]:
+        return self.ctx.records
+
+    @property
+    def now(self) -> float:
+        return self.runtime.now
+
+    # -- queue operations ---------------------------------------------------------
+    def enqueue(self, pid: int, item: object = None) -> int:
+        """Issue ENQUEUE(item) at process ``pid``; returns a request id."""
+        return self._inject(pid, INSERT, item)
+
+    def dequeue(self, pid: int) -> int:
+        """Issue DEQUEUE() at process ``pid``; returns a request id."""
+        return self._inject(pid, REMOVE, None)
+
+    def _inject(self, pid: int, kind: int, item: object) -> int:
+        if pid in self.leaving_pids:
+            raise ValueError(f"process {pid} is leaving and takes no requests")
+        node = self.runtime.actors.get(vid_of(pid, MIDDLE))
+        if node is None:
+            raise ValueError(f"process {pid} is not in the system")
+        idx = self._op_counts.get(pid, 0)
+        self._op_counts[pid] = idx + 1
+        rec = OpRecord(len(self.ctx.records), pid, idx, kind, item, self.runtime.now)
+        self.ctx.records.append(rec)
+        node.local_op(rec)
+        return rec.req_id
+
+    def result_of(self, req_id: int):
+        """Result of a removal request: the dequeued item, BOTTOM, or
+        ``None`` while still pending."""
+        rec = self.ctx.records[req_id]
+        if not rec.completed:
+            return None
+        if rec.kind == INSERT:
+            return True
+        if rec.result is BOTTOM:
+            return BOTTOM
+        return rec.result[1]  # unwrap the (req_id, item) element tag
+
+    # -- membership (Section IV) ------------------------------------------------------
+    def join(self, new_pid: int | None = None, via_pid: int | None = None) -> int:
+        """A new process joins via an existing one; returns its pid."""
+        if new_pid is None:
+            new_pid = self._next_pid
+        if (
+            new_pid in self.live_pids
+            or new_pid in self.joining_pids
+            or vid_of(new_pid, MIDDLE) in self.runtime.actors
+        ):
+            raise ValueError(f"process {new_pid} already present")
+        self._next_pid = max(self._next_pid, new_pid + 1)
+        if via_pid is None:
+            via_pid = next(
+                pid
+                for pid in sorted(self.live_pids - self.leaving_pids)
+                if vid_of(pid, MIDDLE) in self.runtime.actors
+            )
+        via = self.runtime.actors[vid_of(via_pid, MIDDLE)]
+        mid = label_of(new_pid, salt=self.salt)
+        for kind in (LEFT, MIDDLE, RIGHT):
+            vid = vid_of(new_pid, kind)
+            lbl = virtual_label(mid, kind)
+            node = self.node_class(
+                self.ctx, vid, lbl, -1, -1.0, -1, -1.0, joining=True
+            )
+            self.runtime.add_actor(node)
+            via._route_start(A_JOIN_RT, lbl, (vid, lbl))
+        self.joining_pids.add(new_pid)
+        return new_pid
+
+    def leave(self, pid: int) -> None:
+        """Process ``pid`` asks to leave (takes effect at an update phase)."""
+        if pid not in self.live_pids:
+            raise ValueError(f"process {pid} is not live")
+        if len(self.live_pids) - len(self.leaving_pids) <= 1:
+            raise ValueError("refusing to empty the cluster")
+        self.leaving_pids.add(pid)
+        for kind in (LEFT, MIDDLE, RIGHT):
+            self.runtime.actors[vid_of(pid, kind)].start_leave()
+
+    def _on_update_over(self, epoch: int) -> None:
+        # promote joiners whose three virtual nodes are all integrated
+        for pid in list(self.joining_pids):
+            nodes = [
+                self.runtime.actors.get(vid_of(pid, kind))
+                for kind in (LEFT, MIDDLE, RIGHT)
+            ]
+            if all(n is not None and not n.joining for n in nodes):
+                self.joining_pids.discard(pid)
+                self.live_pids.add(pid)
+        # retire leavers whose three virtual nodes all departed
+        for pid in list(self.leaving_pids):
+            if all(
+                vid_of(pid, kind) not in self.runtime.actors
+                for kind in (LEFT, MIDDLE, RIGHT)
+            ):
+                self.leaving_pids.discard(pid)
+                self.live_pids.discard(pid)
+        self.ctx.route_steps = route_steps_for(len(self.runtime.actors))
+
+    # -- stepping -------------------------------------------------------------------------
+    def step(self, rounds: int = 1) -> None:
+        if isinstance(self.runtime, SyncRunner):
+            self.runtime.run(rounds)
+        else:
+            self.runtime.run_for(float(rounds))
+
+    def run_until_done(self, max_rounds: int = 200_000) -> None:
+        """Advance until every generated request completed."""
+        self.runtime.run_until(lambda: self.metrics.all_done, max_rounds)
+
+    def run_until_settled(self, max_rounds: int = 200_000) -> None:
+        """Advance until requests are done *and* membership is quiescent."""
+        self.runtime.run_until(self._settled, max_rounds)
+
+    def _settled(self) -> bool:
+        if not self.metrics.all_done:
+            return False
+        if self.joining_pids or self.leaving_pids:
+            return False
+        for node in self.runtime.actors.values():
+            if node.updating or node.joining or node.replaced or node.replacements:
+                return False
+        return True
+
+    # -- introspection -----------------------------------------------------------------------
+    @property
+    def anchor(self):
+        """The current anchor node (unique; asserted by tests)."""
+        anchors = [n for n in self.runtime.actors.values() if n.is_anchor]
+        if len(anchors) != 1:
+            raise AssertionError(f"expected exactly one anchor, found {len(anchors)}")
+        return anchors[0]
+
+    @property
+    def size(self) -> int:
+        """Number of stored elements per the anchor's counters."""
+        return self.anchor.anchor_state.size
+
+    def occupancies(self) -> list[int]:
+        """Stored-element counts per virtual node (Lemma 4 / Corollary 19)."""
+        return [node.occupancy for node in self.runtime.actors.values()]
+
+    def cycle_vids(self) -> list[int]:
+        """Walk succ pointers once around the cycle (tests invariants)."""
+        start = self.anchor.vid
+        out = [start]
+        node = self.runtime.actors[self.anchor.succ_vid]
+        guard = len(self.runtime.actors) + 8
+        while node.vid != start:
+            out.append(node.vid)
+            node = self.runtime.actors[node.succ_vid]
+            if len(out) > guard:
+                raise AssertionError("succ pointers do not close a cycle")
+        return out
+
+
+class SkackCluster(SkueueCluster):
+    """A distributed stack (Skack, Section VI) over simulated processes."""
+
+    node_class = StackNode
+    insert_name = "push"
+    remove_name = "pop"
+    empty_name = "pop_empty"
+
+    def push(self, pid: int, item: object = None) -> int:
+        """Issue PUSH(item) at process ``pid``; returns a request id."""
+        return self._inject(pid, INSERT, item)
+
+    def pop(self, pid: int) -> int:
+        """Issue POP() at process ``pid``; returns a request id."""
+        return self._inject(pid, REMOVE, None)

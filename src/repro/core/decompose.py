@@ -1,0 +1,90 @@
+"""Stage 3: decomposing position intervals over sub-batches (Section III-E).
+
+A node that combined sub-batches ``B_1, ..., B_l`` (own requests first,
+then children in a fixed order) receives one interval per run of the
+combined batch and hands each sub-batch its share *in the combination
+order*:
+
+* insert runs consume exactly their count from the front of the interval
+  (positions are guaranteed to exist);
+* removal runs consume from the front but are clamped at the interval
+  end — requests that do not fit return ⊥ (Lemma 10: the *later* requests
+  of a run are the ones that miss out);
+* stack pop runs consume from the *back* (the maximum position first,
+  Section VI), with per-position tickets decreasing downwards;
+* value ranks always advance by the full run length, ⊥ or not, so every
+  request keeps a unique rank in the Section-V order.
+
+The decomposers mutate per-run cursors, so calling :meth:`take` for each
+sub-batch in combination order reproduces exactly the split the anchor's
+value construction assumes.
+"""
+
+from __future__ import annotations
+
+__all__ = ["QueueDecomposer", "StackDecomposer"]
+
+
+class QueueDecomposer:
+    """Splits queue run intervals ``(lo, hi, value_start)`` among sub-batches."""
+
+    __slots__ = ("cursors",)
+
+    def __init__(self, assignments) -> None:
+        self.cursors = [[lo, hi, value] for (lo, hi, value) in assignments]
+
+    def take(self, runs) -> tuple:
+        """Consume one sub-batch's share; ``runs`` may be shorter than the
+        combined batch (missing runs contribute nothing)."""
+        out = []
+        cursors = self.cursors
+        for i, op in enumerate(runs):
+            cur = cursors[i]
+            if i % 2 == 0:  # insert run: exact take from the front
+                sub = (cur[0], cur[0] + op - 1, cur[2])
+                cur[0] += op
+                if cur[0] > cur[1] + 1:
+                    raise AssertionError("insert interval over-consumed")
+            else:  # removal run: clamped take from the front
+                hi = min(cur[0] + op - 1, cur[1])
+                sub = (cur[0], hi, cur[2])
+                cur[0] = min(cur[0] + op, cur[1] + 1)
+            cur[2] += op
+            out.append(sub)
+        return tuple(out)
+
+
+class StackDecomposer:
+    """Splits stack assignments: pop run from the back, push run from the front."""
+
+    __slots__ = ("pop_cur", "push_cur")
+
+    def __init__(self, assignments) -> None:
+        if len(assignments) != 2:
+            raise ValueError("stack serve carries exactly [pop, push] runs")
+        (plo, phi, pv, pt), (qlo, qhi, qv, qt) = assignments
+        self.pop_cur = [plo, phi, pv, pt]
+        self.push_cur = [qlo, qhi, qv, qt]
+
+    def take(self, runs) -> tuple:
+        pops = runs[0] if len(runs) > 0 else 0
+        pushes = runs[1] if len(runs) > 1 else 0
+
+        c = self.pop_cur
+        # take the top `pops` positions; ticket_ref stays the ticket of the
+        # chunk's own hi, which *is* the cursor's current hi
+        s_lo = max(c[0], c[1] - pops + 1)
+        sub_pop = (s_lo, c[1], c[2], c[3])
+        new_hi = max(c[1] - pops, c[0] - 1)
+        c[3] -= c[1] - new_hi
+        c[1] = new_hi
+        c[2] += pops
+
+        d = self.push_cur
+        sub_push = (d[0], d[0] + pushes - 1, d[2], d[3])
+        d[0] += pushes
+        d[2] += pushes
+        d[3] += pushes
+        if d[0] > d[1] + 1:
+            raise AssertionError("push interval over-consumed")
+        return (sub_pop, sub_push)

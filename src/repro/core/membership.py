@@ -1,0 +1,782 @@
+"""JOIN/LEAVE and the update phase (Section IV).
+
+Joins and leaves are handled *lazily*: a routed JOIN lands at the cycle
+owner of the new label, which becomes *responsible* — it hands over the
+DHT range, forwards PUT/GETs into it, relays the joiner's queue requests
+(middle nodes only; left/right virtual nodes are pure structure until
+integrated), and counts the grant in its next batch.  A LEAVE is granted
+by the left cycle neighbour unless that neighbour itself wants to leave
+(the leftmost leaving node wins, which breaks the neighbouring-leavers
+deadlock of Section IV-B); a granted node keeps operating as the paper's
+*replacement* ``v'`` — same state, now emulated by the responsible
+process — until an update phase splices it out.
+
+When the anchor sees a batch with nonzero join/leave counters it stamps
+the SERVE wave with a fresh *epoch*: every node suspends batching after
+processing that flagged SERVE (all batches of the wave were already
+consumed, so the aggregation layer is globally quiescent).  Responsible
+nodes then run the splice choreography:
+
+1. ``DEPART_REQ`` to each replacement in the grant chain;
+2. replacements answer ``DEPART_META`` (joiner list + successor) as soon
+   as they have processed the flagged SERVE;
+3. the responsible node splices its whole segment — own joiners, then
+   each replacement's joiners, then the first live successor — with
+   ``SET_NEIGH``/``SET_PRED``, and commits the departures;
+4. on ``DEPART_COMMIT`` a replacement dumps its DHT data (redistributed
+   by final ownership; GETs that race the handover simply park at the new
+   owner) and lingers as a forwarding zombie until its acknowledgement
+   duties end.
+
+Acknowledgements flow leaf-to-root over the *old* tree (every node
+remembers ``pold``/``Cold`` from the flagged wave).  When the anchor has
+all acks it probes for the global minimum (a routed FIND_MIN to point 0.0
+— the owner's successor is the leftmost node), transfers its state there
+if the minimum moved (Section IV-A), and the (possibly new) anchor
+broadcasts UPDATE_OVER down the *new* tree, after which batching resumes.
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import (
+    A_ABSORB,
+    A_ACK_UP,
+    A_ANCHOR_XFER,
+    A_CHASE,
+    A_DEPART_COMMIT,
+    A_DEPART_DUMP,
+    A_DEPART_META,
+    A_DEPART_REQ,
+    A_FIND_MIN,
+    A_GET_REPLY,
+    A_JOIN_DEFER,
+    A_JOIN_GRANT,
+    A_JOIN_RT,
+    A_LEAVE_GRANT,
+    A_LEAVE_REQ,
+    A_MIN_IS,
+    A_NEW_RESP,
+    A_REQUEUE,
+    A_RESP_LEAVE,
+    A_RESP_XFER,
+    A_SET_NEIGH,
+    A_SET_PRED,
+    A_SLICE,
+    A_SLICE_REQ,
+    A_UPDATE_OVER,
+)
+from repro.overlay.ldb import MIDDLE
+
+__all__ = ["MembershipMixin"]
+
+_LEAVE_RETRY_ROUNDS = 12
+
+
+class MembershipMixin:
+    """JOIN/LEAVE handlers mixed into the protocol node classes."""
+
+    __slots__ = ()
+
+    # -- dispatch ---------------------------------------------------------------
+    def _handle_membership(self, action: int, payload: tuple) -> None:
+        if action == A_JOIN_GRANT:
+            self._on_join_grant(payload)
+        elif action == A_SLICE_REQ:
+            self._on_slice_req(payload)
+        elif action == A_SLICE:
+            self._on_slice(payload)
+        elif action == A_LEAVE_REQ:
+            self._on_leave_req(payload)
+        elif action == A_RESP_LEAVE:
+            self._on_resp_leave(payload)
+        elif action == A_LEAVE_GRANT:
+            self._on_leave_grant(payload)
+        elif action == A_DEPART_REQ:
+            self._on_depart_req(payload)
+        elif action == A_DEPART_META:
+            self._on_depart_meta(payload)
+        elif action == A_DEPART_COMMIT:
+            self._on_depart_commit()
+        elif action == A_DEPART_DUMP:
+            self._on_depart_dump(payload)
+        elif action == A_SET_NEIGH:
+            self._on_set_neigh(payload)
+        elif action == A_SET_PRED:
+            self._on_set_pred(payload)
+        elif action == A_ABSORB:
+            self._on_absorb(payload)
+        elif action == A_ACK_UP:
+            self._on_ack_up(payload)
+        elif action == A_UPDATE_OVER:
+            self._on_update_over(payload)
+        elif action == A_MIN_IS:
+            self._on_min_is(payload)
+        elif action == A_ANCHOR_XFER:
+            self._on_anchor_xfer(payload)
+        elif action == A_REQUEUE:
+            self._on_requeue(payload)
+        elif action == A_JOIN_DEFER:
+            self._on_join_defer(payload)
+        elif action == A_RESP_XFER:
+            self._on_resp_xfer(payload)
+        elif action == A_NEW_RESP:
+            self._on_new_resp(payload)
+        elif action == A_CHASE:
+            self._on_chase(payload)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown action {action}")
+
+    # =====================================================================
+    # JOIN (Section IV-A)
+    # =====================================================================
+    def _grant_join(self, key: float, extra: tuple) -> None:
+        """Routed JOIN delivered at the cycle owner of the new label."""
+        new_vid, new_label = extra
+        if self.joining:
+            # a pending joiner cannot take responsibility; bounce to the
+            # cycle owner (our responsible node routes onward)
+            self._route_start(A_JOIN_RT, key, extra)
+            return
+        if self.replaced and self.meta_sent:
+            # departing zombie: its successor segment is being spliced, so
+            # the responsible node re-routes the JOIN once the dust settles
+            self.send(self.resp_vid, A_JOIN_DEFER, extra)
+            return
+        rel = (new_label - self.label) % 1.0
+        joiners = self.joiners
+        # data holder: the closest predecessor of the newcomer among this
+        # node and its pending joiners ("u issues v_i to transfer the DHT
+        # data to v'", Section IV-A)
+        holder_vid = None
+        insert_at = 0
+        for i, (joiner_rel, _, joiner_vid) in enumerate(joiners):
+            if joiner_rel == rel:  # duplicate routed JOIN: grant is idempotent
+                self.send(new_vid, A_JOIN_GRANT, (self.vid, new_label, {}, {}))
+                return
+            if joiner_rel < rel:
+                holder_vid = joiner_vid
+                insert_at = i + 1
+            else:
+                break
+        # range end: the next label above the newcomer (joiner or successor)
+        if insert_at < len(joiners):
+            end_label = joiners[insert_at][1]
+        else:
+            end_label = self.succ_label
+        joiners.insert(insert_at, (rel, new_label, new_vid))
+        if holder_vid is None:
+            items, parked = self.store.extract_range(new_label, end_label)
+            self.send(new_vid, A_JOIN_GRANT, (self.vid, end_label, items, parked))
+        else:
+            self.send(new_vid, A_JOIN_GRANT, (self.vid, end_label, {}, {}))
+            self.send(holder_vid, A_SLICE_REQ, (new_vid, new_label, end_label))
+        if new_vid % 3 == MIDDLE:
+            self.relay_children.append(new_vid)
+        self.pending_joins += 1
+        self.wake_me()
+
+    def _on_join_grant(self, payload: tuple) -> None:
+        resp_vid, end_label, items, parked = payload
+        if not self.joining:
+            # a duplicate grant (re-routed JOIN raced the original) landing
+            # after integration: the data slice still belongs to us, but
+            # the relay registration must not be resurrected
+            self._absorb_state(items, parked)
+            return
+        first_grant = self.resp_vid is None
+        if first_grant:
+            self.resp_vid = resp_vid
+            self.joining_range_end = end_label
+            if self.kind == MIDDLE:
+                self.relay_parent = resp_vid
+                self.wake_me()
+        self._absorb_state(items, parked)
+        if first_grant and self.pre_grant_buffer:
+            buffered, self.pre_grant_buffer = self.pre_grant_buffer, []
+            for action, buffered_payload in buffered:
+                self.handle(action, buffered_payload)
+
+    def _on_slice_req(self, payload: tuple) -> None:
+        new_vid, new_label, end_label = payload
+        items, parked = self.store.extract_range(new_label, end_label)
+        if self.joining:
+            # a later joiner carved the top of this pending range
+            self.joining_range_end = new_label
+        self.send(new_vid, A_SLICE, (items, parked))
+
+    def _on_slice(self, payload: tuple) -> None:
+        items, parked = payload
+        self._absorb_state(items, parked)
+
+    def _absorb_state(self, items: dict, parked: dict) -> None:
+        """Merge handed-over DHT state; answer GETs that were waiting.
+
+        Ranges already promised to pending joiners are forwarded on (a
+        dump redistribution may arrive after this node carved slices out
+        of its range), so data always reaches its final owner.
+        """
+        if self.joiners and (items or parked):
+            buckets: dict[int, tuple[dict, dict]] = {}
+            own_items: dict = {}
+            own_parked: dict = {}
+            for key, value in items.items():
+                owner = self._joiner_for_key(key)
+                if owner is None:
+                    own_items[key] = value
+                else:
+                    buckets.setdefault(owner, ({}, {}))[0][key] = value
+            for key, value in parked.items():
+                owner = self._joiner_for_key(key)
+                if owner is None:
+                    own_parked[key] = value
+                else:
+                    buckets.setdefault(owner, ({}, {}))[1][key] = value
+            for owner, (fwd_items, fwd_parked) in buckets.items():
+                self.send(owner, A_SLICE, (fwd_items, fwd_parked))
+            items, parked = own_items, own_parked
+        for ready in self.store.absorb(items, parked):
+            self._answer_ready(ready)
+
+    def _answer_ready(self, ready: tuple) -> None:
+        _key, context, element = ready
+        requester_vid, req_id, _gen = context
+        self.send(requester_vid, A_GET_REPLY, (req_id, element, requester_vid))
+
+    # =====================================================================
+    # LEAVE (Section IV-B)
+    # =====================================================================
+    def start_leave(self) -> None:
+        """Called by the cluster facade: this node wants to leave."""
+        self.leaving = True
+        self.wake_me()
+
+    def _leave_tick(self) -> None:
+        """TIMEOUT part of leaving: (re)request permission from pred.
+
+        Deferred while this node is itself responsible for joiners or
+        replacements (they clear at the next update phase) and while the
+        update phase runs.
+        """
+        if self.replaced or self.updating:
+            return
+        if self.joiners or self.replacements:
+            self.runtime.call_later(self.aid, _LEAVE_RETRY_ROUNDS)
+            return
+        self.send(self.pred_vid, A_LEAVE_REQ, (self.vid, self.label))
+        self.runtime.call_later(self.aid, _LEAVE_RETRY_ROUNDS)
+
+    def _on_leave_req(self, payload: tuple) -> None:
+        requester_vid, requester_label = payload
+        if requester_vid != self.succ_vid:
+            return  # stale pred pointer at the requester; it will retry
+        if self.leaving and not self.replaced:
+            # both neighbours leaving: the leftmost (this node) wins and
+            # the requester postpones (Section IV-B's priority rule)
+            return
+        if self.replaced:
+            if self.meta_sent:
+                return  # departing: the requester retries at its new pred
+            self.send(
+                self.resp_vid,
+                A_RESP_LEAVE,
+                (requester_vid, requester_label, self.vid),
+            )
+            return
+        self._record_leave_grant(requester_vid)
+
+    def _on_resp_leave(self, payload: tuple) -> None:
+        requester_vid, _requester_label, forwarder_vid = payload
+        # only honour forwards from the *live tail* of our grant chain: a
+        # forward that raced the forwarder's departure (or a splice that
+        # put a fresh member between us) would break chain contiguity —
+        # the requester simply retries at its new predecessor
+        if (
+            forwarder_vid not in self.replacement_set
+            or self.replacements[-1] != forwarder_vid
+        ):
+            return
+        self._record_leave_grant(requester_vid)
+
+    def _record_leave_grant(self, requester_vid: int) -> None:
+        if requester_vid not in self.replacement_set:
+            self.replacement_set.add(requester_vid)
+            self.replacements.append(requester_vid)
+            self.pending_leaves += 1
+            self.wake_me()
+        self.send(requester_vid, A_LEAVE_GRANT, (self.vid,))
+
+    def _on_leave_grant(self, payload: tuple) -> None:
+        (resp_vid,) = payload
+        if self.replaced:
+            return  # duplicate grant
+        self.replaced = True
+        self.resp_vid = resp_vid
+        if self.updating and self.depart_requested:
+            # the grant raced this epoch's flagged wave: the responsible
+            # node is already waiting for our META
+            self._send_depart_meta()
+
+    # =====================================================================
+    # Update phase (Section IV)
+    # =====================================================================
+    def _enter_update(self, epoch: int, served_children: list[int]) -> None:
+        self.update_epoch = epoch
+        self.updating = True
+        self.passive_entry = False
+        self.acked = False
+        # the ack target is whoever served this wave's batch — recorded at
+        # fire time, because splices may have changed the tree parent since
+        self.pold = self.sent_to
+        self.cold_pending = set(served_children)
+        self.metas = {}
+        # tree batches still buffered here missed the flagged wave: their
+        # senders requeue and join the epoch passively (relay batches stay
+        # buffered — pending joiners are served after the update)
+        missed = [
+            vid
+            for vid, entry in self.child_batches.items()
+            if not entry[3]
+        ]
+        for vid in missed:
+            del self.child_batches[vid]
+            self.send(vid, A_REQUEUE, (epoch,))
+        if self.replaced:
+            # my segment is my responsible node's job
+            self.update_local_done = True
+            if self.depart_requested:
+                self._send_depart_meta()
+            self._check_update_done()
+            return
+        if self.replacements:
+            self.update_local_done = False
+            self.chain_epoch = list(self.replacements)
+            for replacement_vid in self.chain_epoch:
+                self.send(replacement_vid, A_DEPART_REQ, (self.vid, epoch))
+            self.runtime.call_later(self.aid, 40)  # META retry cadence
+        else:
+            self._splice_segment([])
+            self.update_local_done = True
+            self._check_update_done()
+
+    # -- departures ---------------------------------------------------------------
+    def _enter_epoch_passively(self, epoch: int) -> None:
+        """Join an epoch without having been served its flagged wave.
+
+        Used by nodes whose batch missed the wave: they owe no
+        acknowledgement (they are in nobody's Cold) and have no splice
+        duties this epoch; departing replacements still send their META.
+        """
+        if epoch <= self.update_epoch:
+            return
+        self.update_epoch = epoch
+        self.updating = True
+        self.passive_entry = True
+        self.passive_release_at = self.ctx.runtime.now + 96
+        self.pold = None
+        self.cold_pending = set()
+        self.update_local_done = True
+        self.acked = True
+        if self.replaced and self.depart_requested:
+            self._send_depart_meta()
+        self.runtime.call_later(self.aid, 97)
+
+    def _on_depart_req(self, payload: tuple) -> None:
+        # the requester is authoritative: responsibility may have been
+        # transferred to a freshly spliced member since our grant
+        requester_vid, epoch = payload
+        self.resp_vid = requester_vid
+        self.depart_requested = True
+        if self.updating:
+            self._send_depart_meta()
+        elif not self.inflight:
+            self._enter_epoch_passively(epoch)
+        else:
+            # our batch is marooned in a wave outside the flagged one:
+            # chase it — whoever still buffers it unconsumed bounces it
+            # back, which requeues us and lets us join the epoch
+            self.send(self.sent_to, A_CHASE, (self.vid, epoch))
+
+    def _on_chase(self, payload: tuple) -> None:
+        origin_vid, epoch = payload
+        entry = self.child_batches.get(origin_vid)
+        if entry is not None:
+            if entry[3]:
+                return  # relay batches are served after the update anyway
+            del self.child_batches[origin_vid]
+            self.send(origin_vid, A_REQUEUE, (epoch,))
+            return
+        plan = self.plan
+        if (
+            plan is not None
+            and not self.updating
+            and self.inflight
+            and any(src == origin_vid for src, _ in plan)
+        ):
+            # we combined the marooned batch and our own batch is also
+            # outside the flagged wave: chase one level up
+            self.send(self.sent_to, A_CHASE, (self.vid, epoch))
+
+    def _on_resp_xfer(self, payload: tuple) -> None:
+        (chain,) = payload
+        for vid in chain:
+            if vid not in self.replacement_set:
+                self.replacement_set.add(vid)
+                self.replacements.append(vid)
+
+    def _on_new_resp(self, payload: tuple) -> None:
+        (new_resp,) = payload
+        self.resp_vid = new_resp
+
+    def _send_depart_meta(self) -> None:
+        if self.meta_sent:
+            return
+        self.meta_sent = True
+        # relay children whose latest batch was never fired upward must be
+        # told to requeue their in-flight requests after integration
+        pending_relays = tuple(
+            vid for vid in self.relay_children if vid in self.child_batches
+        )
+        meta = (
+            self.vid,
+            tuple((label, vid) for (_rel, label, vid) in self.joiners),
+            pending_relays,
+            self.succ_vid,
+            self.succ_label,
+        )
+        self.send(self.resp_vid, A_DEPART_META, meta)
+
+    def _on_depart_meta(self, payload: tuple) -> None:
+        vid = payload[0]
+        self.metas[vid] = payload
+        if all(v in self.metas for v in self.chain_epoch):
+            metas = [self.metas[v] for v in self.chain_epoch]
+            self._splice_segment(metas)
+            for replacement_vid in self.chain_epoch:
+                self.send(replacement_vid, A_DEPART_COMMIT, ())
+            # departed replacements leave the chain; grants that arrived
+            # mid-update stay for the next epoch
+            departed = set(self.chain_epoch)
+            self.replacements = [
+                v for v in self.replacements if v not in departed
+            ]
+            self.replacement_set -= departed
+            self.chain_epoch = []
+            self.update_local_done = True
+            self._check_update_done()
+
+    def _on_depart_commit(self) -> None:
+        # hand every stored element, parked GET and unflushed request to
+        # the responsible node, which redistributes/adopts them; from now
+        # on this node is a forwarding zombie outside the cycle
+        self.dumped = True
+        items = self.store.items
+        parked = self.store.parked
+        self.store = self._new_store()
+        # drain the whole local buffer, including stack overflow chunks
+        # (each drained chunk is one wave's worth, order-preserving)
+        leftover: list = []
+        for _ in range(1024):
+            _runs, chunk = self._snapshot_own()
+            if not chunk:
+                break
+            leftover.extend(chunk)
+        self.send(self.resp_vid, A_DEPART_DUMP, (items, parked, leftover))
+        self._maybe_zombie_exit()
+
+    def _on_depart_dump(self, payload: tuple) -> None:
+        items, parked, leftover = payload
+        self._adopt_records(leftover)
+        members = self.segment_members
+        if not members:
+            self._absorb_state(items, parked)
+            return
+        base = self.label
+        member_rels = [((label - base) % 1.0, vid) for (label, vid) in members]
+        buckets: dict[int, tuple[dict, dict]] = {}
+
+        def owner_of(key: float) -> int:
+            rel = (key - base) % 1.0
+            owner = self.vid
+            for member_rel, member_vid in member_rels:
+                if member_rel <= rel:
+                    owner = member_vid
+                else:
+                    break
+            return owner
+
+        for key, element in items.items():
+            owner = owner_of(key)
+            buckets.setdefault(owner, ({}, {}))[0][key] = element
+        for key, context in parked.items():
+            owner = owner_of(key)
+            buckets.setdefault(owner, ({}, {}))[1][key] = context
+        for owner, (owner_items, owner_parked) in buckets.items():
+            if owner == self.vid:
+                self._absorb_state(owner_items, owner_parked)
+            else:
+                self.send(owner, A_ABSORB, (owner_items, owner_parked))
+
+    def _on_absorb(self, payload: tuple) -> None:
+        items, parked = payload
+        self._absorb_state(items, parked)
+
+    def _maybe_zombie_exit(self) -> None:
+        """A departed replacement disappears once its ack duties are done."""
+        if (
+            self.replaced
+            and self.dumped
+            and self.acked
+            and not self.departed
+            and not self.is_anchor
+            and not self.cold_pending
+        ):
+            self.departed = True
+            self._flush_deferred_joins()
+            self.runtime.remove_actor(self.aid, forward_to=self.resp_vid)
+
+    # -- splice ----------------------------------------------------------------------
+    def _splice_segment(self, metas: list[tuple]) -> None:
+        """Rewire the cycle across this node's junction.
+
+        ``metas`` come in grant-chain order, which is cycle order; each
+        contributes its pending joiners.  The final successor is the first
+        live node past the departing chain.
+        """
+        members: list[tuple[float, int]] = [
+            (label, vid) for (_rel, label, vid) in self.joiners
+        ]
+        pending_requeue = {
+            vid for vid in self.relay_children if vid in self.child_batches
+        }
+        final_succ_vid = self.succ_vid
+        final_succ_label = self.succ_label
+        for meta in metas:
+            _vid, meta_joiners, meta_pending, succ_vid, succ_label = meta
+            members.extend(meta_joiners)
+            pending_requeue.update(meta_pending)
+            final_succ_vid = succ_vid
+            final_succ_label = succ_label
+        if not members and not metas:
+            return  # nothing changed at this junction
+        # cycle order: sort by label relative to this junction (deferred
+        # grants may have interleaved members across sub-ranges)
+        base = self.label
+        members.sort(key=lambda member: (member[0] - base) % 1.0)
+        chain: list[tuple[float, int]] = (
+            [(self.label, self.vid)] + members + [(final_succ_label, final_succ_vid)]
+        )
+        # drop the relay batches of requeueing members: their requests
+        # never reached the anchor and will be resent post-integration
+        for vid in pending_requeue:
+            self.child_batches.pop(vid, None)
+        for i, (label, vid) in enumerate(chain[1:-1], start=1):
+            pred_label, pred_vid = chain[i - 1]
+            succ_label, succ_vid = chain[i + 1]
+            self.send(
+                vid,
+                A_SET_NEIGH,
+                (
+                    pred_vid,
+                    pred_label,
+                    succ_vid,
+                    succ_label,
+                    vid in pending_requeue,
+                ),
+            )
+        self.succ_label, self.succ_vid = chain[1]
+        last_label, last_vid = chain[-2]
+        self.send(final_succ_vid, A_SET_PRED, (last_vid, last_label))
+        self.segment_members = members
+        self.joiners = []
+        self.relay_children = []  # every relay is integrated with the segment
+        # replacements that are NOT departing this epoch now sit behind the
+        # spliced members: their direct predecessor — the last member —
+        # inherits the grant chain, restoring the contiguity invariant
+        departing = set(self.chain_epoch)
+        remaining = [v for v in self.replacements if v not in departing]
+        if remaining and members:
+            new_resp = members[-1][1]
+            self.send(new_resp, A_RESP_XFER, (tuple(remaining),))
+            for vid in remaining:
+                self.send(vid, A_NEW_RESP, (new_resp,))
+            self.replacements = [v for v in self.replacements if v in departing]
+            self.replacement_set -= set(remaining)
+
+    def _on_set_neigh(self, payload: tuple) -> None:
+        pred_vid, pred_label, succ_vid, succ_label, requeue = payload
+        self.pred_vid = pred_vid
+        self.pred_label = pred_label
+        self.succ_vid = succ_vid
+        self.succ_label = succ_label
+        was_joining = self.joining
+        self.joining = False
+        self.relay_parent = None
+        self.resp_vid = None
+        if requeue and self.inflight:
+            self._requeue_inflight()
+        if was_joining:
+            self.wake_me()
+
+    def _requeue_inflight(self) -> None:
+        """Un-send a relay batch that never reached the anchor.
+
+        The responsible node confirmed it still held (and dropped) the
+        batch, so no positions were assigned; the buffered requests simply
+        rejoin the front of the local buffer and go out with the next
+        wave.
+        """
+        records = self.inflight_records
+        self.inflight_records = []
+        self.plan = None
+        self.inflight = False
+        # the batch never reached the anchor, so its join/leave counters
+        # were never seen either: restore our own share (children restore
+        # theirs via the requeue cascade)
+        joins, leaves = self.inflight_counts
+        self.inflight_counts = (0, 0)
+        self.pending_joins += joins
+        self.pending_leaves += leaves
+        if records:
+            merged = records + self.own_records
+            self.own_records = merged
+            batch = self.own_batch
+            batch.runs = []
+            for rec in merged:
+                batch.add(rec.kind)
+        self.wake_me()
+
+    def _on_set_pred(self, payload: tuple) -> None:
+        pred_vid, pred_label = payload
+        self.pred_vid = pred_vid
+        self.pred_label = pred_label
+
+    # -- acknowledgement wave over the old tree -----------------------------------------
+    def _on_ack_up(self, payload: tuple) -> None:
+        (child_vid,) = payload
+        self.cold_pending.discard(child_vid)
+        self._check_update_done()
+        self._maybe_zombie_exit()
+
+    def _check_update_done(self) -> None:
+        if (
+            not self.updating
+            or not self.update_local_done
+            or self.cold_pending
+            or self.acked
+        ):
+            return
+        self.acked = True
+        if self.is_anchor:
+            # finale: find the (possibly new) leftmost node via the owner
+            # of point 0 — its successor is the global minimum
+            self._route_start(A_FIND_MIN, 0.0, (self.vid, self.update_epoch))
+        else:
+            self.send(self.pold, A_ACK_UP, (self.vid,))
+            self._maybe_zombie_exit()
+
+    def _on_find_min(self, extra: tuple) -> None:
+        reply_vid, epoch = extra
+        self.send(reply_vid, A_MIN_IS, (self.succ_vid, epoch))
+
+    def _on_min_is(self, payload: tuple) -> None:
+        min_vid, epoch = payload
+        if min_vid == self.vid:
+            self._broadcast_update_over(epoch)
+        else:
+            state = self.anchor_state.export()
+            self.anchor_state = None
+            self.is_anchor = False
+            self.send(min_vid, A_ANCHOR_XFER, (state, epoch))
+            if self.replaced and self.dumped and not self.departed:
+                # a departed anchor-replacement exits once its duties end
+                self.departed = True
+                self._flush_deferred_joins()
+                self.runtime.remove_actor(self.aid, forward_to=self.resp_vid)
+
+    def _on_anchor_xfer(self, payload: tuple) -> None:
+        state, epoch = payload
+        self.anchor_state = self._new_anchor_state().restore(state)
+        self.is_anchor = True
+        self.update_epoch = max(self.update_epoch, epoch)
+        self._broadcast_update_over(epoch)
+
+    # -- resuming -------------------------------------------------------------------------
+    def _broadcast_update_over(self, epoch: int) -> None:
+        """UPDATE_OVER travels the new tree *and* the ring.
+
+        Tree edges give O(log n) depth, but nodes whose same-process edge
+        is temporarily broken (siblings integrating in different epochs)
+        can be nobody's tree child; the succ hop guarantees coverage of
+        the whole cycle, with duplicates suppressed by the epoch number.
+        """
+        self._finish_update(epoch)
+        for child in self._aggregation_children():
+            self.send(child, A_UPDATE_OVER, (epoch,))
+        if self.succ_label > self.label:  # stop the ring at the wrap
+            self.send(self.succ_vid, A_UPDATE_OVER, (epoch,))
+
+    def _on_update_over(self, payload: tuple) -> None:
+        (epoch,) = payload
+        if self.replaced and self.dumped:
+            # a zombie reached via a stale tree pointer: nothing to resume
+            return
+        if epoch < self.update_epoch:
+            return  # stale broadcast from an earlier epoch, still in flight
+        if epoch == self.update_epoch and not self.updating:
+            return  # duplicate (tree + ring deliver more than once)
+        self._broadcast_update_over(epoch)
+
+    def _on_requeue(self, payload: tuple) -> None:
+        """Our in-flight batch never went up the tree: resend it ourselves.
+
+        A nonzero epoch means the batch missed that epoch's flagged wave:
+        the requeue cascades to the sub-batches this node had combined
+        (their senders missed the wave too), and this node joins the
+        epoch *passively* — it suspends and, if it is a departing
+        replacement, sends its META — but owes no acknowledgement, since
+        it was not served in the flagged wave and is in nobody's Cold.
+        """
+        (epoch,) = payload
+        if self.inflight and self.plan is not None:
+            for src, _runs in self.plan:
+                if src != -1:
+                    self.send(src, A_REQUEUE, (epoch,))
+            self._requeue_inflight()
+        self._enter_epoch_passively(epoch)
+
+    def _on_join_defer(self, payload: tuple) -> None:
+        if self.replaced and self.resp_vid is not None:
+            # a deferred JOIN must end at a node that will live to re-route
+            # it: bubble along the responsibility chain to a real node
+            self.send(self.resp_vid, A_JOIN_DEFER, payload)
+            return
+        if not self.updating:
+            # no update in progress: the ring is stable, re-route right away
+            new_vid, new_label = payload
+            self._route_start(A_JOIN_RT, new_label, (new_vid, new_label))
+            return
+        self.deferred_joins.append(payload)
+
+    def _flush_deferred_joins(self) -> None:
+        """A departing node hands its pending deferred JOINs onward."""
+        if self.deferred_joins:
+            deferred, self.deferred_joins = self.deferred_joins, []
+            for payload in deferred:
+                self.send(self.resp_vid, A_JOIN_DEFER, payload)
+
+    def _finish_update(self, epoch: int) -> None:
+        self.updating = False
+        self.passive_entry = False
+        self.update_epoch = max(self.update_epoch, epoch)
+        self.pold = None
+        self.acked = False
+        self.segment_members = []
+        if self.deferred_joins:
+            deferred, self.deferred_joins = self.deferred_joins, []
+            for new_vid, new_label in deferred:
+                # re-route: the post-splice owner of the label grants
+                self._route_start(A_JOIN_RT, new_label, (new_vid, new_label))
+        hook = self.ctx.on_update_over
+        if hook is not None:
+            hook(epoch)
+        self.wake_me()

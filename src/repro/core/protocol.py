@@ -1,0 +1,693 @@
+"""The Skueue protocol node: stages 1-4 of Section III.
+
+One :class:`QueueNode` instance is one *virtual node* of the LDB.  The
+protocol is a continuous pipeline of aggregation waves:
+
+* **Stage 1** — requests buffer into the node's batch ``W``; once the
+  node is not in-flight and holds a batch from every aggregation child,
+  TIMEOUT combines them (own requests first, then children in a fixed
+  order), remembers the decomposition plan, and sends the combined batch
+  to the parent.
+* **Stage 2** — the anchor turns each run of the fully combined batch
+  into a position interval using its ``first``/``last`` counters.
+* **Stage 3** — intervals travel back down: every node splits its
+  intervals among its remembered sub-batches in combination order.
+* **Stage 4** — the node owning the requests issues PUT/GET to the DHT
+  (routed over the De Bruijn overlay); dequeues beyond the queue's
+  current extent complete immediately with ⊥.
+
+Empty batches ride the same waves (they are what keeps the pipeline
+self-synchronising); a node sends exactly one batch per wave and waits
+for its SERVE before firing again — see DESIGN.md for why this is the
+faithful reading of Algorithm 1's round accounting.
+
+Membership (JOIN/LEAVE, Section IV) lives in
+:mod:`repro.core.membership`; the stack variant (Section VI) in
+:mod:`repro.core.stack`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.actions import (
+    A_AGG,
+    A_DEPART_REQ,
+    A_GET_REPLY,
+    A_JOIN_RT,
+    A_FIND_MIN,
+    A_PUT_ACK,
+    A_REQUEUE,
+    A_RT_GET,
+    A_RT_PUT,
+    A_SERVE,
+)
+from repro.core.anchor import QueueAnchorState
+from repro.core.batch import Batch, combine_runs
+from repro.core.decompose import QueueDecomposer
+from repro.core.membership import MembershipMixin
+from repro.core.requests import BOTTOM, OpRecord
+from repro.dht.storage import PARKED, QueueStore, key_in_range
+from repro.overlay.ldb import LEFT, MIDDLE, RIGHT
+from repro.overlay.routing import initial_route_state, route_step
+from repro.sim.process import Actor
+from repro.util.hashing import position_key
+
+__all__ = ["ClusterContext", "QueueNode"]
+
+
+class ClusterContext:
+    """State shared by every node of one cluster (one simulation)."""
+
+    __slots__ = (
+        "runtime",
+        "metrics",
+        "records",
+        "salt",
+        "route_steps",
+        "insert_name",
+        "remove_name",
+        "empty_name",
+        "on_update_over",
+    )
+
+    def __init__(
+        self,
+        runtime,
+        salt: str,
+        route_steps: int,
+        insert_name: str = "enqueue",
+        remove_name: str = "dequeue",
+        empty_name: str = "dequeue_empty",
+        on_update_over: Callable[[int], None] | None = None,
+    ) -> None:
+        self.runtime = runtime
+        self.metrics = runtime.metrics
+        self.records: list[OpRecord] = []
+        self.salt = salt
+        self.route_steps = route_steps
+        self.insert_name = insert_name
+        self.remove_name = remove_name
+        self.empty_name = empty_name
+        self.on_update_over = on_update_over
+
+
+class QueueNode(MembershipMixin, Actor):
+    """One virtual node running the distributed queue protocol."""
+
+    __slots__ = (
+        "ctx",
+        "vid",
+        "pid",
+        "kind",
+        "label",
+        "pred_vid",
+        "pred_label",
+        "succ_vid",
+        "succ_label",
+        # stage 1 state
+        "own_batch",
+        "own_records",
+        "child_batches",
+        "inflight",
+        "plan",
+        "inflight_records",
+        "inflight_counts",
+        "sent_to",
+        # anchor (stage 2)
+        "is_anchor",
+        "anchor_state",
+        # DHT (stage 4)
+        "store",
+        "barrier",
+        # membership (Section IV)
+        "updating",
+        "update_epoch",
+        "passive_entry",
+        "passive_release_at",
+        "pold",
+        "cold_pending",
+        "update_local_done",
+        "acked",
+        "joining",
+        "joining_range_end",
+        "pre_grant_buffer",
+        "relay_parent",
+        "resp_vid",
+        "joiners",
+        "relay_children",
+        "leaving",
+        "replaced",
+        "meta_sent",
+        "depart_requested",
+        "dumped",
+        "departed",
+        "replacements",
+        "replacement_set",
+        "pending_joins",
+        "pending_leaves",
+        "deferred_joins",
+        "segment_members",
+        "chain_epoch",
+        "metas",
+        "leave_request_pending",
+    )
+
+    def __init__(
+        self,
+        ctx: ClusterContext,
+        vid: int,
+        label: float,
+        pred_vid: int,
+        pred_label: float,
+        succ_vid: int,
+        succ_label: float,
+        is_anchor: bool = False,
+        joining: bool = False,
+    ) -> None:
+        super().__init__(vid, ctx.runtime)
+        self.ctx = ctx
+        self.vid = vid
+        self.pid = vid // 3
+        self.kind = vid % 3
+        self.label = label
+        self.pred_vid = pred_vid
+        self.pred_label = pred_label
+        self.succ_vid = succ_vid
+        self.succ_label = succ_label
+
+        self.own_batch = Batch()
+        self.own_records: list[OpRecord] = []
+        self.child_batches: dict[int, tuple] = {}
+        self.inflight = False
+        self.plan = None
+        self.inflight_records: list[OpRecord] = []
+        self.inflight_counts = (0, 0)  # own join/leave counters in flight
+        self.sent_to = None  # where the in-flight batch went (ack target)
+
+        self.is_anchor = is_anchor
+        self.anchor_state = self._new_anchor_state() if is_anchor else None
+
+        self.store = self._new_store()
+        self.barrier = 0
+
+        self.updating = False
+        self.update_epoch = 0
+        self.passive_entry = False
+        self.passive_release_at = 0.0
+        self.pold = None
+        self.cold_pending: set[int] = set()
+        self.update_local_done = True
+        self.acked = False
+        self.joining = joining
+        self.joining_range_end = label
+        self.pre_grant_buffer: list[tuple[int, tuple]] = []
+        self.relay_parent = None
+        self.resp_vid = None
+        self.joiners: list[tuple[float, float, int]] = []  # (rel, label, vid)
+        self.relay_children: list[int] = []
+        self.leaving = False
+        self.replaced = False
+        self.meta_sent = False
+        self.depart_requested = False
+        self.dumped = False
+        self.departed = False
+        self.replacements: list[int] = []
+        self.replacement_set: set[int] = set()
+        self.pending_joins = 0
+        self.pending_leaves = 0
+        self.deferred_joins: list[tuple] = []
+        self.segment_members: list[tuple[float, int]] = []
+        self.chain_epoch: list[int] = []
+        self.metas: dict[int, tuple] = {}
+        self.leave_request_pending = False
+
+    # -- discipline hooks (overridden by the stack) ---------------------------
+    def _new_anchor_state(self):
+        return QueueAnchorState()
+
+    def _new_store(self):
+        return QueueStore()
+
+    def _make_decomposer(self, assignments):
+        return QueueDecomposer(assignments)
+
+    # -- request injection (cluster facade) ------------------------------------
+    def local_op(self, rec: OpRecord) -> None:
+        """Buffer a freshly generated queue operation (Section III-A)."""
+        self.ctx.metrics.request_generated()
+        self._buffer_op(rec)
+        self.wake_me()
+
+    def _buffer_op(self, rec: OpRecord) -> None:
+        self.own_batch.add(rec.kind)
+        self.own_records.append(rec)
+
+    # -- message dispatch ---------------------------------------------------------
+    def handle(self, action: int, payload: tuple) -> None:
+        if action == A_AGG:
+            self._on_agg(payload)
+        elif action == A_SERVE:
+            self._on_serve(payload)
+        elif action == A_RT_PUT or action == A_RT_GET or action == A_JOIN_RT or action == A_FIND_MIN:
+            key, bits, steps, ideal, extra = payload
+            if self.joining:
+                self._joining_route(action, key, payload, extra)
+            else:
+                self._route_hop(action, key, bits, steps, ideal, extra)
+        elif action == A_GET_REPLY:
+            self._on_get_reply(payload)
+        elif action == A_PUT_ACK:
+            self._on_put_ack(payload)
+        else:
+            self._handle_membership(action, payload)
+
+    # -- stage 1: aggregation -------------------------------------------------------
+    def _sibling_integrated(self, kind: int) -> bool:
+        """Is this process's virtual node of ``kind`` on the cycle?
+
+        Consulting the sibling is a *local* read: the three virtual nodes
+        are emulated by one physical process.  A sibling can be missing
+        from the cycle while joining (not yet integrated) or after having
+        departed (LEAVE) — in both cases the paper's same-process tree
+        edges temporarily do not exist and the cycle-pred fallback of
+        ``p(v) = leftmost neighbour`` applies instead.
+        """
+        sibling = self.ctx.runtime.actors.get(self.pid * 3 + kind)
+        return sibling is not None and not sibling.joining
+
+    def _aggregation_children(self) -> list[int]:
+        """Current child set: tree children (Section III-B) + relay joiners.
+
+        The own-process child is expected only while it is actually on
+        the cycle; a node whose sibling edge is broken parents itself at
+        its cycle predecessor instead and its batch is consumed there as
+        an *extra* (see :meth:`_fire`).
+        """
+        out: list[int] = []
+        if not self.joining:
+            kind = self.kind
+            if kind != RIGHT:
+                own = self.pid * 3 + (MIDDLE if kind == LEFT else RIGHT)
+                sibling = self.ctx.runtime.actors.get(own)
+                # expect the same-process child only if it is on the cycle,
+                # currently considers us its parent, and has no batch stuck
+                # in another node's wave (its parent choice may have been
+                # the pred fallback while this node was absent) — waiting
+                # on such a batch can close a wave-dependency cycle
+                if (
+                    sibling is not None
+                    and not sibling.joining
+                    and sibling._parent_vid() == self.vid
+                    and not (sibling.inflight and sibling.sent_to != self.vid)
+                ):
+                    out.append(own)
+                sv = self.succ_vid
+                # the successor is a child iff it is a left node and not the
+                # global minimum (the wrap back to the anchor is not an edge
+                # of the tree); as with siblings, don't block on a successor
+                # whose batch is lodged in another node's wave — it rejoins
+                # as an extra once served (see DESIGN.md on these reads)
+                if sv % 3 == LEFT and self.succ_label > self.label:
+                    succ_node = self.ctx.runtime.actors.get(sv)
+                    if (
+                        succ_node is not None
+                        and succ_node._parent_vid() == self.vid
+                        and not (
+                            succ_node.inflight and succ_node.sent_to != self.vid
+                        )
+                    ):
+                        out.append(sv)
+        if self.relay_children:
+            out.extend(self.relay_children)
+        return out
+
+    def timeout(self) -> None:
+        if (
+            self.updating
+            and self.passive_entry
+            and not self.replaced
+            and self.ctx.runtime.now >= self.passive_release_at
+        ):
+            # passively entered epoch (missed-wave bounce): the bounce may
+            # have raced that epoch's UPDATE_OVER, which will then never
+            # reach us — release after a grace period; if the epoch still
+            # runs we just get bounced (and re-released) again.  Replaced
+            # nodes stay put: their exit (META/DUMP) needs no UPDATE_OVER.
+            self.passive_entry = False
+            self.updating = False
+        if self.updating and self.chain_epoch and not self.update_local_done:
+            # re-prod replacements whose META is overdue (their batch may
+            # have been marooned outside the flagged wave — see A_CHASE)
+            for vid in self.chain_epoch:
+                if vid not in self.metas:
+                    self.send(vid, A_DEPART_REQ, (self.vid, self.update_epoch))
+            self.runtime.call_later(self.aid, 40)
+        if self.leaving and not self.replaced:
+            self._leave_tick()
+        if self.deferred_joins and not self.updating:
+            deferred, self.deferred_joins = self.deferred_joins, []
+            for new_vid, new_label in deferred:
+                self._route_start(A_JOIN_RT, new_label, (new_vid, new_label))
+        if self.updating or self.inflight or self.barrier:
+            return
+        if self.joining and self.relay_parent is None:
+            return  # dormant joining left/right node: integrated passively
+        children = self._aggregation_children()
+        batches = self.child_batches
+        for child in children:
+            if child not in batches:
+                return
+        # nodes whose same-process tree edge is broken parent themselves
+        # here via the pred fallback; their already-arrived batches join
+        # this wave as extras
+        if len(batches) > len(children):
+            known = set(children)
+            children = children + [c for c in batches if c not in known]
+        self._fire(children)
+
+    def _snapshot_own(self) -> tuple[list[int], list[OpRecord]]:
+        """Move the local buffer out for this wave (``v.W -> v.B``)."""
+        runs, _, _ = self.own_batch.take()
+        records = self.own_records
+        self.own_records = []
+        return runs, records
+
+    def _fire(self, children: list[int]) -> None:
+        """Stage 1: move ``W`` to ``B`` and send it up (Algorithm 1)."""
+        runs, records = self._snapshot_own()
+        joins = self.pending_joins
+        leaves = self.pending_leaves
+        self.inflight_counts = (joins, leaves)
+        self.pending_joins = 0
+        self.pending_leaves = 0
+
+        combined = list(runs)
+        plan: list[tuple[int, list[int]]] = [(-1, runs)]
+        batches = self.child_batches
+        for child in children:
+            child_runs, child_joins, child_leaves, _is_relay = batches.pop(child)
+            plan.append((child, child_runs))
+            combine_runs(combined, child_runs)
+            joins += child_joins
+            leaves += child_leaves
+
+        self.plan = plan
+        self.inflight_records = records
+        self.inflight = True
+
+        if self.is_anchor:
+            state = self.anchor_state
+            epoch = 0
+            if joins or leaves:
+                state.epoch += 1
+                epoch = state.epoch
+            self.sent_to = None
+            assigns = tuple(state.assign(combined))
+            self._process_serve(assigns, epoch)
+        else:
+            dest = (
+                self.relay_parent
+                if self.relay_parent is not None
+                else self._parent_vid()
+            )
+            self.sent_to = dest
+            is_relay = self.relay_parent is not None
+            self.send(
+                dest, A_AGG, (self.vid, tuple(combined), joins, leaves, is_relay)
+            )
+            self.ctx.metrics.note_batch_len(len(combined))
+
+    def _parent_vid(self) -> int:
+        """Aggregation parent: the leftmost neighbour (Section III-B).
+
+        When the same-process edge is broken (sibling joining in a later
+        epoch, or departed first during LEAVE), the leftmost neighbour is
+        simply the cycle predecessor; the parent consumes our batch as an
+        extra.
+        """
+        kind = self.kind
+        if kind == MIDDLE:
+            if self._sibling_integrated(LEFT):
+                return self.pid * 3 + LEFT
+            return self.pred_vid
+        if kind == LEFT:
+            return self.pred_vid
+        if self._sibling_integrated(MIDDLE):
+            return self.pid * 3 + MIDDLE
+        return self.pred_vid
+
+    def _on_agg(self, payload: tuple) -> None:
+        child_vid, runs, joins, leaves, is_relay = payload
+        if is_relay and (
+            child_vid not in self.relay_children
+            or (self.replaced and self.meta_sent)
+        ):
+            # a relay batch that lost its responsible node mid-departure
+            # (or reached a departing zombie): it never went up the tree,
+            # so the sender simply resends after integration
+            self.send(child_vid, A_REQUEUE, (0,))
+            return
+        if self.updating and not is_relay:
+            # a tree batch arriving mid-update missed the flagged wave:
+            # bounce it so the sender requeues and joins the epoch
+            self.send(child_vid, A_REQUEUE, (self.update_epoch,))
+            return
+        entry = self.child_batches.get(child_vid)
+        if entry is None:
+            self.child_batches[child_vid] = (list(runs), joins, leaves, is_relay)
+        else:
+            existing_runs, existing_joins, existing_leaves, existing_relay = entry
+            combine_runs(existing_runs, runs)
+            self.child_batches[child_vid] = (
+                existing_runs,
+                existing_joins + joins,
+                existing_leaves + leaves,
+                existing_relay or is_relay,
+            )
+        self.wake_me()
+
+    # -- stage 3: decomposition --------------------------------------------------------
+    def _on_serve(self, payload: tuple) -> None:
+        assigns, epoch = payload
+        self._process_serve(assigns, epoch)
+
+    def _process_serve(self, assigns: tuple, epoch: int) -> None:
+        plan = self.plan
+        if plan is None:
+            raise RuntimeError(f"node {self.vid}: SERVE without a batch in flight")
+        self.plan = None
+        decomposer = self._make_decomposer(assigns) if assigns else None
+        served: list[int] = []
+        for src, runs in plan:
+            sub = decomposer.take(runs) if decomposer is not None else ()
+            if src == -1:
+                self._stage4(sub, runs)
+            else:
+                self.send(src, A_SERVE, (sub, epoch))
+                served.append(src)
+        self.inflight = False
+        if epoch and epoch > self.update_epoch:
+            self._enter_update(epoch, served)
+        else:
+            self.wake_me()
+
+    # -- stage 4: DHT updates ---------------------------------------------------------------
+    def _stage4(self, sub: tuple, runs: list[int]) -> None:
+        records = self.inflight_records
+        self.inflight_records = []
+        if not runs:
+            return
+        salt = self.ctx.salt
+        now = self.ctx.runtime.now
+        index = 0
+        for i, op in enumerate(runs):
+            lo, hi, value = sub[i]
+            if i % 2 == 0:  # inserts: exact positions lo..lo+op-1
+                for j in range(op):
+                    rec = records[index]
+                    index += 1
+                    rec.value = value + j
+                    key = position_key(lo + j, salt)
+                    self._route_start(
+                        A_RT_PUT, key, (rec.element, rec.gen, rec.req_id)
+                    )
+            else:  # removals: clamped, the tail returns ⊥ (Lemma 10)
+                avail = hi - lo + 1
+                for j in range(op):
+                    rec = records[index]
+                    index += 1
+                    rec.value = value + j
+                    if j < avail:
+                        key = position_key(lo + j, salt)
+                        self._route_start(
+                            A_RT_GET, key, (self.vid, rec.req_id, rec.gen)
+                        )
+                    else:
+                        rec.result = BOTTOM
+                        rec.completed = True
+                        self.ctx.metrics.observe(
+                            self.ctx.empty_name, now - rec.gen
+                        )
+
+    # -- routing (Lemma 3) ----------------------------------------------------------------------
+    def _joining_route(self, action: int, key: float, payload: tuple, extra: tuple) -> None:
+        """A routed message at a pending joiner (not yet on the cycle).
+
+        Deliverable only when the key falls inside the granted range;
+        anything else — a De Bruijn transit via the sibling middle node,
+        or a final walk racing the splice — bounces to the responsible
+        node, which is on the cycle and continues the walk.  Messages
+        arriving before the grant are buffered and replayed.
+        """
+        if self.resp_vid is None:
+            self.pre_grant_buffer.append((action, payload))
+            return
+        if (action == A_RT_PUT or action == A_RT_GET) and key_in_range(
+            key, self.label, self.joining_range_end
+        ):
+            self._deliver(action, key, extra)
+        else:
+            self.send(self.resp_vid, action, payload)
+
+    def _route_start(self, action: int, key: float, extra: tuple) -> None:
+        bits, steps, ideal = initial_route_state(
+            key, self.ctx.route_steps, origin=max(0.0, self.label)
+        )
+        if self.joining:
+            # a pending joiner is not on the cycle: relay via its
+            # responsible node, which routes onward
+            if self.resp_vid is None:
+                self.pre_grant_buffer.append(
+                    (action, (key, bits, steps, ideal, extra))
+                )
+            else:
+                self.send(self.resp_vid, action, (key, bits, steps, ideal, extra))
+            return
+        self._route_hop(action, key, bits, steps, ideal, extra)
+
+    def _route_hop(
+        self,
+        action: int,
+        key: float,
+        bits: int,
+        steps: int,
+        ideal: float,
+        extra: tuple,
+    ) -> None:
+        if self.replaced and self.dumped:
+            # spliced out and data handed over: the responsible node (or
+            # the final owner it redistributed to) continues the walk
+            self.send(self.resp_vid, action, (key, bits, steps, ideal, extra))
+            return
+        if steps > 0 and self.kind == MIDDLE:
+            # the De Bruijn hop would use a virtual edge to l(v)/r(v) —
+            # unusable while that sibling is not (or no longer) on the
+            # cycle; walk on to the next live middle node instead
+            target_kind = RIGHT if bits & 1 else LEFT
+            if not self._sibling_integrated(target_kind):
+                nxt = self.pred_vid if ideal >= 0.5 else self.succ_vid
+                self.send(nxt, action, (key, bits, steps, ideal, extra))
+                return
+        nxt, (bits, steps, ideal) = route_step(
+            self.vid,
+            self.label,
+            self.pred_vid,
+            self.succ_vid,
+            self.succ_label,
+            key,
+            (bits, steps, ideal),
+            pred_label=self.pred_label,
+        )
+        if nxt is None:
+            self._deliver(action, key, extra)
+        else:
+            self.send(nxt, action, (key, bits, steps, ideal, extra))
+
+    def _deliver(self, action: int, key: float, extra: tuple) -> None:
+        if action == A_RT_PUT or action == A_RT_GET:
+            forward = self._joiner_for_key(key)
+            if forward is not None:
+                self.send(forward, action, (key, 0, 0, 0.0, extra))
+                return
+            if action == A_RT_PUT:
+                self._dht_put(key, extra)
+            else:
+                self._dht_get(key, extra)
+        elif action == A_JOIN_RT:
+            self._grant_join(key, extra)
+        elif action == A_FIND_MIN:
+            self._on_find_min(extra)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unroutable action {action}")
+
+    def _joiner_for_key(self, key: float) -> int | None:
+        """Forward PUT/GETs whose range was handed to a pending joiner."""
+        joiners = self.joiners
+        if not joiners:
+            return None
+        rel = (key - self.label) % 1.0
+        best = None
+        for joiner_rel, _, joiner_vid in joiners:
+            if joiner_rel <= rel:
+                best = joiner_vid
+            else:
+                break
+        return best
+
+    # -- DHT handlers (queue flavour) ---------------------------------------------------------
+    def _dht_put(self, key: float, extra: tuple) -> None:
+        element, gen, req_id = extra
+        waiter = self.store.put(key, element)
+        ctx = self.ctx
+        ctx.metrics.observe(ctx.insert_name, ctx.runtime.now - gen)
+        ctx.records[req_id].completed = True
+        if waiter is not None:
+            requester_vid, waiter_req_id, _ = waiter
+            self.send(
+                requester_vid, A_GET_REPLY, (waiter_req_id, element, requester_vid)
+            )
+
+    def _dht_get(self, key: float, extra: tuple) -> None:
+        requester_vid, req_id, _gen = extra
+        result = self.store.get(key, extra)
+        if result is not PARKED:
+            self.send(requester_vid, A_GET_REPLY, (req_id, result, requester_vid))
+
+    def _on_get_reply(self, payload: tuple) -> None:
+        req_id, element, _issuer = payload
+        ctx = self.ctx
+        rec = ctx.records[req_id]
+        rec.result = element
+        rec.completed = True
+        ctx.metrics.observe(ctx.remove_name, ctx.runtime.now - rec.gen)
+
+    def _on_put_ack(self, payload: tuple) -> None:  # stack only
+        raise RuntimeError("PUT_ACK on a queue node")
+
+    # -- record adoption (LEAVE, Section IV-B) ------------------------------------
+    def _adopt_records(self, records: list[OpRecord]) -> None:
+        """Take over unflushed requests of a departed replacement.
+
+        The leaving process generated these before announcing its leave;
+        they keep their (pid, idx) identity and simply ride this node's
+        next batch, which preserves per-process order (the donor's earlier
+        operations were valued in strictly earlier waves).
+        """
+        for rec in records:
+            self.own_batch.add(rec.kind)
+            self.own_records.append(rec)
+        if records:
+            self.wake_me()
+
+    # -- introspection -----------------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return self.store.occupancy
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<{type(self).__name__} vid={self.vid} "
+            f"({'LMR'[self.kind]}) label={self.label:.6f}"
+            f"{' anchor' if self.is_anchor else ''}>"
+        )

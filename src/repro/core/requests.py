@@ -1,0 +1,97 @@
+"""Request records and result sentinels.
+
+Every queue/stack operation issued by a process becomes one
+:class:`OpRecord`.  The record stays at the issuing node while the
+batched protocol decides its position; the fields ``value`` (the rank the
+anchor's virtual counter assigns, Section V) and ``result`` are filled in
+as the protocol progresses.  The full list of records *is* the execution
+history handed to the sequential-consistency checker.
+
+Elements are stored in the DHT as ``(req_id, item)`` pairs, realising the
+paper's w.l.o.g. assumption that every element is enqueued at most once
+("make the calling process and the current count of requests performed a
+part of e").
+"""
+
+from __future__ import annotations
+
+__all__ = ["BOTTOM", "INSERT", "REMOVE", "OpRecord", "kind_name"]
+
+#: Operation kinds, shared by queue (enqueue/dequeue) and stack (push/pop).
+INSERT, REMOVE = 0, 1
+
+
+class _Bottom:
+    """The ⊥ returned by a DEQUEUE()/POP() on an empty structure."""
+
+    __slots__ = ()
+    _instance = None
+
+    def __new__(cls) -> "_Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "BOTTOM"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+BOTTOM = _Bottom()
+
+
+def kind_name(kind: int, stack: bool = False) -> str:
+    if kind == INSERT:
+        return "push" if stack else "enqueue"
+    return "pop" if stack else "dequeue"
+
+
+class OpRecord:
+    """One queue/stack operation and everything the run learned about it."""
+
+    __slots__ = (
+        "req_id",
+        "pid",
+        "idx",
+        "kind",
+        "item",
+        "gen",
+        "value",
+        "result",
+        "completed",
+        "local_match",
+    )
+
+    def __init__(
+        self,
+        req_id: int,
+        pid: int,
+        idx: int,
+        kind: int,
+        item: object,
+        gen: float,
+    ) -> None:
+        self.req_id = req_id
+        self.pid = pid
+        self.idx = idx  # per-process operation index (OP_{v,i} in the paper)
+        self.kind = kind
+        self.item = item
+        self.gen = gen  # generation time (rounds / virtual time)
+        self.value = None  # anchor's virtual-counter rank (Section V)
+        self.result = None  # dequeued element, BOTTOM, or None for inserts
+        self.completed = False
+        self.local_match = False  # stack: annihilated locally (Section VI)
+
+    @property
+    def element(self) -> tuple:
+        """The uniquely-tagged element this INSERT stores in the DHT."""
+        return (self.req_id, self.item)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        k = "INS" if self.kind == INSERT else "REM"
+        return (
+            f"OpRecord({self.req_id}, p{self.pid}#{self.idx}, {k}, "
+            f"value={self.value}, result={self.result!r})"
+        )

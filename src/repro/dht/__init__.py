@@ -1,0 +1,5 @@
+"""Consistent-hashing DHT substrate (Section II-B)."""
+
+from repro.dht.storage import PARKED, QueueStore, StackStore, key_in_range
+
+__all__ = ["PARKED", "QueueStore", "StackStore", "key_in_range"]

@@ -1,0 +1,186 @@
+"""Per-node DHT storage with asynchrony-safe GET parking.
+
+Elements live at the virtual node owning ``[v, succ(v))`` under their key
+``k(p) = hash(position)``.  In the asynchronous model a GET may outrun its
+PUT, so GETs *park* at the responsible node until the matching element
+arrives (Section III-F); channels never lose messages, so every parked
+GET is eventually answered (Lemma 13).
+
+Two flavours:
+
+* :class:`QueueStore` — a position is used exactly once, so a key maps to
+  a single element and at most one GET can ever park per key.
+* :class:`StackStore` — stack positions are reused, so a key holds a set
+  of elements distinguished by *ticket* (Section VI); a POP assigned
+  ``(p, t)`` removes the element with the largest ticket ``<= t``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PARKED", "QueueStore", "StackStore", "key_in_range"]
+
+
+class _Parked:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<PARKED>"
+
+
+#: Sentinel returned by ``get`` when the element has not arrived yet.
+PARKED = _Parked()
+
+
+def key_in_range(key: float, lo: float, hi: float) -> bool:
+    """Is ``key`` in the cyclic half-open label range ``[lo, hi)``?"""
+    if lo <= hi:
+        return lo <= key < hi
+    return key >= lo or key < hi
+
+
+class QueueStore:
+    """Element + parked-GET storage of one virtual node (queue flavour)."""
+
+    __slots__ = ("items", "parked")
+
+    def __init__(self) -> None:
+        self.items: dict[float, object] = {}
+        self.parked: dict[float, tuple] = {}
+
+    def put(self, key: float, element: object) -> tuple | None:
+        """Store ``element``; returns a parked GET context if one waited.
+
+        Queue positions are unique, so a duplicate PUT for a live key is a
+        protocol bug and raises.
+        """
+        if key in self.items:
+            raise RuntimeError(f"duplicate PUT for key {key}")
+        waiter = self.parked.pop(key, None)
+        if waiter is not None:
+            return waiter
+        self.items[key] = element
+        return None
+
+    def get(self, key: float, context: tuple) -> object:
+        """Remove and return the element, or park ``context`` (Section III-F)."""
+        if key in self.items:
+            return self.items.pop(key)
+        if key in self.parked:
+            raise RuntimeError(f"two GETs parked for key {key}")
+        self.parked[key] = context
+        return PARKED
+
+    # -- handover (JOIN/LEAVE data movement) ---------------------------------
+    def extract_range(self, lo: float, hi: float) -> tuple[dict, dict]:
+        """Remove and return items and parked GETs with keys in ``[lo, hi)``."""
+        items = {k: v for k, v in self.items.items() if key_in_range(k, lo, hi)}
+        parked = {k: v for k, v in self.parked.items() if key_in_range(k, lo, hi)}
+        for k in items:
+            del self.items[k]
+        for k in parked:
+            del self.parked[k]
+        return items, parked
+
+    def absorb(self, items: dict, parked: dict) -> list[tuple[float, tuple, object]]:
+        """Merge handed-over state; returns parked GETs that can now fire
+        as ``(key, context, element)`` triples."""
+        ready: list[tuple[float, tuple, object]] = []
+        for key, element in items.items():
+            if key in self.parked:
+                ready.append((key, self.parked.pop(key), element))
+            else:
+                if key in self.items:
+                    raise RuntimeError(f"duplicate element for key {key} in absorb")
+                self.items[key] = element
+        for key, context in parked.items():
+            if key in self.items:
+                ready.append((key, context, self.items.pop(key)))
+            else:
+                if key in self.parked:
+                    raise RuntimeError(f"duplicate parked GET for key {key}")
+                self.parked[key] = context
+        return ready
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.items)
+
+
+class StackStore:
+    """Ticketed element storage of one virtual node (stack flavour)."""
+
+    __slots__ = ("items", "parked")
+
+    def __init__(self) -> None:
+        # key -> {ticket: element}
+        self.items: dict[float, dict[int, object]] = {}
+        # key -> list of (max_ticket, context)
+        self.parked: dict[float, list[tuple[int, tuple]]] = {}
+
+    def put(self, key: float, ticket: int, element: object) -> list[tuple]:
+        """Store; returns contexts of parked POPs that become servable."""
+        slot = self.items.setdefault(key, {})
+        if ticket in slot:
+            raise RuntimeError(f"duplicate ticket {ticket} at key {key}")
+        slot[ticket] = element
+        served: list[tuple] = []
+        waiters = self.parked.get(key)
+        if waiters:
+            remaining = []
+            for max_ticket, context in waiters:
+                result = self.get(key, max_ticket, context=None)
+                if result is PARKED:
+                    remaining.append((max_ticket, context))
+                else:
+                    served.append((context, result))
+            if remaining:
+                self.parked[key] = remaining
+            else:
+                del self.parked[key]
+        return served
+
+    def get(self, key: float, max_ticket: int, context: tuple | None) -> object:
+        """Remove the element with the largest ticket ``<= max_ticket``.
+
+        Parks ``context`` when nothing qualifies (with the stack's stage-4
+        barrier in place this never happens — asserted by tests — but the
+        store stays safe without that global argument).
+        """
+        slot = self.items.get(key)
+        if slot:
+            best = max((t for t in slot if t <= max_ticket), default=None)
+            if best is not None:
+                element = slot.pop(best)
+                if not slot:
+                    del self.items[key]
+                return element
+        if context is not None:
+            self.parked.setdefault(key, []).append((max_ticket, context))
+        return PARKED
+
+    def extract_range(self, lo: float, hi: float) -> tuple[dict, dict]:
+        items = {k: v for k, v in self.items.items() if key_in_range(k, lo, hi)}
+        parked = {k: v for k, v in self.parked.items() if key_in_range(k, lo, hi)}
+        for k in items:
+            del self.items[k]
+        for k in parked:
+            del self.parked[k]
+        return items, parked
+
+    def absorb(self, items: dict, parked: dict) -> list[tuple]:
+        """Merge handed-over state; returns newly servable POP contexts as
+        ``(context, element)`` pairs."""
+        ready: list[tuple] = []
+        for key, slot in items.items():
+            for ticket, element in slot.items():
+                ready.extend(self.put(key, ticket, element))
+        for key, waiters in parked.items():
+            for max_ticket, context in waiters:
+                result = self.get(key, max_ticket, context=context)
+                if result is not PARKED:
+                    ready.append((context, result))
+        return ready
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(slot) for slot in self.items.values())

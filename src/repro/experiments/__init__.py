@@ -1,0 +1,18 @@
+"""Evaluation harness: regenerates every figure of Section VII."""
+
+from repro.experiments.figures import figure2, figure3, figure4
+from repro.experiments.harness import ExperimentResult, run_experiment
+from repro.experiments.tables import render_series, render_table
+from repro.experiments.workload import FixedRateWorkload, PerNodeWorkload
+
+__all__ = [
+    "ExperimentResult",
+    "FixedRateWorkload",
+    "PerNodeWorkload",
+    "figure2",
+    "figure3",
+    "figure4",
+    "render_series",
+    "render_table",
+    "run_experiment",
+]

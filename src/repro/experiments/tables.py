@@ -1,0 +1,40 @@
+"""Tiny ASCII rendering for benchmark output (no plotting deps offline)."""
+
+from __future__ import annotations
+
+__all__ = ["render_series", "render_table"]
+
+
+def render_table(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Render dict-rows as a fixed-width ASCII table."""
+    if not rows:
+        return "(no rows)"
+    columns = columns or list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows)) for c in columns
+    }
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    sep = "-+-".join("-" * widths[c] for c in columns)
+    body = "\n".join(
+        " | ".join(str(r.get(c, "")).ljust(widths[c]) for c in columns) for r in rows
+    )
+    return f"{header}\n{sep}\n{body}"
+
+
+def render_series(
+    rows: list[dict], x: str, y: str, series: str, title: str = ""
+) -> str:
+    """Pivot rows into one line per series value — the paper's curves."""
+    xs = sorted({r[x] for r in rows})
+    keys = sorted({r[series] for r in rows}, key=str, reverse=True)
+    lines = [title] if title else []
+    header = f"{series:>10} | " + " | ".join(f"{v:>9}" for v in xs)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for key in keys:
+        vals = []
+        for xv in xs:
+            match = [r for r in rows if r[x] == xv and r[series] == key]
+            vals.append(f"{match[0][y]:>9}" if match else " " * 9)
+        lines.append(f"{key!s:>10} | " + " | ".join(vals))
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Request generators for the paper's experiments (Section VII-A).
+
+Two request-arrival models:
+
+* :class:`FixedRateWorkload` — "at the beginning of each round, we
+  generate 10 queue requests and assign them to random nodes" (Figures
+  2 and 3); the number per round and the insert probability ``p`` are
+  parameters.
+* :class:`PerNodeWorkload` — "generate requests at nodes with constant
+  probability p at each round" (Figure 4), which scales the offered load
+  with the system size.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.requests import INSERT, REMOVE
+
+__all__ = ["FixedRateWorkload", "PerNodeWorkload"]
+
+
+class FixedRateWorkload:
+    """``requests_per_round`` operations at uniformly random processes."""
+
+    def __init__(
+        self,
+        n_processes: int,
+        insert_probability: float,
+        requests_per_round: int = 10,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= insert_probability <= 1.0:
+            raise ValueError("insert probability must be in [0, 1]")
+        self.n_processes = n_processes
+        self.insert_probability = insert_probability
+        self.requests_per_round = requests_per_round
+        self.rng = random.Random(f"fixed-rate-{seed}")
+
+    def requests_for_round(self) -> list[tuple[int, int]]:
+        rng = self.rng
+        p = self.insert_probability
+        n = self.n_processes
+        return [
+            (rng.randrange(n), INSERT if rng.random() < p else REMOVE)
+            for _ in range(self.requests_per_round)
+        ]
+
+
+class PerNodeWorkload:
+    """Every process generates a request with probability ``rate`` per round."""
+
+    def __init__(
+        self,
+        n_processes: int,
+        rate: float,
+        insert_probability: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("per-node rate must be in [0, 1]")
+        self.n_processes = n_processes
+        self.rate = rate
+        self.insert_probability = insert_probability
+        self.rng = random.Random(f"per-node-{seed}")
+
+    def requests_for_round(self) -> list[tuple[int, int]]:
+        rng = self.rng
+        rate = self.rate
+        p = self.insert_probability
+        out = []
+        if rate >= 1.0:
+            for pid in range(self.n_processes):
+                out.append((pid, INSERT if rng.random() < p else REMOVE))
+            return out
+        # expected rate*n arrivals; binomial thinning via direct draws
+        for pid in range(self.n_processes):
+            if rng.random() < rate:
+                out.append((pid, INSERT if rng.random() < p else REMOVE))
+        return out

@@ -1,0 +1,36 @@
+"""Linearized De Bruijn overlay network (Section II-A of the paper)."""
+
+from repro.overlay.ldb import (
+    KIND_NAMES,
+    LEFT,
+    MIDDLE,
+    RIGHT,
+    LdbTopology,
+    kind_of,
+    pid_of,
+    vid_of,
+    virtual_label,
+)
+from repro.overlay.routing import route_on_topology, route_steps_for
+from repro.overlay.tree import (
+    children_local,
+    is_anchor_local,
+    parent_local,
+)
+
+__all__ = [
+    "KIND_NAMES",
+    "LEFT",
+    "MIDDLE",
+    "RIGHT",
+    "LdbTopology",
+    "children_local",
+    "is_anchor_local",
+    "kind_of",
+    "parent_local",
+    "pid_of",
+    "route_on_topology",
+    "route_steps_for",
+    "vid_of",
+    "virtual_label",
+]

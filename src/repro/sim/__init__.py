@@ -1,0 +1,37 @@
+"""Message-passing simulation substrate.
+
+Two engines share one actor model (``repro.sim.process.Actor``):
+
+* :class:`~repro.sim.sync_runner.SyncRunner` — the synchronous message
+  passing model of the paper's analysis and evaluation (Section I-B):
+  time proceeds in rounds, every message sent in round *i* is processed in
+  round *i + 1*, and every process executes its TIMEOUT action once per
+  round.  All figures are measured on this engine (the unit is *rounds*,
+  not wall-clock).
+* :class:`~repro.sim.async_runner.AsyncRunner` — the fully asynchronous
+  model the correctness proofs target: arbitrary finite message delays,
+  non-FIFO delivery, no loss and no duplication.  Used to *test*
+  sequential consistency under adversarial schedules.
+"""
+
+from repro.sim.async_runner import AsyncRunner
+from repro.sim.delays import (
+    AdversarialSkewDelay,
+    ExponentialDelay,
+    FixedDelay,
+    UniformDelay,
+)
+from repro.sim.metrics import Metrics
+from repro.sim.process import Actor
+from repro.sim.sync_runner import SyncRunner
+
+__all__ = [
+    "Actor",
+    "AdversarialSkewDelay",
+    "AsyncRunner",
+    "ExponentialDelay",
+    "FixedDelay",
+    "Metrics",
+    "SyncRunner",
+    "UniformDelay",
+]

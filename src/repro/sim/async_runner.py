@@ -1,0 +1,166 @@
+"""Asynchronous event-driven engine (the model of Section I-B).
+
+Messages are delivered after a policy-controlled, strictly positive delay;
+deliveries are therefore arbitrarily reordered (non-FIFO channels) but
+never lost or duplicated — exactly the paper's channel assumptions.
+TIMEOUT is event-driven: the protocol requests a check whenever local
+state changed; ``timeout_lag`` adds a small scheduling delay so TIMEOUT
+races realistically with message deliveries.
+
+Used to *validate* sequential consistency under asynchrony; the paper's
+performance figures are defined in rounds and measured on the synchronous
+engine instead (an asyncio/wall-clock throughput number would say more
+about the host Python than about the protocol).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from repro.sim.delays import UniformDelay
+from repro.sim.metrics import Metrics
+from repro.sim.process import Actor
+from repro.util.rng import RngStreams
+
+__all__ = ["AsyncRunner"]
+
+_MSG = 0
+_TIMEOUT = 1
+_SWEEP = 9
+
+
+class AsyncRunner:
+    """Event-heap asynchronous message-passing engine."""
+
+    def __init__(
+        self,
+        rng: RngStreams | None = None,
+        metrics: Metrics | None = None,
+        delay_policy: Callable | None = None,
+        timeout_lag: float = 0.25,
+        safety_tick: float = 48.0,
+    ) -> None:
+        self.rng = rng or RngStreams(0)
+        self.metrics = metrics or Metrics()
+        self.delay_policy = delay_policy or UniformDelay(0.5, 1.5)
+        self.timeout_lag = timeout_lag
+        # periodic whole-system TIMEOUT sweep (see SyncRunner.safety_tick)
+        self.safety_tick = safety_tick
+        self.time = 0.0
+        self.actors: dict[int, Actor] = {}
+        self._heap: list[tuple[float, int, int, int, int, tuple]] = []
+        self._seq = itertools.count()
+        self._timeout_pending: set[int] = set()
+        self._forwards: dict[int, int] = {}
+        self._delay_rng = self.rng.py("async-delay")
+        self.events_processed = 0
+
+    # -- runtime protocol ------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.time
+
+    def send(self, dest: int, action: int, payload: tuple) -> None:
+        delay = self.delay_policy(0, dest, self._delay_rng)
+        if delay <= 0:
+            raise ValueError("message delays must be strictly positive")
+        heapq.heappush(
+            self._heap,
+            (self.time + delay, next(self._seq), _MSG, dest, action, payload),
+        )
+        self.metrics.messages += 1
+
+    def request_timeout(self, actor_id: int) -> None:
+        if actor_id in self._timeout_pending:
+            return
+        self._timeout_pending.add(actor_id)
+        heapq.heappush(
+            self._heap,
+            (self.time + self.timeout_lag, next(self._seq), _TIMEOUT, actor_id, 0, ()),
+        )
+
+    def call_later(self, actor_id: int, delay: float) -> None:
+        heapq.heappush(
+            self._heap,
+            (self.time + delay, next(self._seq), _TIMEOUT + 1, actor_id, 0, ()),
+        )
+
+    # -- actor management --------------------------------------------------------
+    def add_actor(self, actor: Actor) -> None:
+        if actor.aid in self.actors:
+            raise ValueError(f"duplicate actor id {actor.aid}")
+        self.actors[actor.aid] = actor
+
+    def remove_actor(self, actor_id: int, forward_to: int | None = None) -> None:
+        del self.actors[actor_id]
+        if forward_to is not None:
+            self._forwards[actor_id] = forward_to
+
+    def resolve(self, actor_id: int) -> int:
+        while actor_id in self._forwards:
+            actor_id = self._forwards[actor_id]
+        return actor_id
+
+    # -- execution ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process the single next event; returns False if none remain."""
+        if not self._heap:
+            return False
+        time, _, kind, dest, action, payload = heapq.heappop(self._heap)
+        self.time = time
+        self.events_processed += 1
+        if kind == _MSG:
+            actor = self.actors.get(dest)
+            if actor is None:
+                actor = self.actors[self.resolve(dest)]
+            actor.handle(action, payload)
+        elif kind == _SWEEP:
+            for actor in list(self.actors.values()):
+                actor.timeout()
+            heapq.heappush(
+                self._heap,
+                (self.time + self.safety_tick, next(self._seq), _SWEEP, 0, 0, ()),
+            )
+        else:
+            self._timeout_pending.discard(dest)
+            actor = self.actors.get(dest)
+            if actor is not None:
+                actor.timeout()
+        return True
+
+    def run_for(self, duration: float) -> None:
+        """Advance virtual time by ``duration`` (or until no events remain)."""
+        deadline = self.time + duration
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        self.time = max(self.time, deadline)
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        max_events: int = 50_000_000,
+    ) -> None:
+        """Process events until ``predicate()`` holds."""
+        budget = max_events
+        while not predicate():
+            if budget <= 0:
+                raise RuntimeError(
+                    f"predicate still false after {max_events} events "
+                    f"(pending={self.metrics.pending})"
+                )
+            if not self.step():
+                raise RuntimeError("event heap drained before predicate held")
+            budget -= 1
+
+    def kick(self, actor_ids=None) -> None:
+        """Schedule an initial TIMEOUT for the given actors (default: all)."""
+        ids = actor_ids if actor_ids is not None else list(self.actors.keys())
+        for actor_id in ids:
+            self.request_timeout(actor_id)
+        if self.safety_tick:
+            heapq.heappush(
+                self._heap,
+                (self.time + self.safety_tick, next(self._seq), _SWEEP, 0, 0, ()),
+            )

@@ -1,0 +1,84 @@
+"""Message-delay policies for the asynchronous engine.
+
+The asynchronous model places no bound on message delay and no FIFO
+requirement; these policies realise progressively nastier instances of
+that model.  A policy is a callable ``(src, dest, rng) -> float`` yielding
+a strictly positive delay.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "AdversarialSkewDelay",
+    "ExponentialDelay",
+    "FixedDelay",
+    "UniformDelay",
+]
+
+
+class FixedDelay:
+    """Every message takes exactly ``delay`` time units (quasi-synchronous)."""
+
+    def __init__(self, delay: float = 1.0) -> None:
+        if delay <= 0:
+            raise ValueError("delay must be positive")
+        self.delay = delay
+
+    def __call__(self, src: int, dest: int, rng: random.Random) -> float:
+        return self.delay
+
+
+class UniformDelay:
+    """Delays uniform on ``[lo, hi]`` — heavy reordering when hi >> lo."""
+
+    def __init__(self, lo: float = 0.5, hi: float = 1.5) -> None:
+        if not 0 < lo <= hi:
+            raise ValueError("need 0 < lo <= hi")
+        self.lo = lo
+        self.hi = hi
+
+    def __call__(self, src: int, dest: int, rng: random.Random) -> float:
+        return rng.uniform(self.lo, self.hi)
+
+
+class ExponentialDelay:
+    """Memoryless delays: occasional extreme stragglers, unbounded tail."""
+
+    def __init__(self, mean: float = 1.0, floor: float = 1e-3) -> None:
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        self.mean = mean
+        self.floor = floor
+
+    def __call__(self, src: int, dest: int, rng: random.Random) -> float:
+        return self.floor + rng.expovariate(1.0 / self.mean)
+
+
+class AdversarialSkewDelay:
+    """Deterministically skewed per-edge delays.
+
+    A fraction of directed edges (chosen by hash) is ``factor`` times
+    slower than the rest, creating systematic races between the
+    aggregation wave and DHT traffic — the scenario that makes GETs outrun
+    PUTs (Section III-F) and stresses the stack's stage-4 barrier
+    (Section VI).
+    """
+
+    def __init__(
+        self,
+        base: float = 1.0,
+        factor: float = 10.0,
+        slow_fraction: float = 0.2,
+        jitter: float = 0.1,
+    ) -> None:
+        self.base = base
+        self.factor = factor
+        self.slow_fraction = slow_fraction
+        self.jitter = jitter
+
+    def __call__(self, src: int, dest: int, rng: random.Random) -> float:
+        slow = (hash((src, dest)) & 0xFFFF) / 0xFFFF < self.slow_fraction
+        delay = self.base * (self.factor if slow else 1.0)
+        return delay * (1.0 + rng.uniform(-self.jitter, self.jitter))

@@ -1,0 +1,66 @@
+"""Actor model shared by the synchronous and asynchronous engines.
+
+An actor is the paper's *process* (here: one virtual node of the LDB, or a
+baseline server/client).  Messages are remote action calls ``(action,
+payload)``; actions are identified by small integer codes owned by each
+protocol module so dispatch stays cheap at 10^5-actor scale.  The
+``timeout`` method is the paper's TIMEOUT action: the engines invoke it
+once per round (synchronous) or whenever the actor requested a check
+(asynchronous, where "periodically" has no global clock to hang onto).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.metrics import Metrics
+
+__all__ = ["Actor", "Runtime"]
+
+
+class Runtime(Protocol):
+    """What an actor may ask of the engine that hosts it."""
+
+    metrics: "Metrics"
+
+    @property
+    def now(self) -> float:
+        """Current round (synchronous) or virtual time (asynchronous)."""
+        ...
+
+    def send(self, dest: int, action: int, payload: tuple) -> None: ...
+
+    def request_timeout(self, actor_id: int) -> None: ...
+
+    def call_later(self, actor_id: int, delay: float) -> None: ...
+
+
+class Actor:
+    """Base class for protocol participants.
+
+    Subclasses implement :meth:`handle` (dispatch on the integer action
+    code) and :meth:`timeout`.  ``aid`` is the engine-wide address used as
+    message destination.
+    """
+
+    __slots__ = ("aid", "runtime")
+
+    def __init__(self, aid: int, runtime: Runtime) -> None:
+        self.aid = aid
+        self.runtime = runtime
+
+    # -- messaging ----------------------------------------------------------
+    def send(self, dest: int, action: int, payload: tuple) -> None:
+        self.runtime.send(dest, action, payload)
+
+    def wake_me(self) -> None:
+        """Ask the engine to run :meth:`timeout` at the next opportunity."""
+        self.runtime.request_timeout(self.aid)
+
+    # -- to override ---------------------------------------------------------
+    def handle(self, action: int, payload: tuple) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def timeout(self) -> None:
+        """The paper's TIMEOUT action; default: nothing to do."""

@@ -1,0 +1,63 @@
+"""Publicly known pseudorandom hash functions used by Skueue.
+
+The paper assumes two public pseudorandom hash functions (Section II):
+
+* one mapping a process identifier ``v.id`` to the label of its middle
+  virtual node ``m(v) in [0, 1)``, and
+* one mapping a queue position ``p in N_0`` to a DHT key ``k(p) in [0, 1)``.
+
+We realise both with SHA-256, truncated to the 53 bits a Python float
+mantissa can represent exactly, so labels and keys are uniform on ``[0, 1)``,
+deterministic across runs, and independent of Python's randomised
+``hash()``.  A ``salt`` argument keeps the two uses (and different clusters
+in one test process) from colliding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+__all__ = ["unit_hash", "label_of", "position_key", "bits_of"]
+
+_MANTISSA_BITS = 53
+_SCALE = float(2**_MANTISSA_BITS)
+
+
+def unit_hash(value: object, salt: str = "") -> float:
+    """Hash ``value`` to a float uniform on ``[0, 1)``.
+
+    ``value`` is rendered with ``repr`` which is stable for ints, strings
+    and tuples thereof — the only key types Skueue uses.
+    """
+    digest = hashlib.sha256(f"{salt}|{value!r}".encode()).digest()
+    (word,) = struct.unpack_from(">Q", digest)
+    return (word >> (64 - _MANTISSA_BITS)) / _SCALE
+
+
+def label_of(process_id: int, salt: str = "") -> float:
+    """Label of the middle virtual node of process ``process_id`` (Def. 2)."""
+    return unit_hash(process_id, salt=f"label:{salt}")
+
+
+def position_key(position: int, salt: str = "") -> float:
+    """DHT key ``k(p)`` for queue position ``p`` (Section II-B)."""
+    return unit_hash(position, salt=f"pos:{salt}")
+
+
+def bits_of(point: float, count: int) -> list[int]:
+    """First ``count`` bits of the binary expansion of ``point in [0, 1)``.
+
+    Used by De Bruijn routing: reaching the point ``0.b1 b2 ... bk`` is done
+    by applying the maps ``x -> (x + b) / 2`` for ``b = bk, ..., b1``.
+    """
+    if not 0.0 <= point < 1.0:
+        raise ValueError(f"point must be in [0, 1), got {point}")
+    bits: list[int] = []
+    x = point
+    for _ in range(count):
+        x *= 2.0
+        bit = int(x)
+        bits.append(bit)
+        x -= bit
+    return bits

@@ -1,0 +1,81 @@
+"""Closed integer intervals of queue positions.
+
+Stage 2 of the protocol turns every run of a batch into a closed interval
+``[x, y]`` of positions (possibly empty, encoded as ``y = x - 1``); stage 3
+splits such intervals among sub-batches.  The arithmetic is small but it is
+the part of the protocol the correctness lemmas lean on, so it lives here
+as a tested value type rather than inline tuple fiddling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Interval"]
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """Closed interval ``[lo, hi]`` over the integers; empty iff ``hi < lo``.
+
+    The protocol only ever produces ``hi >= lo - 1`` (an empty interval is
+    always written ``[x, x-1]``), which ``__post_init__`` enforces to catch
+    arithmetic slips early.
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo - 1:
+            raise ValueError(f"malformed interval [{self.lo}, {self.hi}]")
+
+    @classmethod
+    def empty_at(cls, position: int) -> "Interval":
+        """The canonical empty interval anchored at ``position``."""
+        return cls(position, position - 1)
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo + 1
+
+    @property
+    def is_empty(self) -> bool:
+        return self.hi < self.lo
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.lo, self.hi + 1))
+
+    def __contains__(self, position: int) -> bool:
+        return self.lo <= position <= self.hi
+
+    def take_front(self, count: int) -> tuple["Interval", "Interval"]:
+        """Split off (up to) ``count`` positions from the front.
+
+        Returns ``(taken, rest)``.  This is exactly the stage-3 rule for a
+        DEQUEUE run: the taken part is ``[x, min(x+count-1, y)]`` and the
+        rest starts at ``min(x+count, y+1)`` (Section III-E).  For ENQUEUE
+        runs the caller guarantees ``count <= size`` so the clamping is
+        inert.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        cut = min(self.lo + count - 1, self.hi)
+        taken = Interval(self.lo, cut)
+        rest = Interval(min(self.lo + count, self.hi + 1), self.hi)
+        return taken, rest
+
+    def take_back(self, count: int) -> tuple["Interval", "Interval"]:
+        """Split off (up to) ``count`` positions from the back.
+
+        Stack variant (Section VI): POP runs consume the *maximum*
+        positions of the interval first.  Returns ``(taken, rest)`` where
+        ``taken`` holds the top ``count`` positions.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        cut = max(self.hi - count + 1, self.lo)
+        taken = Interval(cut, self.hi)
+        rest = Interval(self.lo, max(self.hi - count, self.lo - 1))
+        return taken, rest

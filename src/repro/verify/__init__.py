@@ -1,0 +1,17 @@
+"""Sequential-consistency verification (Definition 1)."""
+
+from repro.verify.seqcons import (
+    ConsistencyViolation,
+    check_queue_history,
+    check_stack_history,
+    order_key,
+)
+from repro.verify.search import exists_valid_order
+
+__all__ = [
+    "ConsistencyViolation",
+    "check_queue_history",
+    "check_stack_history",
+    "exists_valid_order",
+    "order_key",
+]

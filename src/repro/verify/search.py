@@ -1,0 +1,86 @@
+"""Model-independent consistency check for tiny histories.
+
+The main checker (:mod:`repro.verify.seqcons`) verifies the *witness
+order* the protocol constructed.  This module answers the stronger
+question — does **any** valid total order exist? — by backtracking over
+all interleavings that respect per-process program order, replaying a
+reference queue/stack at every step.
+
+Exponential in history size; intended for histories of ~a dozen
+operations, where it serves two purposes in the test suite:
+
+* validating the main checker itself (a history the main checker rejects
+  should usually admit *no* valid order — unless the protocol picked a
+  bad witness, which would be its own bug worth distinguishing);
+* checking hand-crafted adversarial histories independently of any
+  protocol machinery.
+"""
+
+from __future__ import annotations
+
+
+from repro.core.requests import BOTTOM, INSERT, OpRecord
+
+__all__ = ["exists_valid_order"]
+
+
+def exists_valid_order(
+    records: list[OpRecord], discipline: str = "fifo", max_nodes: int = 2_000_000
+) -> bool:
+    """Is there a total order satisfying Definition 1 for this history?"""
+    if discipline not in ("fifo", "lifo"):
+        raise ValueError("discipline must be 'fifo' or 'lifo'")
+    by_pid: dict[int, list[OpRecord]] = {}
+    for rec in records:
+        by_pid.setdefault(rec.pid, []).append(rec)
+    for ops in by_pid.values():
+        ops.sort(key=lambda r: r.idx)
+    pids = sorted(by_pid)
+    lanes = [by_pid[p] for p in pids]
+    total = len(records)
+    budget = [max_nodes]
+    seen: set[tuple] = set()
+
+    def state_key(cursor: tuple[int, ...], structure: tuple) -> tuple:
+        return (cursor, structure)
+
+    def step(cursor: list[int], structure, done: int) -> bool:
+        if done == total:
+            return True
+        key = state_key(tuple(cursor), tuple(structure))
+        if key in seen:
+            return False
+        seen.add(key)
+        if budget[0] <= 0:
+            raise RuntimeError("search budget exhausted; history too large")
+        budget[0] -= 1
+        for lane_index, lane in enumerate(lanes):
+            at = cursor[lane_index]
+            if at >= len(lane):
+                continue
+            rec = lane[at]
+            if rec.kind == INSERT:
+                new_structure = structure + (rec.element,)
+            else:
+                if rec.result is BOTTOM:
+                    if structure:
+                        continue  # cannot return BOTTOM while non-empty
+                    new_structure = structure
+                else:
+                    if not structure:
+                        continue
+                    if discipline == "fifo":
+                        if structure[0] != rec.result:
+                            continue
+                        new_structure = structure[1:]
+                    else:
+                        if structure[-1] != rec.result:
+                            continue
+                        new_structure = structure[:-1]
+            cursor[lane_index] += 1
+            if step(cursor, new_structure, done + 1):
+                return True
+            cursor[lane_index] -= 1
+        return False
+
+    return step([0] * len(lanes), (), 0)

@@ -1,0 +1,191 @@
+"""Checker for Definition 1 (sequential consistency).
+
+Sequential consistency asks for the *existence* of a total order ``<`` on
+all requests satisfying the four properties of Definition 1.  The
+protocol itself constructs a witness: the value ranks of Section V
+(stored on each :class:`~repro.core.requests.OpRecord` during stage 3).
+The checker therefore:
+
+1. builds the candidate order from the recorded values,
+2. verifies property 4 (per-process program order) directly, and
+3. *replays* the order against a reference sequential queue/stack,
+   comparing every removal's result — which is equivalent to properties
+   1-3 combined with the uniqueness of elements (an element is returned
+   iff it was inserted earlier and not yet removed, in FIFO/LIFO order).
+
+Properties 1-3 are additionally checked one by one on the matching so a
+violation report names the exact clause that failed.
+
+Stack histories contain *locally annihilated* pairs (Section VI) that
+never visit the anchor and hence carry no value.  Such a pair is a no-op
+on the stack state, so it may be placed anywhere between its process's
+neighbouring valued operations; the checker places it right after the
+last preceding valued operation of the same process, ordered by a local
+minor counter.  Keys are ``(major, pid, minor)`` tuples: valued
+operations get ``(value, pid, 0)``; the k-th trailing annihilated
+operation after a valued operation with value ``V`` gets ``(V, pid, k)``.
+Values are globally unique integers and the pid component separates the
+(properly nested) pair chains of different processes that share a major
+— in particular the shared ``major = 0`` before any valued operation —
+so replay sees each annihilated chain contiguously: a no-op, as
+required.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.requests import BOTTOM, INSERT, REMOVE, OpRecord
+
+__all__ = [
+    "ConsistencyViolation",
+    "check_queue_history",
+    "check_stack_history",
+    "order_key",
+]
+
+
+class ConsistencyViolation(AssertionError):
+    """Raised when a history fails Definition 1; the message names the clause."""
+
+
+def order_key(records: list[OpRecord]) -> dict[int, tuple[int, int, int]]:
+    """Assign every record its ``(major, pid, minor)`` rank in the witness order."""
+    keys: dict[int, tuple[int, int, int]] = {}
+    by_pid: dict[int, list[OpRecord]] = {}
+    for rec in records:
+        by_pid.setdefault(rec.pid, []).append(rec)
+    for pid, ops in by_pid.items():
+        ops.sort(key=lambda r: r.idx)
+        major = 0  # value of the last preceding valued op (0 = before all)
+        minor = 0
+        for rec in ops:
+            if rec.local_match:
+                minor += 1
+                keys[rec.req_id] = (major, pid, minor)
+            else:
+                if rec.value is None:
+                    raise ConsistencyViolation(
+                        f"{rec!r}: no value assigned (request incomplete?)"
+                    )
+                major = rec.value
+                minor = 0
+                keys[rec.req_id] = (major, pid, 0)
+    return keys
+
+
+def _common_checks(records: list[OpRecord]) -> dict[int, tuple[int, int]]:
+    for rec in records:
+        if not rec.completed:
+            raise ConsistencyViolation(f"{rec!r}: never completed")
+    # per-process indices must be contiguous from 0
+    by_pid: dict[int, set[int]] = {}
+    for rec in records:
+        by_pid.setdefault(rec.pid, set()).add(rec.idx)
+    for pid, idxs in by_pid.items():
+        if idxs != set(range(len(idxs))):
+            raise ConsistencyViolation(f"process {pid}: operation indices have gaps")
+    keys = order_key(records)
+    # global uniqueness of keys
+    if len(set(keys.values())) != len(keys):
+        raise ConsistencyViolation("order keys are not unique")
+    # property 4: program order per process
+    last: dict[int, tuple[tuple[int, int], int]] = {}
+    for rec in sorted(records, key=lambda r: (r.pid, r.idx)):
+        key = keys[rec.req_id]
+        prev = last.get(rec.pid)
+        if prev is not None and key <= prev[0]:
+            raise ConsistencyViolation(
+                f"property 4 violated at process {rec.pid}: "
+                f"op #{prev[1]} has key {prev[0]} but op #{rec.idx} has {key}"
+            )
+        last[rec.pid] = (key, rec.idx)
+    return keys
+
+
+def _check_matching(records: list[OpRecord], keys) -> None:
+    """Properties 1-3 of Definition 1, checked clause by clause."""
+    inserts = {r.req_id: r for r in records if r.kind == INSERT}
+    matched: list[tuple[OpRecord, OpRecord]] = []  # (insert, remove)
+    for rec in records:
+        if rec.kind == REMOVE and rec.result is not BOTTOM:
+            enq_req_id, _item = rec.result
+            enq = inserts.get(enq_req_id)
+            if enq is None:
+                raise ConsistencyViolation(
+                    f"{rec!r} returned an element that was never inserted"
+                )
+            matched.append((enq, rec))
+    # an element is removed at most once
+    seen: set[int] = set()
+    for enq, rem in matched:
+        if enq.req_id in seen:
+            raise ConsistencyViolation(f"{enq!r} was returned by two removals")
+        seen.add(enq.req_id)
+    # property 1: insert before its removal
+    for enq, rem in matched:
+        if not keys[enq.req_id] < keys[rem.req_id]:
+            raise ConsistencyViolation(
+                f"property 1 violated: {rem!r} precedes its insert {enq!r}"
+            )
+
+
+def check_queue_history(records: list[OpRecord]) -> None:
+    """Verify a queue history against Definition 1; raises on violation."""
+    keys = _common_checks(records)
+    _check_matching(records, keys)
+    # replay: properties 2 and 3 (and 1 again) via a reference FIFO queue
+    order = sorted(records, key=lambda r: keys[r.req_id])
+    fifo: deque[tuple] = deque()
+    for rec in order:
+        if rec.kind == INSERT:
+            fifo.append(rec.element)
+        else:
+            if not fifo:
+                if rec.result is not BOTTOM:
+                    raise ConsistencyViolation(
+                        f"property 2 violated: {rec!r} returned "
+                        f"{rec.result!r} from an empty queue"
+                    )
+            else:
+                expected = fifo.popleft()
+                if rec.result is BOTTOM:
+                    raise ConsistencyViolation(
+                        f"property 2 violated: {rec!r} returned BOTTOM but "
+                        f"{expected!r} was in the queue"
+                    )
+                if rec.result != expected:
+                    raise ConsistencyViolation(
+                        f"property 3 violated (FIFO): {rec!r} returned "
+                        f"{rec.result!r}, expected {expected!r}"
+                    )
+
+
+def check_stack_history(records: list[OpRecord]) -> None:
+    """Verify a stack history against (the LIFO reading of) Definition 1."""
+    keys = _common_checks(records)
+    _check_matching(records, keys)
+    order = sorted(records, key=lambda r: keys[r.req_id])
+    lifo: list[tuple] = []
+    for rec in order:
+        if rec.kind == INSERT:
+            lifo.append(rec.element)
+        else:
+            if not lifo:
+                if rec.result is not BOTTOM:
+                    raise ConsistencyViolation(
+                        f"property 2 violated: {rec!r} returned "
+                        f"{rec.result!r} from an empty stack"
+                    )
+            else:
+                expected = lifo.pop()
+                if rec.result is BOTTOM:
+                    raise ConsistencyViolation(
+                        f"property 2 violated: {rec!r} returned BOTTOM but "
+                        f"{expected!r} was on the stack"
+                    )
+                if rec.result != expected:
+                    raise ConsistencyViolation(
+                        f"property 3 violated (LIFO): {rec!r} returned "
+                        f"{rec.result!r}, expected {expected!r}"
+                    )

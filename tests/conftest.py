@@ -1,0 +1,72 @@
+"""Shared fixtures and helpers for the Skueue test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.cluster import SkackCluster, SkueueCluster
+from repro.verify import check_queue_history, check_stack_history
+
+
+def drive_random(
+    cluster,
+    rounds: int,
+    op_probability: float = 0.3,
+    insert_probability: float = 0.5,
+    seed: int = 0,
+    join_probability: float = 0.0,
+    leave_probability: float = 0.0,
+):
+    """Random mixed workload with optional churn; returns the rng used."""
+    rng = random.Random(f"drive-{seed}")
+    for r in range(rounds):
+        if join_probability and rng.random() < join_probability:
+            cluster.join()
+        if leave_probability and rng.random() < leave_probability:
+            candidates = sorted(cluster.live_pids - cluster.leaving_pids)
+            if len(candidates) > 3:
+                cluster.leave(rng.choice(candidates))
+        if rng.random() < op_probability:
+            pid = rng.choice(sorted(cluster.live_pids - cluster.leaving_pids))
+            if rng.random() < insert_probability:
+                cluster._inject(pid, 0, f"item-{r}")
+            else:
+                cluster._inject(pid, 1, None)
+        cluster.step()
+    return rng
+
+
+def verify(cluster) -> None:
+    """Check the full history against Definition 1."""
+    if isinstance(cluster, SkackCluster):
+        check_stack_history(cluster.records)
+    else:
+        check_queue_history(cluster.records)
+
+
+def assert_topology_invariants(cluster) -> None:
+    """Ring closure, sortedness, unique anchor at the global minimum."""
+    cycle = cluster.cycle_vids()
+    actors = cluster.runtime.actors
+    labels = [actors[v].label for v in cycle]
+    anchor_vid = cluster.anchor.vid
+    assert cycle[0] == anchor_vid
+    assert labels == sorted(labels), "cycle is not sorted by label"
+    # pred/succ pointers are mutually consistent
+    for v in cycle:
+        node = actors[v]
+        assert actors[node.succ_vid].pred_vid == v
+    # anchor is the global minimum label
+    assert anchor_vid == min(cycle, key=lambda v: actors[v].label)
+
+
+@pytest.fixture
+def small_queue():
+    return SkueueCluster(n_processes=8, seed=42)
+
+
+@pytest.fixture
+def small_stack():
+    return SkackCluster(n_processes=8, seed=42)

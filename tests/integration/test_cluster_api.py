@@ -1,0 +1,113 @@
+"""Cluster facade behaviour: results, introspection, lifecycle edges."""
+
+import pytest
+
+from repro import BOTTOM, SkackCluster, SkueueCluster
+from repro.core.requests import INSERT
+from tests.conftest import verify
+
+
+class TestResults:
+    def test_insert_result_is_true_when_done(self, small_queue):
+        handle = small_queue.enqueue(0, "x")
+        small_queue.run_until_done()
+        assert small_queue.result_of(handle) is True
+
+    def test_items_can_be_arbitrary_objects(self, small_queue):
+        payload = {"nested": [1, 2, (3, 4)]}
+        small_queue.enqueue(1, payload)
+        handle = small_queue.dequeue(2)
+        small_queue.run_until_done()
+        assert small_queue.result_of(handle) == payload
+
+    def test_duplicate_items_are_distinct_elements(self, small_queue):
+        # the paper's w.l.o.g. uniqueness assumption, realised by tagging
+        small_queue.enqueue(0, "same")
+        small_queue.enqueue(1, "same")
+        h1 = small_queue.dequeue(2)
+        h2 = small_queue.dequeue(3)
+        small_queue.run_until_done()
+        assert small_queue.result_of(h1) == "same"
+        assert small_queue.result_of(h2) == "same"
+        verify(small_queue)  # two distinct matches, no double-return
+
+    def test_records_are_the_full_history(self, small_queue):
+        small_queue.enqueue(0, "x")
+        small_queue.dequeue(1)
+        small_queue.run_until_done()
+        assert len(small_queue.records) == 2
+        assert small_queue.records[0].kind == INSERT
+
+
+class TestIntrospection:
+    def test_now_advances(self, small_queue):
+        before = small_queue.now
+        small_queue.step(5)
+        assert small_queue.now == before + 5
+
+    def test_anchor_unique(self, small_queue):
+        anchor = small_queue.anchor
+        others = [
+            node
+            for node in small_queue.runtime.actors.values()
+            if node.is_anchor and node.vid != anchor.vid
+        ]
+        assert not others
+
+    def test_cycle_vids_covers_everything(self, small_queue):
+        assert len(small_queue.cycle_vids()) == 24  # 8 processes x 3
+
+    def test_salt_separates_clusters(self):
+        a = SkueueCluster(n_processes=4, seed=1)
+        b = SkueueCluster(n_processes=4, seed=2)
+        assert a.anchor.label != b.anchor.label
+
+    def test_metrics_counts(self, small_queue):
+        small_queue.enqueue(0)
+        small_queue.enqueue(1)
+        assert small_queue.metrics.generated == 2
+        small_queue.run_until_done()
+        assert small_queue.metrics.completed == 2
+
+
+class TestLifecycleEdges:
+    def test_needs_at_least_one_process(self):
+        with pytest.raises(ValueError):
+            SkueueCluster(n_processes=0)
+
+    def test_join_auto_pid_allocation(self):
+        c = SkueueCluster(n_processes=3, seed=5)
+        first = c.join()
+        second = c.join()
+        assert first == 3 and second == 4
+        c.run_until_settled(60_000)
+        assert c.live_pids == {0, 1, 2, 3, 4}
+
+    def test_two_cluster_types_share_nothing(self):
+        q = SkueueCluster(n_processes=3, seed=1)
+        s = SkackCluster(n_processes=3, seed=1)
+        q.enqueue(0, "q-item")
+        s.push(0, "s-item")
+        q.run_until_done()
+        s.run_until_done()
+        hq = q.dequeue(1)
+        hs = s.pop(1)
+        q.run_until_done()
+        s.run_until_done()
+        assert q.result_of(hq) == "q-item"
+        assert s.result_of(hs) == "s-item"
+
+    def test_sequential_membership_waves(self):
+        # join, settle, leave the same process again, settle
+        c = SkueueCluster(n_processes=4, seed=8)
+        pid = c.join()
+        c.run_until_settled(60_000)
+        c.enqueue(pid, "hello")
+        c.run_until_done(30_000)
+        c.leave(pid)
+        c.run_until_settled(90_000)
+        assert pid not in c.live_pids
+        handle = c.dequeue(0)
+        c.run_until_done(30_000)
+        assert c.result_of(handle) == "hello"  # data survived the leave
+        verify(c)

@@ -1,0 +1,155 @@
+"""Integration tests: JOIN/LEAVE and update phases (Section IV)."""
+
+import random
+
+import pytest
+
+from repro import SkackCluster, SkueueCluster
+from tests.conftest import assert_topology_invariants, drive_random, verify
+
+
+class TestJoin:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_single_join_under_load(self, seed):
+        c = SkueueCluster(n_processes=6, seed=seed)
+        rng = random.Random(seed)
+        for i in range(10):
+            c.enqueue(rng.randrange(6), f"pre{i}")
+        c.run_until_done(20_000)
+        new_pid = c.join()
+        drive_random(c, rounds=150, op_probability=0.3, seed=seed)
+        c.run_until_settled(60_000)
+        verify(c)
+        assert new_pid in c.live_pids
+        assert len(c.cycle_vids()) == 21
+        assert_topology_invariants(c)
+        # the new process is fully operational
+        handle = c.dequeue(new_pid)
+        c.enqueue(new_pid, "hello")
+        c.run_until_done(30_000)
+        verify(c)
+
+    def test_concurrent_joins_possibly_moving_anchor(self):
+        for seed in (3, 4):  # seeds known to relocate the anchor
+            c = SkueueCluster(n_processes=5, seed=seed)
+            old_anchor = c.anchor.vid
+            for _ in range(4):
+                c.join()
+            drive_random(c, rounds=200, op_probability=0.3, seed=seed)
+            c.run_until_settled(60_000)
+            verify(c)
+            assert len(c.cycle_vids()) == 27
+            assert_topology_invariants(c)
+
+    def test_join_gets_dht_data(self):
+        c = SkueueCluster(n_processes=4, seed=1)
+        for i in range(60):
+            c.enqueue(i % 4, i)
+        c.run_until_done(30_000)
+        c.join()
+        c.run_until_settled(60_000)
+        # data is spread over the (now larger) node set, none lost
+        assert sum(c.occupancies()) == 60
+        # dequeues return every element exactly once, and each process's
+        # items come back in its program order (cross-process interleaving
+        # is decided by the combination order — any fixed order is valid)
+        handles = [c.dequeue(0) for _ in range(60)]
+        c.run_until_done(60_000)
+        results = [c.result_of(h) for h in handles]
+        assert sorted(results) == list(range(60))
+        for pid in range(4):
+            mine = [v for v in results if v % 4 == pid]
+            assert mine == sorted(mine)
+        verify(c)
+
+    def test_join_rejects_duplicates(self):
+        c = SkueueCluster(n_processes=3, seed=0)
+        with pytest.raises(ValueError):
+            c.join(new_pid=1)
+
+
+class TestLeave:
+    @pytest.mark.parametrize("leave_anchor", [False, True])
+    def test_leave_under_load(self, leave_anchor):
+        c = SkueueCluster(n_processes=8, seed=2)
+        rng = random.Random(2)
+        for i in range(12):
+            c.enqueue(rng.randrange(8), f"pre{i}")
+        c.run_until_done(20_000)
+        anchor_pid = c.anchor.pid
+        leaver = anchor_pid if leave_anchor else (anchor_pid + 1) % 8
+        c.leave(leaver)
+        drive_random(c, rounds=250, op_probability=0.3, seed=20)
+        c.run_until_settled(90_000)
+        verify(c)
+        assert leaver not in c.live_pids
+        assert len(c.cycle_vids()) == 21
+        assert_topology_invariants(c)
+        # no element was lost with the departing process: everything
+        # enqueued and not dequeued is still stored somewhere
+        matched = sum(
+            1 for r in c.records if r.kind == 1 and isinstance(r.result, tuple)
+        )
+        enqueued = sum(1 for r in c.records if r.kind == 0)
+        assert sum(c.occupancies()) == enqueued - matched
+
+    def test_leave_guards(self):
+        c = SkueueCluster(n_processes=2, seed=0)
+        c.leave(0)
+        with pytest.raises(ValueError):
+            c.leave(1)  # would empty the cluster
+        with pytest.raises(ValueError):
+            c.leave(0)  # wait — already leaving; also not re-leavable
+        with pytest.raises(ValueError):
+            c.enqueue(0)  # leaving processes take no requests
+
+    def test_leave_preserves_elements(self):
+        c = SkueueCluster(n_processes=6, seed=4)
+        for i in range(40):
+            c.enqueue(i % 6, i)
+        c.run_until_done(30_000)
+        c.leave(2)
+        c.run_until_settled(90_000)
+        assert sum(c.occupancies()) == 40
+        handles = [c.dequeue(0) for _ in range(40)]
+        c.run_until_done(60_000)
+        results = [c.result_of(h) for h in handles]
+        assert sorted(results) == list(range(40))
+        for pid in range(6):
+            mine = [v for v in results if v % 6 == pid]
+            assert mine == sorted(mine)
+        verify(c)
+
+
+class TestChurn:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_queue_churn(self, seed):
+        c = SkueueCluster(n_processes=10, seed=seed)
+        drive_random(
+            c,
+            rounds=500,
+            op_probability=0.35,
+            seed=seed * 7 + 1,
+            join_probability=0.02,
+            leave_probability=0.015,
+        )
+        c.run_until_settled(150_000)
+        verify(c)
+        assert len(c.cycle_vids()) == 3 * len(c.live_pids)
+        assert_topology_invariants(c)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_stack_churn(self, seed):
+        c = SkackCluster(n_processes=10, seed=seed)
+        drive_random(
+            c,
+            rounds=500,
+            op_probability=0.35,
+            seed=seed * 11 + 3,
+            join_probability=0.02,
+            leave_probability=0.015,
+        )
+        c.run_until_settled(150_000)
+        verify(c)
+        assert len(c.cycle_vids()) == 3 * len(c.live_pids)
+        assert_topology_invariants(c)

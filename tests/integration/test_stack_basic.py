@@ -1,0 +1,112 @@
+"""Integration tests: distributed stack (Skack, Section VI)."""
+
+import pytest
+
+from repro import BOTTOM, SkackCluster
+from tests.conftest import drive_random, verify
+
+
+class TestBasics:
+    def test_lifo_end_to_end(self, small_stack):
+        c = small_stack
+        c.push(2, "x")
+        c.run_until_done()
+        c.push(5, "y")
+        c.run_until_done()
+        d1 = c.pop(7)
+        c.run_until_done()
+        d2 = c.pop(1)
+        c.run_until_done()
+        d3 = c.pop(3)
+        c.run_until_done()
+        assert c.result_of(d1) == "y"
+        assert c.result_of(d2) == "x"
+        assert c.result_of(d3) is BOTTOM
+        verify(c)
+
+    def test_local_annihilation_immediate(self, small_stack):
+        c = small_stack
+        c.push(4, "z")
+        handle = c.pop(4)
+        # answered before any message is even delivered (Section VI)
+        assert c.result_of(handle) == "z"
+        assert c.metrics.counters["annihilated_pairs"] == 1
+        c.run_until_done()
+        verify(c)
+
+    def test_annihilation_is_lifo_nested(self, small_stack):
+        c = small_stack
+        c.push(4, "a")
+        c.push(4, "b")
+        p1 = c.pop(4)
+        p2 = c.pop(4)
+        assert c.result_of(p1) == "b"
+        assert c.result_of(p2) == "a"
+        c.run_until_done()
+        verify(c)
+
+    def test_no_cross_round_annihilation_after_flush(self):
+        c = SkackCluster(n_processes=8, seed=1)
+        c.push(3, "deep")
+        c.run_until_done()  # flushed to the DHT
+        handle = c.pop(3)
+        assert c.result_of(handle) is None  # must do the full protocol
+        c.run_until_done()
+        assert c.result_of(handle) == "deep"
+        verify(c)
+
+    def test_position_reuse_with_tickets(self):
+        # push/pop/push/push reuses stack positions: tickets disambiguate
+        c = SkackCluster(n_processes=6, seed=2)
+        c.push(0, "first")
+        c.run_until_done()
+        c.pop(1)
+        c.run_until_done()
+        c.push(2, "second")
+        c.run_until_done()
+        h = c.pop(3)
+        c.run_until_done()
+        assert c.result_of(h) == "second"
+        verify(c)
+
+
+class TestRandomWorkloads:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mixed_random(self, seed):
+        c = SkackCluster(n_processes=12, seed=seed)
+        drive_random(c, rounds=120, op_probability=0.5, seed=100 + seed)
+        c.run_until_done(60_000)
+        verify(c)
+
+    def test_push_heavy(self):
+        c = SkackCluster(n_processes=10, seed=7)
+        drive_random(c, rounds=80, insert_probability=0.9, seed=7)
+        c.run_until_done(60_000)
+        verify(c)
+
+    def test_pop_heavy(self):
+        c = SkackCluster(n_processes=10, seed=8)
+        drive_random(c, rounds=80, insert_probability=0.1, seed=8)
+        c.run_until_done(60_000)
+        verify(c)
+
+    def test_stack_batches_constant_size(self):
+        c = SkackCluster(n_processes=10, seed=6)
+        drive_random(c, rounds=150, op_probability=0.9, seed=6)
+        c.run_until_done(60_000)
+        # Theorem 20: [pops, pushes] — never longer
+        assert c.metrics.max_batch_len <= 2
+        verify(c)
+
+    def test_barrier_blocks_next_wave(self):
+        # the stack is slower than the queue under the same load: the
+        # stage-4 barrier delays re-entering stage 1 (Section VII-C)
+        from repro import SkueueCluster
+
+        stack = SkackCluster(n_processes=30, seed=5)
+        queue = SkueueCluster(n_processes=30, seed=5)
+        drive_random(stack, rounds=150, op_probability=0.8, seed=55)
+        drive_random(queue, rounds=150, op_probability=0.8, seed=55)
+        stack.run_until_done(60_000)
+        queue.run_until_done(60_000)
+        assert stack.metrics.mean_latency() > queue.metrics.mean_latency()

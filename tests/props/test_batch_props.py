@@ -1,0 +1,142 @@
+"""Property-based tests: batch algebra and anchor/decomposer invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.anchor import QueueAnchorState, StackAnchorState
+from repro.core.batch import Batch, combine_runs
+from repro.core.decompose import QueueDecomposer, StackDecomposer
+from repro.core.requests import INSERT, REMOVE
+
+kinds = st.lists(st.sampled_from([INSERT, REMOVE]), max_size=40)
+runs_lists = st.lists(st.integers(min_value=0, max_value=20), max_size=8)
+
+
+@given(kinds)
+def test_batch_encodes_sequence(sequence):
+    batch = Batch()
+    for kind in sequence:
+        batch.add(kind)
+    # run-length decode reproduces the sequence
+    decoded = []
+    for i, count in enumerate(batch.runs):
+        decoded.extend([INSERT if i % 2 == 0 else REMOVE] * count)
+    assert decoded == sequence
+    assert batch.total_ops == len(sequence)
+    # runs after the (possibly zero) first one are strictly positive
+    assert all(c > 0 for c in batch.runs[1:])
+
+
+@given(runs_lists, runs_lists, runs_lists)
+def test_combine_associative(a, b, c):
+    left = list(a)
+    combine_runs(left, b)
+    combine_runs(left, c)
+    bc = list(b)
+    combine_runs(bc, c)
+    right = list(a)
+    combine_runs(right, bc)
+    assert left == right
+
+
+@given(runs_lists, runs_lists)
+def test_combine_commutative(a, b):
+    ab = list(a)
+    combine_runs(ab, b)
+    ba = list(b)
+    combine_runs(ba, a)
+    assert ab == ba
+
+
+@given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=10))
+def test_queue_anchor_invariant_and_sizes(runs):
+    state = QueueAnchorState()
+    before = state.counter
+    assigns = state.assign(runs)
+    assert state.first <= state.last + 1
+    assert len(assigns) == len(runs)
+    # values cover exactly sum(runs) ranks
+    assert state.counter - before == sum(runs)
+    # insert intervals have exactly their run length; removals at most
+    for i, (lo, hi, _value) in enumerate(assigns):
+        size = hi - lo + 1
+        if i % 2 == 0:
+            assert size == runs[i]
+        else:
+            assert 0 <= size <= runs[i]
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=9), min_size=0, max_size=4),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_queue_decompose_partitions_assignments(subs):
+    combined: list[int] = []
+    for runs in subs:
+        combine_runs(combined, runs)
+    state = QueueAnchorState()
+    state.assign([40])  # preload 40 elements so removals mostly succeed
+    assigns = state.assign(combined)
+    dec = QueueDecomposer(assigns)
+    taken = [dec.take(runs) for runs in subs]
+
+    for run_index in range(len(combined)):
+        lo, hi, value = assigns[run_index]
+        positions: list[int] = []
+        values: list[int] = []
+        for sub_index, runs in enumerate(subs):
+            if run_index >= len(runs):
+                continue
+            s_lo, s_hi, s_value = taken[sub_index][run_index]
+            positions.extend(range(s_lo, s_hi + 1))
+            values.extend(range(s_value, s_value + runs[run_index]))
+        # positions: each sub-run gets a consecutive, disjoint, in-order
+        # share of the parent interval
+        assert positions == list(range(lo, min(hi, lo + len(positions) - 1) + 1)) or (
+            not positions and hi < lo
+        )
+        # values: exactly one rank per request, in combination order
+        assert values == list(range(value, value + sum(
+            runs[run_index] for runs in subs if run_index < len(runs)
+        )))
+
+
+@given(
+    st.integers(min_value=0, max_value=30),
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=6),
+            st.integers(min_value=0, max_value=6),
+        ),
+        min_size=1,
+        max_size=5,
+    ),
+)
+def test_stack_decompose_tickets_follow_positions(preload, subs):
+    state = StackAnchorState()
+    state.assign([0, preload])
+    pops = sum(a for a, _ in subs)
+    pushes = sum(b for _, b in subs)
+    assigns = state.assign([pops, pushes])
+    dec = StackDecomposer(assigns)
+    seen_pop_positions: list[int] = []
+    seen_push = []
+    for a, b in subs:
+        (plo, phi, _pv, pt_hi), (qlo, qhi, _qv, qt_lo) = dec.take([a, b])
+        if phi >= plo:
+            # pop tickets decrease with position: ticket(pos) = pt_hi-(phi-pos)
+            seen_pop_positions.extend(range(phi, plo - 1, -1))
+            assert pt_hi <= state.ticket
+        if b:
+            assert qhi - qlo + 1 == b
+            seen_push.append((qlo, qt_lo))
+    # pops took descending positions from the top without overlap
+    assert seen_pop_positions == sorted(seen_pop_positions, reverse=True)
+    assert len(set(seen_pop_positions)) == len(seen_pop_positions)
+    assert len(seen_pop_positions) == min(pops, preload)
+    # pushes partition [preload - served_pops + 1, ...] consecutively
+    starts = [lo for lo, _ in seen_push]
+    assert starts == sorted(starts)

@@ -1,0 +1,131 @@
+"""Unit tests for stage-2 interval assignment (Sections III-D and VI)."""
+
+import pytest
+
+from repro.core.anchor import QueueAnchorState, StackAnchorState
+
+
+class TestQueueAnchor:
+    def test_initial_empty(self):
+        state = QueueAnchorState()
+        assert state.size == 0
+
+    def test_insert_run(self):
+        state = QueueAnchorState()
+        ((lo, hi, value),) = state.assign([5])
+        assert (lo, hi) == (0, 4)
+        assert value == 1  # the virtual counter starts at 1 (Section V)
+        assert state.size == 5
+
+    def test_removal_clamped_on_empty(self):
+        state = QueueAnchorState()
+        runs = state.assign([0, 3])
+        _insert, (lo, hi, value) = runs[0], runs[1]
+        assert hi < lo  # all three dequeues return ⊥
+        assert state.size == 0
+
+    def test_fifo_order_of_positions(self):
+        state = QueueAnchorState()
+        state.assign([4])  # positions 0..3
+        (_, (lo, hi, _)) = state.assign([0, 2])
+        assert (lo, hi) == (0, 1)  # oldest first
+        assert state.size == 2
+
+    def test_partial_underflow(self):
+        state = QueueAnchorState()
+        state.assign([2])
+        (_, (lo, hi, _)) = state.assign([0, 5])
+        assert (lo, hi) == (0, 1)  # 2 served, 3 get ⊥
+        assert state.size == 0
+
+    def test_interleaved_runs(self):
+        state = QueueAnchorState()
+        runs = state.assign([3, 1, 2, 4])
+        # insert 3 (pos 0..2), remove 1 (pos 0), insert 2 (pos 3..4),
+        # remove 4 (pos 1..4)
+        assert runs[0][:2] == (0, 2)
+        assert runs[1][:2] == (0, 0)
+        assert runs[2][:2] == (3, 4)
+        assert runs[3][:2] == (1, 4)
+        assert state.size == 0
+
+    def test_values_cover_all_ops(self):
+        state = QueueAnchorState()
+        runs = state.assign([3, 2, 1])
+        assert [value for (_, _, value) in runs] == [1, 4, 6]
+        assert state.counter == 7
+
+    def test_invariant_enforced(self):
+        state = QueueAnchorState()
+        state.first = 10
+        state.last = 3
+        with pytest.raises(AssertionError):
+            state.assign([1])
+
+    def test_export_restore_roundtrip(self):
+        state = QueueAnchorState()
+        state.assign([5, 2])
+        clone = QueueAnchorState.restore(state.export())
+        assert (clone.first, clone.last, clone.counter) == (
+            state.first,
+            state.last,
+            state.counter,
+        )
+
+
+class TestStackAnchor:
+    def test_pushes_get_positions_and_tickets(self):
+        state = StackAnchorState()
+        _pop, (lo, hi, _value, ticket_lo) = state.assign([0, 3])
+        assert (lo, hi) == (1, 3)
+        assert ticket_lo == 1
+        assert state.ticket == 3 and state.last == 3
+
+    def test_pop_takes_top(self):
+        state = StackAnchorState()
+        state.assign([0, 5])
+        (lo, hi, _value, ticket_hi), _push = state.assign([2, 0])
+        assert (lo, hi) == (4, 5)
+        assert ticket_hi == 5  # the top element's ticket
+        assert state.last == 3
+
+    def test_ticket_monotone_across_reuse(self):
+        # positions are reused but tickets never decrease (Section VI)
+        state = StackAnchorState()
+        state.assign([0, 2])  # tickets 1,2 at positions 1,2
+        state.assign([2, 0])  # pop both
+        _pop, (lo, hi, _v, ticket_lo) = state.assign([0, 2])
+        assert (lo, hi) == (1, 2)  # same positions...
+        assert ticket_lo == 3  # ...new tickets
+
+    def test_pop_underflow(self):
+        state = StackAnchorState()
+        (lo, hi, _v, _t), _push = state.assign([4, 0])
+        assert hi < lo
+        assert state.last == 0
+
+    def test_pop_ticket_rule_matches_paper_example(self):
+        # Section VI: (push x, pop, push y, pop) -> pairs (p,t),(p,t),
+        # (p,t+1),(p,t+1)
+        state = StackAnchorState()
+        _, (lo1, hi1, _, t1) = state.assign([0, 1])
+        (plo1, phi1, _, pt1), _ = state.assign([1, 0])
+        _, (lo2, hi2, _, t2) = state.assign([0, 1])
+        (plo2, phi2, _, pt2), _ = state.assign([1, 0])
+        assert (lo1, t1) == (1, 1) and (phi1, pt1) == (1, 1)
+        assert (lo2, t2) == (1, 2) and (phi2, pt2) == (1, 2)
+
+    def test_batches_longer_than_two_rejected(self):
+        state = StackAnchorState()
+        with pytest.raises(ValueError):
+            state.assign([1, 2, 3])
+
+    def test_export_restore(self):
+        state = StackAnchorState()
+        state.assign([0, 7])
+        clone = StackAnchorState.restore(state.export())
+        assert (clone.last, clone.ticket, clone.counter) == (
+            state.last,
+            state.ticket,
+            state.counter,
+        )

@@ -1,0 +1,63 @@
+"""Unit tests for batches (Definition 5) and their combination."""
+
+from repro.core.batch import Batch, combine_runs
+from repro.core.requests import INSERT, REMOVE
+
+
+class TestBatchBuild:
+    def test_empty(self):
+        batch = Batch()
+        assert batch.is_empty
+        assert batch.total_ops == 0
+
+    def test_insert_run_grows(self):
+        batch = Batch()
+        batch.add(INSERT)
+        batch.add(INSERT)
+        assert batch.runs == [2]
+
+    def test_alternation(self):
+        batch = Batch()
+        for kind in (INSERT, REMOVE, REMOVE, INSERT, REMOVE):
+            batch.add(kind)
+        assert batch.runs == [1, 2, 1, 1]
+        assert batch.total_ops == 5
+
+    def test_leading_removal_gets_zero_insert_run(self):
+        # the paper's op_1 is always an enqueue count, possibly zero
+        batch = Batch()
+        batch.add(REMOVE)
+        assert batch.runs == [0, 1]
+
+    def test_take_resets(self):
+        batch = Batch()
+        batch.add(INSERT)
+        batch.joins = 2
+        runs, joins, leaves = batch.take()
+        assert runs == [1] and joins == 2 and leaves == 0
+        assert batch.is_empty
+
+
+class TestCombineRuns:
+    def test_elementwise_sum(self):
+        target = [3, 1]
+        combine_runs(target, [2, 2, 5])
+        assert target == [5, 3, 5]
+
+    def test_pads_target(self):
+        target = []
+        combine_runs(target, [1, 2])
+        assert target == [1, 2]
+
+    def test_total_preserved(self):
+        a, b = [1, 2, 3], [4, 0, 1, 7]
+        target = list(a)
+        combine_runs(target, b)
+        assert sum(target) == sum(a) + sum(b)
+
+    def test_merge_on_batch(self):
+        batch = Batch()
+        batch.add(INSERT)
+        batch.merge([1, 2], joins=1, leaves=2)
+        assert batch.runs == [2, 2]
+        assert batch.joins == 1 and batch.leaves == 2

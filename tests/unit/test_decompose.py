@@ -1,0 +1,100 @@
+"""Unit tests for stage-3 interval decomposition (Section III-E)."""
+
+from repro.core.anchor import QueueAnchorState, StackAnchorState
+from repro.core.batch import combine_runs
+from repro.core.decompose import QueueDecomposer, StackDecomposer
+
+
+class TestQueueDecomposer:
+    def test_insert_split_is_exact_partition(self):
+        dec = QueueDecomposer([(0, 9, 1)])
+        a = dec.take([4])
+        b = dec.take([6])
+        assert a == ((0, 3, 1),)
+        assert b == ((4, 9, 5),)
+
+    def test_removal_clamping_hits_later_subbatches(self):
+        # Lemma 10: the later requests of a run miss out
+        dec = QueueDecomposer([(0, -1, 1), (0, 2, 1)])
+        first = dec.take([0, 2])
+        second = dec.take([0, 3])
+        assert first[1] == (0, 1, 1)  # both served
+        (_ins, (lo, hi, _v)) = second
+        assert (lo, hi) == (2, 2)  # one served, two ⊥
+
+    def test_values_advance_even_for_bottom_removals(self):
+        # removal values advance by the full run length even when the
+        # interval is exhausted (⊥ requests keep unique ranks, Section V)
+        dec = QueueDecomposer([(0, -1, 1), (0, 0, 5)])
+        first = dec.take([0, 3])
+        second = dec.take([0, 2])
+        assert first[1][2] == 5
+        assert second[1][2] == 8
+
+    def test_shorter_subbatches(self):
+        dec = QueueDecomposer([(0, 4, 1), (0, 1, 6), (5, 6, 8)])
+        sub = dec.take([2])  # only one run
+        assert sub == ((0, 1, 1),)
+
+    def test_matches_anchor_composition(self):
+        # anchor-assigned intervals decompose back into per-sub shares
+        # that exactly cover them, in combination order
+        anchor = QueueAnchorState()
+        subs = [[2, 1], [1, 2], [0, 1]]
+        combined: list[int] = []
+        for runs in subs:
+            combine_runs(combined, runs)
+        assigns = anchor.assign(combined)
+        dec = QueueDecomposer(assigns)
+        taken = [dec.take(runs) for runs in subs]
+        # inserts: positions 0..2 split 2/1 in order
+        assert taken[0][0] == (0, 1, 1)
+        assert taken[1][0] == (2, 2, 3)
+        # removals: 4 requested, 3 available, first-come-first-served
+        assert taken[0][1][:2] == (0, 0)
+        assert taken[1][1][:2] == (1, 2)
+        lo, hi, _ = taken[2][1]
+        assert hi < lo  # the last dequeue gets ⊥
+
+
+class TestStackDecomposer:
+    def test_pop_takes_back_first_sub_gets_top(self):
+        anchor = StackAnchorState()
+        anchor.assign([0, 10])  # positions 1..10, tickets 1..10
+        assigns = anchor.assign([5, 0])
+        dec = StackDecomposer(assigns)
+        first = dec.take([2, 0])
+        second = dec.take([3, 0])
+        (lo, hi, _v, t_hi) = first[0]
+        assert (lo, hi) == (9, 10) and t_hi == 10
+        (lo2, hi2, _v2, t_hi2) = second[0]
+        assert (lo2, hi2) == (6, 8) and t_hi2 == 8
+
+    def test_push_split_with_tickets(self):
+        anchor = StackAnchorState()
+        assigns = anchor.assign([0, 6])
+        dec = StackDecomposer(assigns)
+        a = dec.take([0, 2])
+        b = dec.take([0, 4])
+        assert a[1] == (1, 2, 1, 1)
+        assert b[1] == (3, 6, 3, 3)
+
+    def test_pop_underflow_later_subs(self):
+        anchor = StackAnchorState()
+        anchor.assign([0, 2])
+        assigns = anchor.assign([4, 0])  # only 2 available
+        dec = StackDecomposer(assigns)
+        first = dec.take([3, 0])
+        second = dec.take([1, 0])
+        lo, hi, _v, _t = first[0]
+        assert hi - lo + 1 == 2  # got both real positions (top ones)
+        lo2, hi2, _v2, _t2 = second[0]
+        assert hi2 < lo2  # ⊥
+
+    def test_empty_subbatch(self):
+        anchor = StackAnchorState()
+        assigns = anchor.assign([0, 3])
+        dec = StackDecomposer(assigns)
+        empty = dec.take([])
+        pop_part, push_part = empty
+        assert push_part[1] < push_part[0]

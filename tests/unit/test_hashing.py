@@ -1,0 +1,75 @@
+"""Unit tests for the public hash functions (Section II assumptions)."""
+
+import math
+
+import pytest
+
+from repro.util.hashing import bits_of, label_of, position_key, unit_hash
+
+
+class TestUnitHash:
+    def test_range(self):
+        for value in range(500):
+            h = unit_hash(value)
+            assert 0.0 <= h < 1.0
+
+    def test_deterministic(self):
+        assert unit_hash(123, salt="a") == unit_hash(123, salt="a")
+
+    def test_salt_separates(self):
+        assert unit_hash(123, salt="a") != unit_hash(123, salt="b")
+
+    def test_value_types(self):
+        assert unit_hash("x") != unit_hash(("x",))
+
+    def test_roughly_uniform(self):
+        samples = [unit_hash(i, salt="u") for i in range(4000)]
+        mean = sum(samples) / len(samples)
+        assert abs(mean - 0.5) < 0.02
+        # all 10 deciles populated
+        deciles = [0] * 10
+        for s in samples:
+            deciles[int(s * 10)] += 1
+        assert min(deciles) > 250
+
+
+class TestDomainHashes:
+    def test_label_and_key_domains_independent(self):
+        assert label_of(7) != position_key(7)
+
+    def test_label_salted_per_cluster(self):
+        assert label_of(7, salt="c1") != label_of(7, salt="c2")
+
+    def test_no_collisions_small(self):
+        labels = {label_of(i) for i in range(20000)}
+        assert len(labels) == 20000
+
+
+class TestBitsOf:
+    def test_known_expansion(self):
+        assert bits_of(0.5, 3) == [1, 0, 0]
+        assert bits_of(0.25, 3) == [0, 1, 0]
+        assert bits_of(0.75, 4) == [1, 1, 0, 0]
+
+    def test_zero(self):
+        assert bits_of(0.0, 5) == [0, 0, 0, 0, 0]
+
+    def test_reconstruction(self):
+        point = 0.362519
+        bits = bits_of(point, 30)
+        approx = sum(b / 2 ** (i + 1) for i, b in enumerate(bits))
+        assert abs(approx - point) < 2**-30
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            bits_of(1.0, 3)
+        with pytest.raises(ValueError):
+            bits_of(-0.1, 3)
+
+    def test_matches_integer_encoding(self):
+        # the router packs the same bits into an int
+        point = 0.77121
+        count = 16
+        packed = int(point * (1 << count))
+        bits = bits_of(point, count)
+        assert packed == int("".join(map(str, bits)), 2)

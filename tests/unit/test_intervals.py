@@ -1,0 +1,79 @@
+"""Unit tests for the interval value type used by stages 2-3."""
+
+import pytest
+
+from repro.util.intervals import Interval
+
+
+class TestBasics:
+    def test_size(self):
+        assert Interval(3, 7).size == 5
+
+    def test_empty(self):
+        assert Interval(4, 3).is_empty
+        assert Interval.empty_at(10) == Interval(10, 9)
+        assert Interval(0, 0).size == 1
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5, 2)
+
+    def test_contains_and_iter(self):
+        iv = Interval(2, 4)
+        assert list(iv) == [2, 3, 4]
+        assert 2 in iv and 4 in iv and 5 not in iv
+
+
+class TestTakeFront:
+    def test_exact(self):
+        taken, rest = Interval(0, 9).take_front(4)
+        assert taken == Interval(0, 3)
+        assert rest == Interval(4, 9)
+
+    def test_clamped(self):
+        # the DEQUEUE rule: requests beyond the end get nothing
+        taken, rest = Interval(0, 2).take_front(5)
+        assert taken == Interval(0, 2)
+        assert rest.is_empty
+
+    def test_take_all(self):
+        taken, rest = Interval(5, 8).take_front(4)
+        assert taken == Interval(5, 8)
+        assert rest.is_empty
+
+    def test_take_zero(self):
+        taken, rest = Interval(5, 8).take_front(0)
+        assert taken.is_empty
+        assert rest == Interval(5, 8)
+
+    def test_from_empty(self):
+        taken, rest = Interval.empty_at(3).take_front(2)
+        assert taken.is_empty and rest.is_empty
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(0, 3).take_front(-1)
+
+
+class TestTakeBack:
+    def test_exact(self):
+        # the stack POP rule: maximum positions first (Section VI)
+        taken, rest = Interval(0, 9).take_back(3)
+        assert taken == Interval(7, 9)
+        assert rest == Interval(0, 6)
+
+    def test_clamped(self):
+        taken, rest = Interval(4, 5).take_back(9)
+        assert taken == Interval(4, 5)
+        assert rest.is_empty
+
+    def test_take_zero(self):
+        taken, rest = Interval(4, 5).take_back(0)
+        assert taken.is_empty
+        assert rest == Interval(4, 5)
+
+    def test_partition(self):
+        iv = Interval(0, 9)
+        front, rest = iv.take_front(3)
+        back, middle = rest.take_back(3)
+        assert list(front) + list(middle) + list(back) == list(iv)

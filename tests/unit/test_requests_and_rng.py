@@ -1,0 +1,76 @@
+"""Unit tests: request records, sentinels, RNG streams, action codes."""
+
+import pytest
+
+from repro.core import actions
+from repro.core.requests import BOTTOM, INSERT, OpRecord, REMOVE, kind_name
+from repro.util.rng import RngStreams
+
+
+class TestBottom:
+    def test_singleton(self):
+        from repro.core.requests import _Bottom
+
+        assert _Bottom() is BOTTOM
+
+    def test_falsy(self):
+        assert not BOTTOM
+
+    def test_repr(self):
+        assert repr(BOTTOM) == "BOTTOM"
+
+
+class TestOpRecord:
+    def test_element_tagging(self):
+        rec = OpRecord(7, 1, 0, INSERT, "payload", 3.0)
+        assert rec.element == (7, "payload")
+
+    def test_defaults(self):
+        rec = OpRecord(0, 0, 0, REMOVE, None, 0.0)
+        assert rec.value is None
+        assert not rec.completed
+        assert not rec.local_match
+
+    def test_kind_names(self):
+        assert kind_name(INSERT) == "enqueue"
+        assert kind_name(REMOVE) == "dequeue"
+        assert kind_name(INSERT, stack=True) == "push"
+        assert kind_name(REMOVE, stack=True) == "pop"
+
+
+class TestActionCodes:
+    def test_all_unique(self):
+        codes = [getattr(actions, name) for name in actions.__all__]
+        assert len(set(codes)) == len(codes)
+
+    def test_all_exported(self):
+        for name in actions.__all__:
+            assert name.startswith("A_")
+
+
+class TestRngStreams:
+    def test_deterministic(self):
+        a = RngStreams(5).py("x").random()
+        b = RngStreams(5).py("x").random()
+        assert a == b
+
+    def test_streams_independent(self):
+        streams = RngStreams(5)
+        a = streams.py("one")
+        b = streams.py("two")
+        assert a.random() != b.random()
+
+    def test_same_name_same_object(self):
+        streams = RngStreams(5)
+        assert streams.py("x") is streams.py("x")
+
+    def test_numpy_streams(self):
+        streams = RngStreams(5)
+        arr = streams.np("n").random(4)
+        assert arr.shape == (4,)
+
+    def test_child_families(self):
+        streams = RngStreams(5)
+        child_a = streams.child("a")
+        child_b = streams.child("b")
+        assert child_a.py("x").random() != child_b.py("x").random()

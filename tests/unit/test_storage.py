@@ -1,0 +1,126 @@
+"""Unit tests for DHT storage with parked GETs (Section III-F, VI)."""
+
+import pytest
+
+from repro.dht.storage import PARKED, QueueStore, StackStore, key_in_range
+
+
+class TestKeyInRange:
+    def test_plain(self):
+        assert key_in_range(0.3, 0.2, 0.4)
+        assert not key_in_range(0.4, 0.2, 0.4)
+
+    def test_wrap(self):
+        assert key_in_range(0.95, 0.9, 0.1)
+        assert key_in_range(0.05, 0.9, 0.1)
+        assert not key_in_range(0.5, 0.9, 0.1)
+
+
+class TestQueueStore:
+    def test_put_then_get(self):
+        store = QueueStore()
+        assert store.put(0.5, "x") is None
+        assert store.get(0.5, ("ctx",)) == "x"
+        assert store.occupancy == 0
+
+    def test_get_parks_until_put(self):
+        # the asynchronous model: a GET may outrun its PUT
+        store = QueueStore()
+        assert store.get(0.5, ("requester",)) is PARKED
+        waiter = store.put(0.5, "x")
+        assert waiter == ("requester",)
+        assert store.occupancy == 0  # handed straight to the waiter
+
+    def test_duplicate_put_rejected(self):
+        store = QueueStore()
+        store.put(0.5, "x")
+        with pytest.raises(RuntimeError):
+            store.put(0.5, "y")
+
+    def test_double_park_rejected(self):
+        # queue positions are unique: two GETs for one key is a bug
+        store = QueueStore()
+        store.get(0.5, ("a",))
+        with pytest.raises(RuntimeError):
+            store.get(0.5, ("b",))
+
+    def test_extract_range(self):
+        store = QueueStore()
+        store.put(0.1, "a")
+        store.put(0.5, "b")
+        store.get(0.55, ("w",))
+        items, parked = store.extract_range(0.4, 0.8)
+        assert items == {0.5: "b"}
+        assert parked == {0.55: ("w",)}
+        assert store.occupancy == 1
+
+    def test_extract_wrap_range(self):
+        store = QueueStore()
+        store.put(0.95, "hi")
+        store.put(0.02, "lo")
+        store.put(0.5, "mid")
+        items, _ = store.extract_range(0.9, 0.1)
+        assert set(items.values()) == {"hi", "lo"}
+
+    def test_absorb_serves_waiting_gets(self):
+        giver, taker = QueueStore(), QueueStore()
+        giver.put(0.3, "x")
+        taker.get(0.3, ("ctx",))
+        items, parked = giver.extract_range(0.0, 1.0)
+        ready = taker.absorb(items, parked)
+        assert ready == [(0.3, ("ctx",), "x")]
+
+    def test_absorb_parked_meets_stored(self):
+        taker = QueueStore()
+        taker.put(0.3, "x")
+        ready = taker.absorb({}, {0.3: ("ctx",)})
+        assert ready == [(0.3, ("ctx",), "x")]
+
+
+class TestStackStore:
+    def test_ticket_match(self):
+        store = StackStore()
+        store.put(0.5, 3, "x")
+        assert store.get(0.5, 5, None) == "x"
+
+    def test_largest_ticket_leq(self):
+        # a POP assigned (p, t) removes the element with the largest
+        # ticket <= t (Section VI)
+        store = StackStore()
+        store.put(0.5, 1, "old")
+        store.put(0.5, 4, "new")
+        assert store.get(0.5, 4, None) == "new"
+        assert store.get(0.5, 4, None) == "old"
+
+    def test_ticket_too_small_parks(self):
+        store = StackStore()
+        store.put(0.5, 7, "future")
+        assert store.get(0.5, 3, ("ctx", 3)) is PARKED
+
+    def test_put_serves_parked(self):
+        store = StackStore()
+        assert store.get(0.5, 2, ("ctx", 2)) is PARKED
+        served = store.put(0.5, 1, "x")
+        assert served == [(("ctx", 2), "x")]
+
+    def test_duplicate_ticket_rejected(self):
+        store = StackStore()
+        store.put(0.5, 1, "x")
+        with pytest.raises(RuntimeError):
+            store.put(0.5, 1, "y")
+
+    def test_occupancy_counts_tickets(self):
+        store = StackStore()
+        store.put(0.5, 1, "a")
+        store.put(0.5, 2, "b")
+        store.put(0.7, 3, "c")
+        assert store.occupancy == 3
+
+    def test_extract_absorb_roundtrip(self):
+        giver, taker = StackStore(), StackStore()
+        giver.put(0.3, 1, "x")
+        giver.get(0.35, 9, ("w", 9))
+        items, parked = giver.extract_range(0.2, 0.4)
+        ready = taker.absorb(items, parked)
+        assert ready == []  # parked GET wants ticket <= 9 at 0.35: nothing
+        assert taker.get(0.3, 2, None) == "x"

@@ -1,0 +1,92 @@
+"""Unit tests for the aggregation tree rules (Section III-B)."""
+
+import math
+
+from repro.overlay.ldb import LEFT, MIDDLE, RIGHT, LdbTopology, kind_of
+from repro.overlay.tree import (
+    children_of,
+    is_anchor_local,
+    parent_of,
+    tree_height,
+)
+
+
+def build(n, salt="tree-test"):
+    return LdbTopology(list(range(n)), salt=salt)
+
+
+class TestParentChildDuality:
+    def test_every_node_has_unique_parent_except_anchor(self):
+        topology = build(40)
+        anchor = topology.min_vid()
+        for vid in topology.vids:
+            parent = parent_of(topology, vid)
+            if vid == anchor:
+                assert parent is None
+            else:
+                assert parent is not None
+
+    def test_children_lists_exactly_inverse(self):
+        topology = build(40)
+        for vid in topology.vids:
+            for child in children_of(topology, vid):
+                assert parent_of(topology, child) == vid
+        # and every non-anchor node appears in its parent's child list
+        anchor = topology.min_vid()
+        for vid in topology.vids:
+            if vid != anchor:
+                assert vid in children_of(topology, parent_of(topology, vid))
+
+    def test_parents_strictly_leftward(self):
+        topology = build(40)
+        anchor = topology.min_vid()
+        for vid in topology.vids:
+            if vid == anchor:
+                continue
+            parent = parent_of(topology, vid)
+            assert topology.label(parent) < topology.label(vid)
+
+    def test_right_nodes_are_leaves(self):
+        topology = build(40)
+        for vid in topology.vids:
+            if kind_of(vid) == RIGHT:
+                assert children_of(topology, vid) == ()
+
+    def test_tree_spans_everything(self):
+        topology = build(60)
+        anchor = topology.min_vid()
+        seen = set()
+        frontier = [anchor]
+        while frontier:
+            vid = frontier.pop()
+            assert vid not in seen
+            seen.add(vid)
+            frontier.extend(children_of(topology, vid))
+        assert seen == set(topology.vids)
+
+
+class TestAnchorRule:
+    def test_exactly_one_anchor(self):
+        topology = build(30)
+        anchors = [
+            vid
+            for vid in topology.vids
+            if is_anchor_local(
+                vid, topology.label(vid), topology.label(topology.pred(vid))
+            )
+        ]
+        assert anchors == [topology.min_vid()]
+
+
+class TestHeight:
+    def test_height_logarithmic_shape(self):
+        h_small = tree_height(build(50))
+        h_big = tree_height(build(800))
+        # 16x size growth, far less than 16x height growth
+        assert h_big < h_small * 4
+        assert h_big > h_small  # but it does grow
+
+    def test_single_process(self):
+        topology = build(1)
+        # cycle l < m < r; tree: l -> m -> r
+        assert tree_height(topology) == 2

@@ -1,0 +1,167 @@
+"""Unit tests for the Definition-1 checker (it must catch violations)."""
+
+import pytest
+
+from repro.core.requests import BOTTOM, INSERT, OpRecord, REMOVE
+from repro.verify import (
+    ConsistencyViolation,
+    check_queue_history,
+    check_stack_history,
+    exists_valid_order,
+)
+
+
+def op(req_id, pid, idx, kind, item=None, value=None, result=None, local=False):
+    rec = OpRecord(req_id, pid, idx, kind, item, 0.0)
+    rec.value = value
+    rec.result = result
+    rec.completed = True
+    rec.local_match = local
+    return rec
+
+
+class TestQueueChecker:
+    def test_valid_simple(self):
+        enq = op(0, 0, 0, INSERT, "a", value=1)
+        deq = op(1, 1, 0, REMOVE, value=2, result=(0, "a"))
+        check_queue_history([enq, deq])
+
+    def test_property1_violation(self):
+        # dequeue ordered before its own enqueue
+        enq = op(0, 0, 0, INSERT, "a", value=2)
+        deq = op(1, 1, 0, REMOVE, value=1, result=(0, "a"))
+        with pytest.raises(ConsistencyViolation):
+            check_queue_history([enq, deq])
+
+    def test_property2_bottom_despite_element(self):
+        enq = op(0, 0, 0, INSERT, "a", value=1)
+        deq = op(1, 1, 0, REMOVE, value=2, result=BOTTOM)
+        with pytest.raises(ConsistencyViolation, match="property 2"):
+            check_queue_history([enq, deq])
+
+    def test_property3_fifo_violation(self):
+        enq_a = op(0, 0, 0, INSERT, "a", value=1)
+        enq_b = op(1, 0, 1, INSERT, "b", value=2)
+        deq_b = op(2, 1, 0, REMOVE, value=3, result=(1, "b"))
+        deq_a = op(3, 1, 1, REMOVE, value=4, result=(0, "a"))
+        with pytest.raises(ConsistencyViolation, match="property 3"):
+            check_queue_history([enq_a, enq_b, deq_b, deq_a])
+
+    def test_property4_program_order_violation(self):
+        first = op(0, 0, 0, INSERT, "a", value=5)
+        second = op(1, 0, 1, INSERT, "b", value=2)  # later op, smaller value
+        with pytest.raises(ConsistencyViolation, match="property 4"):
+            check_queue_history([first, second])
+
+    def test_unknown_element(self):
+        deq = op(0, 0, 0, REMOVE, value=1, result=(99, "ghost"))
+        with pytest.raises(ConsistencyViolation):
+            check_queue_history([deq])
+
+    def test_double_return(self):
+        enq = op(0, 0, 0, INSERT, "a", value=1)
+        deq1 = op(1, 1, 0, REMOVE, value=2, result=(0, "a"))
+        deq2 = op(2, 2, 0, REMOVE, value=3, result=(0, "a"))
+        with pytest.raises(ConsistencyViolation, match="two removals"):
+            check_queue_history([enq, deq1, deq2])
+
+    def test_incomplete_rejected(self):
+        rec = op(0, 0, 0, INSERT, "a", value=1)
+        rec.completed = False
+        with pytest.raises(ConsistencyViolation, match="never completed"):
+            check_queue_history([rec])
+
+    def test_index_gap_rejected(self):
+        first = op(0, 0, 0, INSERT, "a", value=1)
+        third = op(1, 0, 2, INSERT, "b", value=2)
+        with pytest.raises(ConsistencyViolation, match="gaps"):
+            check_queue_history([first, third])
+
+
+class TestStackChecker:
+    def test_valid_lifo(self):
+        push_a = op(0, 0, 0, INSERT, "a", value=1)
+        push_b = op(1, 0, 1, INSERT, "b", value=2)
+        pop_b = op(2, 1, 0, REMOVE, value=3, result=(1, "b"))
+        pop_a = op(3, 1, 1, REMOVE, value=4, result=(0, "a"))
+        check_stack_history([push_a, push_b, pop_b, pop_a])
+
+    def test_fifo_on_stack_rejected(self):
+        push_a = op(0, 0, 0, INSERT, "a", value=1)
+        push_b = op(1, 0, 1, INSERT, "b", value=2)
+        pop_a = op(2, 1, 0, REMOVE, value=3, result=(0, "a"))
+        pop_b = op(3, 1, 1, REMOVE, value=4, result=(1, "b"))
+        with pytest.raises(ConsistencyViolation, match="property 3"):
+            check_stack_history([push_a, push_b, pop_a, pop_b])
+
+    def test_local_match_pairs_are_noops(self):
+        # annihilated pairs have no anchor value; the checker places them
+        push = op(0, 0, 0, INSERT, "a", local=True)
+        pop = op(1, 0, 1, REMOVE, result=(0, "a"), local=True)
+        other = op(2, 1, 0, INSERT, "b", value=1)
+        pop_other = op(3, 2, 0, REMOVE, value=2, result=(2, "b"))
+        check_stack_history([push, pop, other, pop_other])
+
+    def test_local_chain_nested(self):
+        records = [
+            op(0, 0, 0, INSERT, "x", local=True),
+            op(1, 0, 1, INSERT, "y", local=True),
+            op(2, 0, 2, REMOVE, result=(1, "y"), local=True),
+            op(3, 0, 3, REMOVE, result=(0, "x"), local=True),
+        ]
+        check_stack_history(records)
+
+    def test_local_pair_after_valued_op(self):
+        valued = op(0, 0, 0, INSERT, "a", value=1)
+        push = op(1, 0, 1, INSERT, "b", local=True)
+        pop = op(2, 0, 2, REMOVE, result=(1, "b"), local=True)
+        pop_a = op(3, 1, 0, REMOVE, value=2, result=(0, "a"))
+        check_stack_history([valued, push, pop, pop_a])
+
+    def test_missing_value_rejected(self):
+        rec = op(0, 0, 0, INSERT, "a")  # no value, not local
+        with pytest.raises(ConsistencyViolation, match="no value"):
+            check_stack_history([rec])
+
+
+class TestSearchChecker:
+    def test_agrees_on_valid_history(self):
+        records = [
+            op(0, 0, 0, INSERT, "a", value=1),
+            op(1, 1, 0, REMOVE, value=2, result=(0, "a")),
+        ]
+        assert exists_valid_order(records, "fifo")
+
+    def test_rejects_impossible_history(self):
+        # single process: enqueue then dequeue must return the element
+        records = [
+            op(0, 0, 0, INSERT, "a", value=1),
+            op(1, 0, 1, REMOVE, value=2, result=BOTTOM),
+        ]
+        assert not exists_valid_order(records, "fifo")
+
+    def test_finds_order_the_witness_missed(self):
+        # two concurrent processes: either order is fine
+        records = [
+            op(0, 0, 0, INSERT, "a", value=1),
+            op(1, 1, 0, REMOVE, value=2, result=BOTTOM),
+        ]
+        assert exists_valid_order(records, "fifo")
+
+    def test_lifo_discipline(self):
+        records = [
+            op(0, 0, 0, INSERT, "a", value=1),
+            op(1, 0, 1, INSERT, "b", value=2),
+            op(2, 0, 2, REMOVE, value=3, result=(1, "b")),
+        ]
+        assert exists_valid_order(records, "lifo")
+        bad = [
+            op(0, 0, 0, INSERT, "a", value=1),
+            op(1, 0, 1, INSERT, "b", value=2),
+            op(2, 0, 2, REMOVE, value=3, result=(0, "a")),
+        ]
+        assert not exists_valid_order(bad, "lifo")
+
+    def test_rejects_unknown_discipline(self):
+        with pytest.raises(ValueError):
+            exists_valid_order([], "heap")
