@@ -13,7 +13,11 @@ from repro.verify import check_queue_history
 
 
 def main() -> None:
-    cluster = SkueueCluster(n_processes=16, seed=7)
+    with SkueueCluster(n_processes=16, seed=7) as cluster:
+        run(cluster)
+
+
+def run(cluster: SkueueCluster) -> None:
     print(f"cluster up: {len(cluster.runtime.actors)} virtual nodes on the ring")
     print(f"anchor: virtual node {cluster.anchor.vid} (the leftmost label)")
 

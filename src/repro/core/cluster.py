@@ -25,7 +25,15 @@ from repro.core.actions import A_JOIN_RT
 from repro.core.protocol import ClusterContext, QueueNode
 from repro.core.requests import BOTTOM, INSERT, REMOVE, OpRecord
 from repro.core.stack import StackNode
-from repro.overlay.ldb import LEFT, MIDDLE, RIGHT, LdbTopology, vid_of, virtual_label
+from repro.overlay.ldb import (
+    LEFT,
+    MIDDLE,
+    RIGHT,
+    LdbTopology,
+    pid_of,
+    vid_of,
+    virtual_label,
+)
 from repro.overlay.routing import route_steps_for
 from repro.sim.async_runner import AsyncRunner
 from repro.sim.metrics import Metrics
@@ -33,7 +41,41 @@ from repro.sim.sync_runner import SyncRunner
 from repro.util.hashing import label_of
 from repro.util.rng import RngStreams
 
-__all__ = ["SkackCluster", "SkueueCluster"]
+__all__ = ["SkackCluster", "SkueueCluster", "spawn_nodes"]
+
+
+def spawn_nodes(ctx, topology, node_class, pids=None) -> list:
+    """Instantiate protocol nodes over a topology snapshot.
+
+    Shared bootstrap of every execution substrate: the sim clusters spawn
+    all nodes (``pids=None``), a TCP :class:`~repro.net.server.NodeHost`
+    spawns only its shard while the snapshot — identical on every host —
+    provides the global pred/succ wiring and the anchor (the minimum
+    label).  The three virtual nodes of one process are always spawned
+    together, which is what keeps same-process sibling reads local.
+    """
+    runtime = ctx.runtime
+    anchor_vid = topology.min_vid()
+    wanted = None if pids is None else set(pids)
+    nodes = []
+    for vid in topology.vids:
+        if wanted is not None and pid_of(vid) not in wanted:
+            continue
+        pred = topology.pred(vid)
+        succ = topology.succ(vid)
+        node = node_class(
+            ctx,
+            vid,
+            topology.label(vid),
+            pred,
+            topology.label(pred),
+            succ,
+            topology.label(succ),
+            is_anchor=(vid == anchor_vid),
+        )
+        runtime.add_actor(node)
+        nodes.append(node)
+    return nodes
 
 
 class SkueueCluster:
@@ -77,27 +119,32 @@ class SkueueCluster:
             empty_name=self.empty_name,
             on_update_over=self._on_update_over,
         )
-        anchor_vid = self.topology.min_vid()
-        for vid in self.topology.vids:
-            pred = self.topology.pred(vid)
-            succ = self.topology.succ(vid)
-            node = self.node_class(
-                self.ctx,
-                vid,
-                self.topology.label(vid),
-                pred,
-                self.topology.label(pred),
-                succ,
-                self.topology.label(succ),
-                is_anchor=(vid == anchor_vid),
-            )
-            self.runtime.add_actor(node)
+        spawn_nodes(self.ctx, self.topology, self.node_class)
         self.runtime.kick()
         self._op_counts: dict[int, int] = {}
         self.live_pids: set[int] = set(range(n_processes))
         self.joining_pids: set[int] = set()
         self.leaving_pids: set[int] = set()
         self._next_pid = n_processes
+        self._closed = False
+
+    # -- lifecycle --------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the engine down deterministically (idempotent).
+
+        On the simulators this drops actors and queued events; the TCP
+        deployment facade (:class:`repro.net.launcher.NetDeployment`)
+        exposes the same method to close sockets and reap processes.
+        """
+        if not self._closed:
+            self._closed = True
+            self.runtime.close()
+
+    def __enter__(self) -> "SkueueCluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- metrics / records ------------------------------------------------------
     @property

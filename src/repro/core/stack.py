@@ -27,7 +27,7 @@ from repro.core.actions import A_GET_REPLY, A_PUT_ACK, A_RT_GET, A_RT_PUT
 from repro.core.anchor import StackAnchorState
 from repro.core.decompose import StackDecomposer
 from repro.core.protocol import QueueNode
-from repro.core.requests import BOTTOM, INSERT, OpRecord, REMOVE
+from repro.core.requests import BOTTOM, INSERT, OpRecord
 from repro.dht.storage import PARKED, StackStore
 from repro.util.hashing import position_key
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.cluster import SkackCluster, SkueueCluster
-from repro.core.requests import INSERT
 
 __all__ = ["ExperimentResult", "run_experiment"]
 

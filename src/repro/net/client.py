@@ -1,0 +1,218 @@
+"""`SkueueClient`: submit queue operations to a TCP deployment.
+
+The client may talk to *any* host; a request for pid ``p`` goes to the
+host owning ``p`` (round-robin sharding, mirrored from
+:class:`~repro.net.server.HostConfig`).  Request ids are assigned
+client-side and encode the owning host (``req_id % n_hosts``), which is
+what lets a DHT node on one host complete a record that originated on
+another (see :class:`repro.net.runtime.RecordTable`).
+
+Limitation: req_id sequences are per-client, so at most one client may
+*submit* to any given host at a time (concurrent clients on disjoint
+host shards are fine; the host rejects duplicate req_ids loudly).
+Widening the id space with a client nonce is a roadmap item.
+
+Typical use::
+
+    async with SkueueClient(deployment.host_map) as client:
+        req = await client.enqueue(pid=3, item="job-1")
+        deq = await client.dequeue(pid=5)
+        await client.wait_all()
+        assert client.result_of(deq) == "job-1"
+        records = await client.collect_records()   # feed to repro.verify
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core.requests import BOTTOM, INSERT, REMOVE, OpRecord
+from repro.net.transport import (
+    decode_payload,
+    encode_payload,
+    read_frame,
+    record_from_wire,
+    write_frame,
+)
+
+__all__ = ["SkueueClient"]
+
+
+class SkueueClient:
+    """Asyncio client for a :class:`~repro.net.launcher.NetDeployment`."""
+
+    def __init__(self, host_map: dict[int, tuple[str, int]]) -> None:
+        self.host_map = {int(k): (v[0], int(v[1])) for k, v in host_map.items()}
+        self.n_hosts = len(self.host_map)
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._readers: dict[int, asyncio.Task] = {}
+        self._counters: dict[int, int] = {}
+        self._pending: dict[int, asyncio.Future] = {}
+        self._results: dict[int, object] = {}
+        self._collect_futures: dict[int, asyncio.Future] = {}
+        self._metrics_futures: dict[int, asyncio.Future] = {}
+        self.errors: list[str] = []
+
+    # -- lifecycle -----------------------------------------------------------
+    async def connect(self) -> "SkueueClient":
+        for index, (address, port) in sorted(self.host_map.items()):
+            reader, writer = await asyncio.open_connection(address, port)
+            self._writers[index] = writer
+            self._readers[index] = asyncio.get_running_loop().create_task(
+                self._read_loop(index, reader)
+            )
+        return self
+
+    async def close(self) -> None:
+        for task in self._readers.values():
+            task.cancel()
+        for writer in self._writers.values():
+            try:
+                writer.close()
+            except Exception:
+                pass
+        self._writers.clear()
+        self._readers.clear()
+
+    async def __aenter__(self) -> "SkueueClient":
+        return await self.connect()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # -- submitting operations -----------------------------------------------
+    def host_for(self, pid: int) -> int:
+        return pid % self.n_hosts
+
+    async def enqueue(self, pid: int, item: object = None) -> int:
+        """Issue ENQUEUE(item) at process ``pid``; returns the req_id."""
+        return await self._submit(pid, INSERT, item)
+
+    async def dequeue(self, pid: int) -> int:
+        """Issue DEQUEUE() at process ``pid``; returns the req_id."""
+        return await self._submit(pid, REMOVE, None)
+
+    async def _submit(self, pid: int, kind: int, item: object) -> int:
+        host = self.host_for(pid)
+        seq = self._counters.get(host, 0)
+        self._counters[host] = seq + 1
+        req_id = seq * self.n_hosts + host
+        self._pending[req_id] = asyncio.get_running_loop().create_future()
+        writer = self._writers[host]
+        write_frame(
+            writer,
+            {"op": "submit", "req": req_id, "pid": pid, "kind": kind,
+             "item": encode_payload(item)},
+        )
+        await writer.drain()
+        return req_id
+
+    # -- completions ----------------------------------------------------------
+    async def wait(self, req_id: int, timeout: float | None = 30.0):
+        """Await one request; returns its result (see :meth:`result_of`)."""
+        future = self._pending.get(req_id)
+        if future is not None:
+            await asyncio.wait_for(asyncio.shield(future), timeout)
+        return self.result_of(req_id)
+
+    async def wait_all(self, timeout: float | None = 60.0) -> None:
+        """Await every request submitted so far."""
+        outstanding = [f for f in self._pending.values() if not f.done()]
+        if outstanding:
+            await asyncio.wait_for(asyncio.gather(*outstanding), timeout)
+        self._raise_errors()
+
+    def result_of(self, req_id: int):
+        """Result of a finished request: ``True`` for inserts, the
+        dequeued item or ``BOTTOM`` for removals, ``None`` if pending."""
+        if req_id not in self._results:
+            return None
+        kind, result = self._results[req_id]
+        if kind == INSERT:
+            return True
+        if result is BOTTOM:
+            return BOTTOM
+        return result[1]  # unwrap the (req_id, item) element tag
+
+    @property
+    def pending_count(self) -> int:
+        return sum(1 for f in self._pending.values() if not f.done())
+
+    # -- history / introspection ----------------------------------------------
+    async def collect_records(
+        self, timeout: float | None = 30.0
+    ) -> list[OpRecord]:
+        """Fetch every host's OpRecords (the history for `repro.verify`)."""
+        loop = asyncio.get_running_loop()
+        for index, writer in self._writers.items():
+            self._collect_futures[index] = loop.create_future()
+            write_frame(writer, {"op": "collect"})
+            await writer.drain()
+        replies = await asyncio.wait_for(
+            asyncio.gather(*self._collect_futures.values()), timeout
+        )
+        self._collect_futures.clear()
+        records: list[OpRecord] = []
+        for reply in replies:
+            records.extend(record_from_wire(data) for data in reply["records"])
+            self.errors.extend(reply["errors"])
+        self._raise_errors()
+        records.sort(key=lambda rec: rec.req_id)
+        return records
+
+    async def host_metrics(self, timeout: float | None = 30.0) -> dict[int, dict]:
+        """Per-host metrics summaries."""
+        loop = asyncio.get_running_loop()
+        for index, writer in self._writers.items():
+            self._metrics_futures[index] = loop.create_future()
+            write_frame(writer, {"op": "metrics"})
+            await writer.drain()
+        replies = await asyncio.wait_for(
+            asyncio.gather(*self._metrics_futures.values()), timeout
+        )
+        self._metrics_futures.clear()
+        return {reply["host"]: reply["summary"] for reply in replies}
+
+    async def shutdown_hosts(self) -> None:
+        """Ask every host to stop (the launcher also reaps processes)."""
+        for writer in self._writers.values():
+            try:
+                write_frame(writer, {"op": "shutdown"})
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- frame handling --------------------------------------------------------
+    async def _read_loop(self, index: int, reader: asyncio.StreamReader) -> None:
+        while True:
+            message = await read_frame(reader)
+            if message is None:
+                return
+            op = message.get("op")
+            if op == "done":
+                req_id = message["req"]
+                self._results[req_id] = (
+                    message["kind"],
+                    decode_payload(message["result"]),
+                )
+                future = self._pending.get(req_id)
+                if future is not None and not future.done():
+                    future.set_result(True)
+            elif op == "records":
+                future = self._collect_futures.get(index)
+                if future is not None and not future.done():
+                    future.set_result(message)
+            elif op == "metrics":
+                future = self._metrics_futures.get(index)
+                if future is not None and not future.done():
+                    future.set_result(message)
+            elif op == "error":
+                self.errors.append(f"[host {index}] {message['message']}")
+            elif op in ("pong", "bye", "wired"):
+                pass
+            else:
+                self.errors.append(f"[host {index}] unexpected frame {message!r}")
+
+    def _raise_errors(self) -> None:
+        if self.errors:
+            raise RuntimeError("deployment reported errors:\n" + "\n".join(self.errors))

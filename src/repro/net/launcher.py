@@ -1,0 +1,287 @@
+"""Spawn and wire a local multi-process Skueue deployment.
+
+``launch_local(n_hosts, n_processes)`` starts ``n_hosts``
+:class:`~repro.net.server.NodeHost` OS processes (``python -m
+repro.net.launcher serve``), learns each one's ephemeral port from its
+``SKUEUE-READY`` line, sends every host the full peer map (the ``wire``
+frame — on receipt a host spawns its shard of the LDB and kicks the
+pipeline), and returns a :class:`NetDeployment` handle whose ``close()``
+/ context-manager exit shuts everything down deterministically.
+
+Also the ``skueue-node`` console entry point:
+
+* ``skueue-node serve --config-json '{...}'`` — run one host (what the
+  launcher spawns; also usable manually across machines),
+* ``skueue-node demo --hosts 2 --processes 8 --ops 40`` — spawn a local
+  deployment, run a mixed workload, verify sequential consistency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import select
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.net.server import HostConfig, run_host
+from repro.net.transport import FrameReader, encode_frame
+
+__all__ = ["NetDeployment", "launch_local", "main"]
+
+_READY_PREFIX = "SKUEUE-READY"
+
+
+def _src_path() -> str:
+    """Directory to put on the children's PYTHONPATH (the repro package root)."""
+    import repro
+
+    return str(Path(repro.__file__).resolve().parents[1])
+
+
+def _read_ready_line(proc: subprocess.Popen, deadline: float) -> tuple[int, int]:
+    """Block until the child prints its READY line; returns (index, port)."""
+    stream = proc.stdout
+    buffer = b""
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise TimeoutError("NodeHost did not report ready in time")
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"NodeHost exited with {proc.returncode} before becoming ready"
+            )
+        readable, _, _ = select.select([stream], [], [], min(remaining, 0.2))
+        if not readable:
+            continue
+        chunk = os.read(stream.fileno(), 4096)
+        if not chunk:
+            raise RuntimeError("NodeHost closed stdout before becoming ready")
+        buffer += chunk
+        while b"\n" in buffer:
+            line, buffer = buffer.split(b"\n", 1)
+            text = line.decode(errors="replace").strip()
+            if text.startswith(_READY_PREFIX):
+                _, index, port = text.split()
+                return int(index), int(port)
+            if text:
+                print(text, file=sys.stderr)
+
+
+def _drain_stdout(proc: subprocess.Popen) -> None:
+    """Forward a ready child's stdout so its pipe can never fill up."""
+
+    def pump() -> None:
+        try:
+            for line in iter(proc.stdout.readline, b""):
+                sys.stderr.write(line.decode(errors="replace"))
+        except ValueError:
+            pass  # stream closed during shutdown
+
+    threading.Thread(target=pump, daemon=True).start()
+
+
+def _sync_request(
+    address: tuple[str, int], message: dict, expect_op: str, timeout: float = 10.0
+) -> dict:
+    """One blocking request/response round-trip (used by the launcher only)."""
+    with socket.create_connection(address, timeout=timeout) as sock:
+        sock.sendall(encode_frame(message))
+        sock.settimeout(timeout)
+        frames = FrameReader()
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                raise ConnectionError(f"host at {address} closed the connection")
+            for reply in frames.feed(data):
+                if reply.get("op") == expect_op:
+                    return reply
+                if reply.get("op") == "error":
+                    raise RuntimeError(reply.get("message"))
+
+
+class NetDeployment:
+    """Handle on a running multi-process deployment."""
+
+    def __init__(
+        self, processes: list[subprocess.Popen], host_map: dict[int, tuple[str, int]],
+        config: dict,
+    ) -> None:
+        self.processes = processes
+        self.host_map = host_map
+        self.config = config
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self, grace: float = 5.0) -> None:
+        """Shut hosts down (orderly frame first, SIGTERM/KILL as backstop)."""
+        if self._closed:
+            return
+        self._closed = True
+        for address in self.host_map.values():
+            try:
+                _sync_request(address, {"op": "shutdown"}, "bye", timeout=2.0)
+            except (OSError, RuntimeError, ConnectionError):
+                pass
+        deadline = time.monotonic() + grace
+        for proc in self.processes:
+            try:
+                proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=2.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+
+    def __enter__(self) -> "NetDeployment":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- conveniences ---------------------------------------------------------
+    def client(self):
+        from repro.net.client import SkueueClient
+
+        return SkueueClient(self.host_map)
+
+    @property
+    def alive(self) -> bool:
+        return all(proc.poll() is None for proc in self.processes)
+
+
+def launch_local(
+    n_hosts: int,
+    n_processes: int,
+    seed: int = 0,
+    round_seconds: float = 0.01,
+    timeout_lag: float = 0.004,
+    sweep_seconds: float = 0.25,
+    ready_timeout: float = 30.0,
+) -> NetDeployment:
+    """Spawn, wire and return a local ``n_hosts``-process deployment."""
+    if n_hosts < 1:
+        raise ValueError("need at least one host")
+    if n_processes < n_hosts:
+        raise ValueError("need at least one pid per host")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _src_path() + os.pathsep + env.get("PYTHONPATH", "")
+    processes: list[subprocess.Popen] = []
+    host_map: dict[int, tuple[str, int]] = {}
+    epoch = time.time()  # one clock origin for every host's `now`
+    try:
+        for index in range(n_hosts):
+            config = HostConfig(
+                host_index=index,
+                n_hosts=n_hosts,
+                n_processes=n_processes,
+                seed=seed,
+                round_seconds=round_seconds,
+                timeout_lag=timeout_lag,
+                sweep_seconds=sweep_seconds,
+                epoch=epoch,
+            )
+            proc = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.net.launcher",
+                    "serve",
+                    "--config-json",
+                    json.dumps(config.to_json()),
+                ],
+                stdout=subprocess.PIPE,
+                env=env,
+            )
+            processes.append(proc)
+        deadline = time.monotonic() + ready_timeout
+        for proc in processes:
+            index, port = _read_ready_line(proc, deadline)
+            host_map[index] = ("127.0.0.1", port)
+            _drain_stdout(proc)
+        if len(host_map) != n_hosts:
+            raise RuntimeError(f"only {len(host_map)}/{n_hosts} hosts became ready")
+        peers = {str(i): list(addr) for i, addr in host_map.items()}
+        for index, address in host_map.items():
+            reply = _sync_request(
+                address, {"op": "wire", "peers": peers}, "wired", timeout=10.0
+            )
+            if reply.get("host") != index:
+                raise RuntimeError(f"host at {address} answered as {reply.get('host')}")
+    except BaseException:
+        for proc in processes:
+            if proc.poll() is None:
+                proc.kill()
+        raise
+    return NetDeployment(
+        processes,
+        host_map,
+        {"n_hosts": n_hosts, "n_processes": n_processes, "seed": seed},
+    )
+
+
+# -- demo workload -------------------------------------------------------------
+
+
+async def _demo(deployment: NetDeployment, ops: int, seed: int) -> dict:
+    import random
+
+    from repro.verify import check_queue_history
+
+    rng = random.Random(f"net-demo-{seed}")
+    n_processes = deployment.config["n_processes"]
+    async with deployment.client() as client:
+        enqueued = 0
+        for i in range(ops):
+            pid = rng.randrange(n_processes)
+            if rng.random() < 0.55 or enqueued == 0:
+                await client.enqueue(pid, f"item-{i}")
+                enqueued += 1
+            else:
+                await client.dequeue(pid)
+        await client.wait_all()
+        records = await client.collect_records()
+        check_queue_history(records)
+        completed = sum(1 for rec in records if rec.completed)
+        return {"ops": len(records), "completed": completed, "consistent": True}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="skueue-node", description="Skueue TCP runtime launcher"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run one NodeHost (spawned by the launcher)")
+    serve.add_argument("--config-json", required=True,
+                       help="HostConfig as a JSON object")
+
+    demo = sub.add_parser("demo", help="local deployment + verified demo workload")
+    demo.add_argument("--hosts", type=int, default=2)
+    demo.add_argument("--processes", type=int, default=8)
+    demo.add_argument("--ops", type=int, default=40)
+    demo.add_argument("--seed", type=int, default=0)
+
+    args = parser.parse_args(argv)
+    if args.command == "serve":
+        config = HostConfig.from_json(json.loads(args.config_json))
+        asyncio.run(run_host(config, ready_prefix=_READY_PREFIX))
+        return 0
+    if args.command == "demo":
+        with launch_local(args.hosts, args.processes, seed=args.seed) as deployment:
+            summary = asyncio.run(_demo(deployment, args.ops, args.seed))
+        print(json.dumps(summary))
+        return 0
+    return 2  # pragma: no cover - argparse enforces the subcommand
+
+
+if __name__ == "__main__":
+    sys.exit(main())

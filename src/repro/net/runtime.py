@@ -1,0 +1,286 @@
+"""Asyncio implementation of the :class:`repro.sim.process.Runtime` contract.
+
+One :class:`NetRuntime` lives inside one :class:`~repro.net.server.NodeHost`
+OS process and hosts that process's shard of virtual nodes.  The contract
+maps onto the event loop as follows:
+
+* ``send`` — local destinations are delivered on the next loop iteration
+  (``call_soon``, preserving the strictly-positive-delay assumption);
+  remote destinations are framed and shipped over the host's peer links;
+* ``request_timeout`` — the paper's event-driven TIMEOUT: scheduled after
+  a small lag (deduplicated while pending), so TIMEOUT races realistically
+  with message deliveries exactly as on :class:`AsyncRunner`;
+* a periodic *safety sweep* runs TIMEOUT on every local actor, bounding
+  the staleness of readiness conditions that depend on other actors;
+* ``now`` — wall clock scaled to *round units* (one unit ≈ one nominal
+  message delay, ``round_seconds``), so protocol constants expressed in
+  rounds (retry cadences, grace periods) keep their meaning.
+
+Record bookkeeping: protocol code completes an INSERT at the DHT node
+that stores the element — on a sharded deployment that node may live in a
+different OS process than the one holding the :class:`OpRecord`.
+:class:`RecordTable` makes ``ctx.records[req_id]`` work anyway: local
+ids resolve to real records, remote ids to a stub whose ``completed``
+setter forwards a COMPLETE control frame to the origin host (req_ids
+encode their origin: ``req_id % n_hosts`` is the submitting host).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable
+
+from repro.core.requests import OpRecord
+from repro.sim.metrics import Metrics
+
+__all__ = ["NetOpRecord", "NetRuntime", "RecordTable"]
+
+
+class NetRuntime:
+    """Event-loop runtime hosting one shard of actors over TCP.
+
+    Implements the :class:`repro.sim.process.Runtime` contract (asserted
+    by ``tests/unit/test_runtime_contract.py``).  ``send_remote`` is the
+    host-provided escape hatch for destinations outside the local shard.
+    """
+
+    def __init__(
+        self,
+        send_remote: Callable[[int, int, tuple], None],
+        metrics: Metrics | None = None,
+        round_seconds: float = 0.01,
+        timeout_lag: float = 0.004,
+        sweep_seconds: float = 0.25,
+        epoch: float = 0.0,
+    ) -> None:
+        self.send_remote = send_remote
+        self.metrics = metrics or Metrics()
+        self.round_seconds = round_seconds
+        self.timeout_lag = timeout_lag
+        self.sweep_seconds = sweep_seconds
+        self.actors: dict[int, object] = {}
+        self._timeout_pending: set[int] = set()
+        self._forwards: dict[int, int] = {}
+        # `now` derives from the wall clock against a deployment-wide
+        # epoch (the launcher stamps one into every HostConfig), so
+        # latency observed across hosts — gen on the origin, completion
+        # at the DHT node — is measured against one clock, not per-host
+        # start times skewed by the sequential wiring
+        self._epoch = epoch or time.time()
+        self._loop = None
+        self._sweep_handle = None
+        self._closed = False
+        self.on_actor_error: Callable[[int, BaseException], None] | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self, loop) -> None:
+        """Bind to the running event loop and start the safety sweep."""
+        self._loop = loop
+        if self.sweep_seconds:
+            self._sweep_handle = loop.call_later(self.sweep_seconds, self._sweep)
+
+    def close(self) -> None:
+        self._closed = True
+        if self._sweep_handle is not None:
+            self._sweep_handle.cancel()
+            self._sweep_handle = None
+        self.actors.clear()
+        self._timeout_pending.clear()
+        self._forwards.clear()
+
+    # -- runtime protocol ----------------------------------------------------
+    @property
+    def now(self) -> float:
+        return (time.time() - self._epoch) / self.round_seconds
+
+    def send(self, dest: int, action: int, payload: tuple) -> None:
+        self.metrics.messages += 1
+        dest = self.resolve(dest)
+        if dest in self.actors:
+            self._loop.call_soon(self._deliver, dest, action, payload)
+        else:
+            self.send_remote(dest, action, payload)
+
+    def request_timeout(self, actor_id: int) -> None:
+        if actor_id in self._timeout_pending or self._closed:
+            return
+        self._timeout_pending.add(actor_id)
+        self._loop.call_later(self.timeout_lag, self._fire_timeout, actor_id)
+
+    def call_later(self, actor_id: int, delay: float) -> None:
+        self._loop.call_later(
+            max(delay, 1.0) * self.round_seconds, self._fire_timer, actor_id
+        )
+
+    # -- actor management ----------------------------------------------------
+    def add_actor(self, actor) -> None:
+        if actor.aid in self.actors:
+            raise ValueError(f"duplicate actor id {actor.aid}")
+        self.actors[actor.aid] = actor
+
+    def remove_actor(self, actor_id: int, forward_to: int | None = None) -> None:
+        del self.actors[actor_id]
+        if forward_to is not None:
+            self._forwards[actor_id] = forward_to
+
+    def resolve(self, actor_id: int) -> int:
+        while actor_id in self._forwards:
+            actor_id = self._forwards[actor_id]
+        return actor_id
+
+    def kick(self, actor_ids: Iterable[int] | None = None) -> None:
+        ids = actor_ids if actor_ids is not None else list(self.actors.keys())
+        for actor_id in ids:
+            self.request_timeout(actor_id)
+
+    # -- event-loop callbacks ------------------------------------------------
+    def _guard(self, actor_id: int, fn: Callable[[], None]) -> None:
+        try:
+            fn()
+        except Exception as exc:  # surface, don't kill the loop
+            if self.on_actor_error is not None:
+                self.on_actor_error(actor_id, exc)
+            else:  # pragma: no cover - default only without a host
+                raise
+
+    def _deliver(self, dest: int, action: int, payload: tuple) -> None:
+        actor = self.actors.get(self.resolve(dest))
+        if actor is None:
+            # departed between scheduling and delivery: re-route
+            self.send_remote(dest, action, payload)
+            return
+        self._guard(dest, lambda: actor.handle(action, payload))
+
+    def deliver_remote(self, dest: int, action: int, payload: tuple) -> None:
+        """Entry point for messages arriving off the wire."""
+        dest = self.resolve(dest)
+        actor = self.actors.get(dest)
+        if actor is None:
+            self.send_remote(dest, action, payload)
+            return
+        self._guard(dest, lambda: actor.handle(action, payload))
+
+    def _fire_timeout(self, actor_id: int) -> None:
+        self._timeout_pending.discard(actor_id)
+        if self._closed:
+            return
+        actor = self.actors.get(actor_id)
+        if actor is not None:
+            self._guard(actor_id, actor.timeout)
+
+    def _fire_timer(self, actor_id: int) -> None:
+        if self._closed:
+            return
+        actor = self.actors.get(actor_id)
+        if actor is not None:
+            self._guard(actor_id, actor.timeout)
+
+    def _sweep(self) -> None:
+        if self._closed:
+            return
+        for actor_id, actor in list(self.actors.items()):
+            self._guard(actor_id, actor.timeout)
+        self._sweep_handle = self._loop.call_later(self.sweep_seconds, self._sweep)
+
+
+class NetOpRecord(OpRecord):
+    """An :class:`OpRecord` whose completion triggers a host callback.
+
+    The protocol flips ``completed`` from deep inside a message handler;
+    the host uses the callback to push a DONE frame to the submitting
+    client without polling.
+    """
+
+    __slots__ = ("_net_completed", "on_completed")
+
+    def __init__(self, *args, **kwargs) -> None:
+        self._net_completed = False
+        self.on_completed: Callable[[NetOpRecord], None] | None = None
+        super().__init__(*args, **kwargs)
+
+    @property
+    def completed(self) -> bool:
+        return self._net_completed
+
+    @completed.setter
+    def completed(self, value: bool) -> None:
+        was = self._net_completed
+        self._net_completed = value
+        if value and not was and self.on_completed is not None:
+            self.on_completed(self)
+
+
+class _RemoteRecordStub:
+    """Stand-in for a record owned by another host.
+
+    Only the attribute the DHT-side completion path touches is supported:
+    setting ``completed = True`` forwards a COMPLETE frame to the origin.
+    """
+
+    __slots__ = ("req_id", "_notify", "_done")
+
+    def __init__(self, req_id: int, notify: Callable[[int], None]) -> None:
+        self.req_id = req_id
+        self._notify = notify
+        self._done = False
+
+    @property
+    def completed(self) -> bool:
+        return self._done
+
+    @completed.setter
+    def completed(self, value: bool) -> None:
+        if value and not self._done:
+            self._done = True
+            self._notify(self.req_id)
+
+
+class RecordTable:
+    """``ctx.records`` for a sharded deployment (mapping by req_id).
+
+    The sim facade uses a plain list (req_id == index); hosts use this
+    table, which distinguishes locally submitted records from remote ones
+    by the origin-host residue baked into every req_id.
+    """
+
+    __slots__ = ("host_index", "n_hosts", "local", "_stubs", "_notify_origin")
+
+    def __init__(
+        self, host_index: int, n_hosts: int, notify_origin: Callable[[int], None]
+    ) -> None:
+        self.host_index = host_index
+        self.n_hosts = n_hosts
+        self.local: dict[int, NetOpRecord] = {}
+        self._stubs: dict[int, _RemoteRecordStub] = {}
+        self._notify_origin = notify_origin
+
+    def origin_of(self, req_id: int) -> int:
+        return req_id % self.n_hosts
+
+    def add_local(self, rec: NetOpRecord) -> None:
+        if rec.req_id in self.local:
+            raise ValueError(f"duplicate req_id {rec.req_id}")
+        if self.origin_of(rec.req_id) != self.host_index:
+            raise ValueError(
+                f"req_id {rec.req_id} does not belong to host {self.host_index}"
+            )
+        self.local[rec.req_id] = rec
+
+    def __getitem__(self, req_id: int):
+        rec = self.local.get(req_id)
+        if rec is not None:
+            return rec
+        if self.origin_of(req_id) == self.host_index:
+            raise KeyError(f"unknown local req_id {req_id}")
+        stub = self._stubs.get(req_id)
+        if stub is None:
+            stub = self._stubs[req_id] = _RemoteRecordStub(
+                req_id, self._notify_origin
+            )
+        return stub
+
+    def __len__(self) -> int:
+        return len(self.local)
+
+    def values(self):
+        return self.local.values()

@@ -1,0 +1,485 @@
+"""`NodeHost`: one OS process hosting a shard of virtual nodes over TCP.
+
+A deployment is ``n_hosts`` NodeHost processes plus any number of
+clients.  Processes (pids) are sharded round-robin: host ``h`` emulates
+every pid with ``pid % n_hosts == h`` — all three virtual nodes of a pid
+together, so the protocol's same-process sibling reads stay local (see
+DESIGN.md, "The net runtime").  Every host builds the *same*
+:class:`~repro.overlay.ldb.LdbTopology` snapshot from the shared salt, so
+pred/succ wiring, routing parameters and the anchor agree globally
+without any coordination traffic.
+
+Wire vocabulary (one JSON frame each, see :mod:`repro.net.transport`):
+
+==============  =======================================================
+``wire``        launcher -> host: peer address map; spawns actors, kicks
+``msg``         host -> host: one actor message ``(dest, action, payload)``
+``complete``    DHT host -> origin host: req_id finished remotely
+``submit``      client -> host: ENQUEUE/DEQUEUE at a pid this host owns
+``done``        host -> client: a submitted request completed (+ result)
+``collect``     client -> host: dump this host's OpRecords (+ errors)
+``metrics``     client -> host: metrics summary
+``ping``        liveness probe
+``shutdown``    orderly stop
+==============  =======================================================
+
+TIMEOUT is event-loop-driven (no rounds): see
+:class:`repro.net.runtime.NetRuntime`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import traceback
+from dataclasses import dataclass, field
+
+from repro.core.cluster import spawn_nodes
+from repro.core.protocol import ClusterContext, QueueNode
+from repro.net.runtime import NetOpRecord, NetRuntime, RecordTable
+from repro.net.transport import (
+    decode_payload,
+    encode_frame,
+    encode_payload,
+    read_frame,
+    record_to_wire,
+)
+from repro.overlay.ldb import MIDDLE, LdbTopology, pid_of, vid_of
+from repro.overlay.routing import route_steps_for
+from repro.sim.metrics import Metrics
+
+__all__ = ["HostConfig", "NodeHost"]
+
+
+@dataclass(slots=True)
+class HostConfig:
+    """Everything one host needs to boot (identical topology view)."""
+
+    host_index: int
+    n_hosts: int
+    n_processes: int
+    seed: int = 0
+    bind_host: str = "127.0.0.1"
+    port: int = 0  # 0: pick an ephemeral port, report via .port
+    round_seconds: float = 0.01
+    timeout_lag: float = 0.004
+    sweep_seconds: float = 0.25
+    epoch: float = 0.0  # shared wall-clock origin for `now` (0: host start)
+    salt: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.salt:
+            self.salt = f"skueue-{self.seed}"
+
+    @property
+    def owned_pids(self) -> list[int]:
+        return [
+            pid
+            for pid in range(self.n_processes)
+            if pid % self.n_hosts == self.host_index
+        ]
+
+    def owner_host(self, pid: int) -> int:
+        return pid % self.n_hosts
+
+    def to_json(self) -> dict:
+        return {
+            "host_index": self.host_index,
+            "n_hosts": self.n_hosts,
+            "n_processes": self.n_processes,
+            "seed": self.seed,
+            "bind_host": self.bind_host,
+            "port": self.port,
+            "round_seconds": self.round_seconds,
+            "timeout_lag": self.timeout_lag,
+            "sweep_seconds": self.sweep_seconds,
+            "epoch": self.epoch,
+            "salt": self.salt,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "HostConfig":
+        return cls(**data)
+
+
+class _Connection:
+    """One accepted TCP connection (client, launcher, or peer host)."""
+
+    def __init__(self, host: "NodeHost", reader, writer) -> None:
+        self.host = host
+        self.reader = reader
+        self.writer = writer
+        self.outbox: asyncio.Queue = asyncio.Queue()
+        self.tasks: list[asyncio.Task] = []
+
+    def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self.tasks = [
+            loop.create_task(self._read_loop()),
+            loop.create_task(self._write_loop()),
+        ]
+
+    def send(self, message: dict) -> None:
+        self.outbox.put_nowait(message)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                message = await read_frame(self.reader)
+                if message is None:
+                    break
+                self.host.handle_frame(self, message)
+        except Exception:
+            self.host.note_error("connection", traceback.format_exc())
+        finally:
+            self.host.forget_connection(self)
+            if len(self.tasks) > 1:
+                self.tasks[1].cancel()  # the write loop, else it leaks
+            try:
+                self.writer.close()
+            except Exception:
+                pass
+
+    async def _write_loop(self) -> None:
+        while True:
+            try:
+                message = await self.outbox.get()
+                self.writer.write(encode_frame(message))
+                await self.writer.drain()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                return
+            except Exception:
+                # e.g. a reply whose body exceeds MAX_FRAME_BYTES: drop
+                # that frame but keep the connection serviceable
+                self.host.note_error("write", traceback.format_exc())
+
+    def close(self) -> None:
+        for task in self.tasks:
+            task.cancel()
+        try:
+            self.writer.close()
+        except Exception:
+            pass
+
+
+class _PeerLink:
+    """Outbound frame pipe to one peer host (lazy connect, retry, FIFO).
+
+    Each frame carries a per-link sequence number; on reconnect the
+    frame that was in flight is resent, and the receiver deduplicates by
+    (src, seq) so the resend cannot violate the no-duplication channel
+    assumption.  A reset can still lose frames the kernel had buffered
+    but not transmitted — mid-deployment TCP failures are fail-stop
+    territory for this runtime, not masked (see DESIGN.md).
+    """
+
+    def __init__(self, address: tuple[str, int], src: int) -> None:
+        self.address = address
+        self.src = src
+        self.outbox: asyncio.Queue = asyncio.Queue()
+        self.task: asyncio.Task | None = None
+        self._seq = 0
+
+    def start(self) -> None:
+        self.task = asyncio.get_running_loop().create_task(self._run())
+
+    def send(self, message: dict) -> None:
+        self._seq += 1
+        message["src"] = self.src
+        message["seq"] = self._seq
+        self.outbox.put_nowait(message)
+
+    async def _run(self) -> None:
+        backoff = 0.05
+        pending: dict | None = None
+        while True:
+            try:
+                reader, writer = await asyncio.open_connection(*self.address)
+            except OSError:
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, 1.0)
+                continue
+            backoff = 0.05
+            try:
+                while True:
+                    if pending is None:
+                        pending = await self.outbox.get()
+                    writer.write(encode_frame(pending))
+                    await writer.drain()
+                    pending = None
+            except (ConnectionError, OSError):
+                continue  # reconnect; `pending` resent, deduped by seq
+
+    def close(self) -> None:
+        if self.task is not None:
+            self.task.cancel()
+
+
+class NodeHost:
+    """Asyncio server process running one shard of the distributed queue."""
+
+    node_class = QueueNode
+
+    def __init__(self, config: HostConfig) -> None:
+        self.config = config
+        self.runtime = NetRuntime(
+            self._send_remote,
+            Metrics(),
+            round_seconds=config.round_seconds,
+            timeout_lag=config.timeout_lag,
+            sweep_seconds=config.sweep_seconds,
+            epoch=config.epoch,
+        )
+        self.runtime.on_actor_error = self._actor_error
+        self.records = RecordTable(
+            config.host_index, config.n_hosts, self._notify_origin
+        )
+        self.topology: LdbTopology | None = None
+        self.ctx: ClusterContext | None = None
+        self.peers: dict[int, _PeerLink] = {}
+        self.connections: set[_Connection] = set()
+        self.server: asyncio.base_events.Server | None = None
+        self.port: int | None = None
+        self.wired = False
+        self.errors: list[str] = []
+        self._op_counts: dict[int, int] = {}
+        self._submitters: dict[int, _Connection] = {}
+        self._stopped: asyncio.Event | None = None
+        # peer frames racing our own `wire` frame (a peer that was wired
+        # first may talk to us before the launcher reaches us); buffered
+        # and replayed so the no-loss channel assumption holds
+        self._pre_wire: list[dict] = []
+        # once stopping, the empty-wave pipeline of still-live peers keeps
+        # delivering: drop silently instead of flagging protocol errors
+        self._stopping = False
+        # per-peer dedup of the reconnect resend (see _PeerLink)
+        self._peer_last_seq: dict[int, int] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> int:
+        """Bind the listening socket; returns the actual port."""
+        self._stopped = asyncio.Event()
+        self.server = await asyncio.start_server(
+            self._accept, self.config.bind_host, self.config.port
+        )
+        self.port = self.server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def wait_stopped(self) -> None:
+        await self._stopped.wait()
+
+    def stop(self) -> None:
+        self._stopping = True
+        asyncio.get_running_loop().create_task(self._async_stop())
+
+    async def _async_stop(self) -> None:
+        await asyncio.sleep(0.05)  # let in-flight replies (`bye`) flush
+        self.runtime.close()
+        if self.server is not None:
+            self.server.close()
+        tasks: list[asyncio.Task] = []
+        for conn in list(self.connections):
+            tasks.extend(conn.tasks)
+            conn.close()
+        for link in self.peers.values():
+            if link.task is not None:
+                tasks.append(link.task)
+            link.close()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        if self.server is not None:
+            await self.server.wait_closed()
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def _accept(self, reader, writer) -> None:
+        conn = _Connection(self, reader, writer)
+        self.connections.add(conn)
+        conn.start()
+
+    def forget_connection(self, conn: _Connection) -> None:
+        self.connections.discard(conn)
+
+    # -- bootstrap (the `wire` frame) ----------------------------------------
+    def _wire(self, peers: dict[int, tuple[str, int]]) -> None:
+        config = self.config
+        for index, address in peers.items():
+            if index != config.host_index and index not in self.peers:
+                link = _PeerLink((address[0], int(address[1])), config.host_index)
+                self.peers[index] = link
+                link.start()
+        if self.wired:
+            return
+        self.topology = LdbTopology(list(range(config.n_processes)), salt=config.salt)
+        self.ctx = ClusterContext(
+            self.runtime,
+            salt=config.salt,
+            route_steps=route_steps_for(len(self.topology)),
+        )
+        self.ctx.records = self.records
+        spawn_nodes(self.ctx, self.topology, self.node_class, pids=config.owned_pids)
+        self.runtime.start(asyncio.get_running_loop())
+        self.runtime.kick()
+        self.wired = True
+        buffered, self._pre_wire = self._pre_wire, []
+        for message in buffered:
+            self._handle_peer_frame(message)
+
+    # -- remote messaging ----------------------------------------------------
+    def _send_remote(self, dest: int, action: int, payload: tuple) -> None:
+        if self._stopping:
+            return
+        owner = self.config.owner_host(pid_of(dest))
+        if owner == self.config.host_index:
+            # destination departed locally with no forward: protocol bug
+            self.note_error(
+                f"vid {dest}", f"message {action} for unknown local actor {dest}"
+            )
+            return
+        self.peers[owner].send(
+            {"op": "msg", "dest": dest, "action": action,
+             "payload": encode_payload(payload)}
+        )
+
+    def _notify_origin(self, req_id: int) -> None:
+        origin = self.records.origin_of(req_id)
+        if origin == self.config.host_index:  # pragma: no cover - stubs are remote
+            self._complete_local(req_id)
+        else:
+            self.peers[origin].send({"op": "complete", "req": req_id})
+
+    def _complete_local(self, req_id: int) -> None:
+        rec = self.records.local.get(req_id)
+        if rec is not None and not rec.completed:
+            rec.completed = True  # triggers the DONE push via on_completed
+
+    # -- frame dispatch ------------------------------------------------------
+    def handle_frame(self, conn: _Connection, message: dict) -> None:
+        op = message.get("op")
+        try:
+            if op == "msg" or op == "complete":
+                if self._stopping:
+                    return
+                src = message.get("src")
+                if src is not None:
+                    seq = message["seq"]
+                    if seq <= self._peer_last_seq.get(src, 0):
+                        return  # duplicate of a reconnect resend
+                    self._peer_last_seq[src] = seq
+                if self.wired:
+                    self._handle_peer_frame(message)
+                else:
+                    self._pre_wire.append(message)
+            elif op == "submit":
+                self._submit(conn, message)
+            elif op == "wire":
+                self._wire({int(k): v for k, v in message["peers"].items()})
+                conn.send({"op": "wired", "host": self.config.host_index})
+            elif op == "collect":
+                conn.send(
+                    {
+                        "op": "records",
+                        "host": self.config.host_index,
+                        "records": [
+                            record_to_wire(rec) for rec in self.records.values()
+                        ],
+                        "errors": list(self.errors),
+                    }
+                )
+            elif op == "metrics":
+                conn.send(
+                    {
+                        "op": "metrics",
+                        "host": self.config.host_index,
+                        "summary": self.runtime.metrics.summary(),
+                    }
+                )
+            elif op == "ping":
+                conn.send({"op": "pong", "host": self.config.host_index,
+                           "wired": self.wired})
+            elif op == "shutdown":
+                conn.send({"op": "bye", "host": self.config.host_index})
+                asyncio.get_running_loop().call_soon(self.stop)
+            else:
+                conn.send({"op": "error", "message": f"unknown op {op!r}"})
+        except Exception:
+            self.note_error(f"frame {op!r}", traceback.format_exc())
+
+    def _handle_peer_frame(self, message: dict) -> None:
+        if message["op"] == "msg":
+            self.runtime.deliver_remote(
+                message["dest"],
+                message["action"],
+                decode_payload(message["payload"]),
+            )
+        else:  # complete
+            self._complete_local(message["req"])
+
+    # -- request intake ------------------------------------------------------
+    def _submit(self, conn: _Connection, message: dict) -> None:
+        if not self.wired:
+            conn.send({"op": "error", "message": "host not wired yet"})
+            return
+        pid = message["pid"]
+        req_id = message["req"]
+        if not 0 <= pid < self.config.n_processes:
+            conn.send(
+                {"op": "error",
+                 "message": f"pid {pid} out of range (n_processes="
+                            f"{self.config.n_processes})"}
+            )
+            return
+        if self.config.owner_host(pid) != self.config.host_index:
+            conn.send(
+                {"op": "error",
+                 "message": f"pid {pid} not owned by host {self.config.host_index}"}
+            )
+            return
+        idx = self._op_counts.get(pid, 0)
+        self._op_counts[pid] = idx + 1
+        rec = NetOpRecord(
+            req_id,
+            pid,
+            idx,
+            message["kind"],
+            decode_payload(message["item"]),
+            self.runtime.now,
+        )
+        rec.on_completed = self._record_done
+        self.records.add_local(rec)
+        self._submitters[req_id] = conn
+        node = self.runtime.actors[vid_of(pid, MIDDLE)]
+        node.local_op(rec)
+
+    def _record_done(self, rec: NetOpRecord) -> None:
+        conn = self._submitters.pop(rec.req_id, None)
+        if conn is not None:
+            conn.send(
+                {
+                    "op": "done",
+                    "req": rec.req_id,
+                    "kind": rec.kind,
+                    "result": encode_payload(rec.result),
+                }
+            )
+
+    # -- error surfacing -----------------------------------------------------
+    def _actor_error(self, actor_id: int, exc: BaseException) -> None:
+        self.note_error(f"actor {actor_id}", "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ))
+
+    def note_error(self, where: str, detail: str) -> None:
+        entry = f"[host {self.config.host_index}] {where}: {detail}"
+        self.errors.append(entry)
+        print(entry, flush=True)
+
+
+async def run_host(config: HostConfig, ready_prefix: str = "SKUEUE-READY") -> None:
+    """Run one host until a `shutdown` frame arrives.
+
+    Prints ``{ready_prefix} <host_index> <port>`` once listening — the
+    launcher parses this line to learn the ephemeral port.
+    """
+    host = NodeHost(config)
+    port = await host.start()
+    print(f"{ready_prefix} {config.host_index} {port}", flush=True)
+    await host.wait_stopped()

@@ -1,0 +1,196 @@
+"""Wire format of the TCP runtime: framing + payload codec.
+
+Frames are length-prefixed JSON: a 4-byte big-endian unsigned length
+followed by that many bytes of UTF-8 JSON.  Frames above
+:data:`MAX_FRAME_BYTES` are rejected on both ends — a peer that sends one
+is buggy or malicious, and accepting it would let a single connection
+exhaust host memory.
+
+JSON alone cannot carry the protocol's payloads: batches, position
+intervals and :class:`~repro.core.requests.OpRecord` fields are built
+from *tuples* (compared by value in the sequential-consistency checker),
+dicts with float keys (DHT handover slices), and the ⊥ sentinel
+``BOTTOM``.  The codec therefore tags containers:
+
+* ``{"t": [...]}`` — tuple (items encoded recursively),
+* ``{"d": [[k, v], ...]}`` — dict (keys of any encodable type),
+* ``{"b": 0}`` — the ``BOTTOM`` singleton,
+* lists, strings, ints, floats, bools, ``None`` pass through.
+
+Python's ``json`` round-trips floats exactly (``repr``-based), so LDB
+labels and DHT keys survive the wire bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Iterator
+
+from repro.core.requests import BOTTOM, OpRecord
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "FrameError",
+    "FrameReader",
+    "decode_payload",
+    "encode_frame",
+    "encode_payload",
+    "read_frame",
+    "record_from_wire",
+    "record_to_wire",
+    "write_frame",
+]
+
+#: Upper bound on one frame's JSON body (16 MiB).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class FrameError(ValueError):
+    """A malformed or oversized frame arrived (or was about to be sent)."""
+
+
+# -- payload codec -------------------------------------------------------------
+
+
+def encode_payload(obj: object) -> object:
+    """Encode ``obj`` into the JSON-safe tagged form."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj
+    if obj is BOTTOM:
+        return {"b": 0}
+    if isinstance(obj, tuple):
+        return {"t": [encode_payload(item) for item in obj]}
+    if isinstance(obj, list):
+        return [encode_payload(item) for item in obj]
+    if isinstance(obj, dict):
+        return {"d": [[encode_payload(k), encode_payload(v)] for k, v in obj.items()]}
+    raise FrameError(f"cannot encode {type(obj).__name__} value {obj!r}")
+
+
+def decode_payload(obj: object) -> object:
+    """Inverse of :func:`encode_payload`."""
+    if isinstance(obj, list):
+        return [decode_payload(item) for item in obj]
+    if isinstance(obj, dict):
+        if "t" in obj:
+            return tuple(decode_payload(item) for item in obj["t"])
+        if "d" in obj:
+            return {decode_payload(k): decode_payload(v) for k, v in obj["d"]}
+        if "b" in obj:
+            return BOTTOM
+        raise FrameError(f"unknown tagged object {obj!r}")
+    return obj
+
+
+# -- OpRecord <-> wire ---------------------------------------------------------
+
+
+def record_to_wire(rec: OpRecord) -> dict:
+    """Flatten an :class:`OpRecord` for a COLLECT reply (client-side
+    consistency checking needs every field the checker reads)."""
+    return {
+        "req_id": rec.req_id,
+        "pid": rec.pid,
+        "idx": rec.idx,
+        "kind": rec.kind,
+        "item": encode_payload(rec.item),
+        "gen": rec.gen,
+        "value": rec.value,
+        "result": encode_payload(rec.result),
+        "completed": rec.completed,
+        "local_match": rec.local_match,
+    }
+
+
+def record_from_wire(data: dict) -> OpRecord:
+    rec = OpRecord(
+        data["req_id"],
+        data["pid"],
+        data["idx"],
+        data["kind"],
+        decode_payload(data["item"]),
+        data["gen"],
+    )
+    rec.value = data["value"]
+    rec.result = decode_payload(data["result"])
+    rec.completed = data["completed"]
+    rec.local_match = data["local_match"]
+    return rec
+
+
+# -- framing -------------------------------------------------------------------
+
+
+def encode_frame(message: dict) -> bytes:
+    """Serialise one control/actor message into a length-prefixed frame."""
+    body = json.dumps(message, separators=(",", ":")).encode()
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LEN.pack(len(body)) + body
+
+
+class FrameReader:
+    """Incremental frame decoder tolerating arbitrary packet boundaries.
+
+    Feed it whatever ``recv`` produced; it yields every complete message
+    and buffers the tail.  Used by the tests directly and mirrored by the
+    asyncio helpers below (which lean on ``readexactly`` instead).
+    """
+
+    __slots__ = ("_buffer", "max_frame")
+
+    def __init__(self, max_frame: int = MAX_FRAME_BYTES) -> None:
+        self._buffer = bytearray()
+        self.max_frame = max_frame
+
+    def feed(self, data: bytes) -> Iterator[dict]:
+        self._buffer.extend(data)
+        while True:
+            if len(self._buffer) < _LEN.size:
+                return
+            (length,) = _LEN.unpack_from(self._buffer)
+            if length > self.max_frame:
+                raise FrameError(
+                    f"incoming frame of {length} bytes exceeds {self.max_frame}"
+                )
+            end = _LEN.size + length
+            if len(self._buffer) < end:
+                return
+            body = bytes(self._buffer[_LEN.size : end])
+            del self._buffer[:end]
+            yield json.loads(body)
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+
+# -- asyncio stream helpers ----------------------------------------------------
+
+
+async def read_frame(reader, max_frame: int = MAX_FRAME_BYTES) -> dict | None:
+    """Read one frame from an ``asyncio.StreamReader``; ``None`` on EOF."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > max_frame:
+        raise FrameError(f"incoming frame of {length} bytes exceeds {max_frame}")
+    try:
+        body = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    return json.loads(body)
+
+
+def write_frame(writer, message: dict) -> None:
+    """Queue one frame on an ``asyncio.StreamWriter`` (drain separately)."""
+    writer.write(encode_frame(message))

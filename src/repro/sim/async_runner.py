@@ -32,7 +32,11 @@ _SWEEP = 9
 
 
 class AsyncRunner:
-    """Event-heap asynchronous message-passing engine."""
+    """Event-heap asynchronous message-passing engine.
+
+    Implements the :class:`repro.sim.process.Runtime` contract (asserted
+    by ``tests/unit/test_runtime_contract.py``).
+    """
 
     def __init__(
         self,
@@ -164,3 +168,11 @@ class AsyncRunner:
                 self._heap,
                 (self.time + self.safety_tick, next(self._seq), _SWEEP, 0, 0, ()),
             )
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        """Drop all actors and queued events; the engine must not run after."""
+        self.actors.clear()
+        self._heap.clear()
+        self._timeout_pending.clear()
+        self._forwards.clear()

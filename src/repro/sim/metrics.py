@@ -9,7 +9,7 @@ optional raw-sample mode for percentile reporting in the benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["LatencyStat", "Metrics"]
 

@@ -1,17 +1,30 @@
-"""Actor model shared by the synchronous and asynchronous engines.
+"""Actor model and the runtime contract shared by every execution engine.
 
 An actor is the paper's *process* (here: one virtual node of the LDB, or a
 baseline server/client).  Messages are remote action calls ``(action,
 payload)``; actions are identified by small integer codes owned by each
 protocol module so dispatch stays cheap at 10^5-actor scale.  The
 ``timeout`` method is the paper's TIMEOUT action: the engines invoke it
-once per round (synchronous) or whenever the actor requested a check
-(asynchronous, where "periodically" has no global clock to hang onto).
+once per round (synchronous), whenever the actor requested a check
+(asynchronous, where "periodically" has no global clock to hang onto), or
+event-loop-driven (the real TCP runtime in :mod:`repro.net`).
+
+:class:`Runtime` is the **explicit contract** those engines implement.
+Protocol code (``QueueNode`` and friends) programs only against this
+surface, which is what lets the *same unmodified* actors run on the
+in-process simulators and over real asyncio TCP (see DESIGN.md, "Runtime
+contract").  Three implementations exist:
+
+* :class:`repro.sim.sync_runner.SyncRunner` — deterministic rounds;
+* :class:`repro.sim.async_runner.AsyncRunner` — event heap, arbitrary
+  positive message delays (the paper's asynchronous model);
+* :class:`repro.net.runtime.NetRuntime` — an asyncio event loop inside a
+  ``NodeHost`` OS process, shipping remote messages over TCP.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Protocol
+from typing import TYPE_CHECKING, Iterable, Mapping, Protocol, runtime_checkable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.metrics import Metrics
@@ -19,14 +32,38 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["Actor", "Runtime"]
 
 
+@runtime_checkable
 class Runtime(Protocol):
-    """What an actor may ask of the engine that hosts it."""
+    """What an actor (and the cluster facade) may ask of its engine.
+
+    Semantics every implementation must honour:
+
+    * ``send`` never loses or duplicates a message and delivers it after
+      a strictly positive delay — the paper's channel assumptions;
+      delivery order between two sends is *not* guaranteed (the sync
+      engine optionally shuffles, the async engine draws random delays,
+      TCP is FIFO per connection — all within the model);
+    * ``request_timeout`` schedules a TIMEOUT for the actor *soon*
+      (next round / after a small lag); engines additionally run a
+      periodic safety sweep so readiness that depends on other actors'
+      state is re-checked eventually;
+    * ``actors`` is the engine's **local** view: in the simulators it
+      holds every actor, in a sharded TCP deployment only the shard
+      hosted by this OS process.  Protocol code treats a missing entry
+      as "not locally observable" and falls back to messaging.
+    """
 
     metrics: "Metrics"
 
     @property
     def now(self) -> float:
-        """Current round (synchronous) or virtual time (asynchronous)."""
+        """Current round (sync), virtual time (async), or scaled wall
+        clock (net) — one unit ≈ one message delay."""
+        ...
+
+    @property
+    def actors(self) -> Mapping[int, "Actor"]:
+        """Locally hosted actors, keyed by actor id."""
         ...
 
     def send(self, dest: int, action: int, payload: tuple) -> None: ...
@@ -34,6 +71,22 @@ class Runtime(Protocol):
     def request_timeout(self, actor_id: int) -> None: ...
 
     def call_later(self, actor_id: int, delay: float) -> None: ...
+
+    def add_actor(self, actor: "Actor") -> None: ...
+
+    def remove_actor(self, actor_id: int, forward_to: int | None = None) -> None: ...
+
+    def resolve(self, actor_id: int) -> int:
+        """Follow forwarding addresses left by departed actors."""
+        ...
+
+    def kick(self, actor_ids: Iterable[int] | None = None) -> None:
+        """Schedule an initial TIMEOUT for the given actors (default: all)."""
+        ...
+
+    def close(self) -> None:
+        """Release engine resources; the engine must not run afterwards."""
+        ...
 
 
 class Actor:

@@ -32,7 +32,11 @@ __all__ = ["SyncRunner"]
 
 
 class SyncRunner:
-    """Deterministic synchronous message-passing engine."""
+    """Deterministic synchronous message-passing engine.
+
+    Implements the :class:`repro.sim.process.Runtime` contract (asserted
+    by ``tests/unit/test_runtime_contract.py``).
+    """
 
     def __init__(
         self,
@@ -155,3 +159,12 @@ class SyncRunner:
         """Schedule an initial TIMEOUT for the given actors (default: all)."""
         ids = actor_ids if actor_ids is not None else self.actors.keys()
         self._timeout_now.update(ids)
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Drop all actors and queued work; the engine must not run after."""
+        self.actors.clear()
+        self._inbox_next.clear()
+        self._timeout_now.clear()
+        self._timers.clear()
+        self._forwards.clear()

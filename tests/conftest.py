@@ -64,9 +64,11 @@ def assert_topology_invariants(cluster) -> None:
 
 @pytest.fixture
 def small_queue():
-    return SkueueCluster(n_processes=8, seed=42)
+    with SkueueCluster(n_processes=8, seed=42) as cluster:
+        yield cluster
 
 
 @pytest.fixture
 def small_stack():
-    return SkackCluster(n_processes=8, seed=42)
+    with SkackCluster(n_processes=8, seed=42) as cluster:
+        yield cluster

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import BOTTOM, SkackCluster, SkueueCluster
+from repro import SkackCluster, SkueueCluster
 from repro.core.requests import INSERT
 from tests.conftest import verify
 

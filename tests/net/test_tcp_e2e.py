@@ -1,0 +1,128 @@
+"""End-to-end: the unmodified protocol over real asyncio TCP.
+
+Launches NodeHost OS processes, drives a mixed ENQUEUE/DEQUEUE workload
+through :class:`SkueueClient`, and hands the collected history to the
+same Definition-1 checker the simulators use.  Marked ``net`` (excluded
+from tier-1; CI runs it in a dedicated job).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.requests import BOTTOM, INSERT, REMOVE
+from repro.net.client import SkueueClient
+from repro.net.launcher import launch_local
+from repro.verify import check_queue_history
+
+pytestmark = pytest.mark.net
+
+
+def _run_mixed_workload(
+    n_hosts: int,
+    n_processes: int,
+    ops: int,
+    seed: int,
+    enqueue_probability: float = 0.55,
+):
+    """Drive `ops` operations, wait, collect and verify the history."""
+
+    async def scenario(deployment):
+        rng = random.Random(f"tcp-e2e-{seed}")
+        async with SkueueClient(deployment.host_map) as client:
+            expected_items = {}
+            enqueued = 0
+            for i in range(ops):
+                pid = rng.randrange(n_processes)
+                if rng.random() < enqueue_probability or enqueued == 0:
+                    req = await client.enqueue(pid, f"item-{i}")
+                    expected_items[req] = f"item-{i}"
+                    enqueued += 1
+                else:
+                    await client.dequeue(pid)
+            await client.wait_all(timeout=120.0)
+            records = await client.collect_records()
+            return records, client, expected_items
+
+    with launch_local(n_hosts, n_processes, seed=seed) as deployment:
+        assert deployment.alive
+        return asyncio.run(scenario(deployment))
+
+
+def test_two_hosts_mixed_workload_is_sequentially_consistent():
+    n_processes, ops = 8, 220
+    records, client, _ = _run_mixed_workload(2, n_processes, ops, seed=1)
+
+    assert len(records) == ops
+    assert all(rec.completed for rec in records)
+    # the history spans both hosts' shards
+    assert {rec.pid % 2 for rec in records} == {0, 1}
+    assert {rec.pid for rec in records} <= set(range(n_processes))
+    check_queue_history(records)
+
+
+def test_results_match_the_witness_order():
+    n_processes, ops = 8, 200
+
+    async def scenario(deployment):
+        rng = random.Random("tcp-e2e-2")
+        async with SkueueClient(deployment.host_map) as client:
+            expected_items = {}
+            for i in range(ops):
+                pid = rng.randrange(n_processes)
+                if rng.random() < 0.55 or not expected_items:
+                    req = await client.enqueue(pid, f"item-{i}")
+                    expected_items[req] = f"item-{i}"
+                else:
+                    await client.dequeue(pid)
+            await client.wait_all(timeout=120.0)
+            # drain phase: more dequeues than elements can remain, so at
+            # least one ⊥ is guaranteed regardless of timing
+            for _ in range(len(expected_items) + 1):
+                await client.dequeue(rng.randrange(n_processes))
+            await client.wait_all(timeout=120.0)
+            return await client.collect_records(), client, expected_items
+
+    with launch_local(2, n_processes, seed=2) as deployment:
+        records, client, expected_items = asyncio.run(scenario(deployment))
+    check_queue_history(records)
+
+    # client-visible results agree with the collected history
+    by_req = {rec.req_id: rec for rec in records}
+    removals = [rec for rec in records if rec.kind == REMOVE]
+    assert removals, "workload generated no dequeues"
+    got_bottom = got_item = False
+    for rec in removals:
+        result = client.result_of(rec.req_id)
+        if rec.result is BOTTOM:
+            assert result is BOTTOM
+            got_bottom = True
+        else:
+            enq_req, item = rec.result
+            assert result == item
+            assert by_req[enq_req].kind == INSERT
+            assert expected_items[enq_req] == item
+            got_item = True
+    assert got_item, "no dequeue ever returned an element"
+    assert got_bottom, "over-draining the queue must produce a BOTTOM"
+
+
+def test_enqueues_complete_across_host_boundaries():
+    # every insert's DHT node is effectively random, so with 3 hosts many
+    # completions must traverse the COMPLETE-forwarding path
+    records, client, expected = _run_mixed_workload(3, 9, 120, seed=3,
+                                                    enqueue_probability=1.0)
+    check_queue_history(records)
+    assert len(records) == 120
+    assert all(rec.kind == INSERT and rec.completed for rec in records)
+    assert all(client.result_of(req) is True for req in expected)
+
+
+@pytest.mark.slow
+def test_larger_deployment_long_workload():
+    records, _, _ = _run_mixed_workload(4, 16, 600, seed=4)
+    assert len(records) == 600
+    check_queue_history(records)

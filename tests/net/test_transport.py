@@ -1,0 +1,116 @@
+"""Unit tests for the wire format: framing + payload codec."""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+
+from repro.core.requests import BOTTOM, INSERT, OpRecord
+from repro.net.transport import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    FrameReader,
+    decode_payload,
+    encode_frame,
+    encode_payload,
+    record_from_wire,
+    record_to_wire,
+)
+
+
+class TestPayloadCodec:
+    def test_scalars_pass_through(self):
+        for value in (None, True, False, 0, -7, 3.5, "text", ""):
+            assert decode_payload(encode_payload(value)) == value
+
+    def test_floats_round_trip_exactly(self):
+        # LDB labels/DHT keys are 53-bit fractions; the wire must not
+        # perturb them (routing decisions compare them for ownership)
+        values = [0.1, 2**-53, 1 - 2**-53, 0.6822871999174586]
+        encoded = json.loads(json.dumps(encode_payload(values)))
+        assert decode_payload(encoded) == values
+
+    def test_tuples_survive_as_tuples(self):
+        payload = (3, (0, "item"), [1, (2, 3)], ())
+        decoded = decode_payload(json.loads(json.dumps(encode_payload(payload))))
+        assert decoded == payload
+        assert isinstance(decoded, tuple)
+        assert isinstance(decoded[1], tuple)
+        assert isinstance(decoded[2], list)
+        assert isinstance(decoded[2][1], tuple)
+
+    def test_bottom_singleton(self):
+        decoded = decode_payload(json.loads(json.dumps(encode_payload((BOTTOM,)))))
+        assert decoded[0] is BOTTOM
+
+    def test_dicts_with_float_keys(self):
+        slice_ = {0.25: (1, "a"), 0.75: (2, "b")}
+        decoded = decode_payload(json.loads(json.dumps(encode_payload(slice_))))
+        assert decoded == slice_
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(FrameError):
+            encode_payload(object())
+
+    def test_record_round_trip(self):
+        rec = OpRecord(17, 3, 2, INSERT, ("payload", 1), 4.0)
+        rec.value = 9
+        rec.result = BOTTOM
+        rec.completed = True
+        back = record_from_wire(json.loads(json.dumps(record_to_wire(rec))))
+        assert back.req_id == 17 and back.pid == 3 and back.idx == 2
+        assert back.item == ("payload", 1)
+        assert back.value == 9
+        assert back.result is BOTTOM
+        assert back.completed
+
+
+class TestFraming:
+    def test_round_trip_single_frame(self):
+        reader = FrameReader()
+        frames = list(reader.feed(encode_frame({"op": "ping", "n": 1})))
+        assert frames == [{"op": "ping", "n": 1}]
+        assert reader.buffered == 0
+
+    def test_partial_reads_any_boundary(self):
+        message = {"op": "msg", "payload": encode_payload((1, (2.5, "x"), BOTTOM))}
+        wire = encode_frame(message) * 3
+        for chunk_size in (1, 2, 3, 5, 7, len(wire)):
+            reader = FrameReader()
+            out = []
+            for i in range(0, len(wire), chunk_size):
+                out.extend(reader.feed(wire[i : i + chunk_size]))
+            assert len(out) == 3
+            assert all(decode_payload(m["payload"]) == (1, (2.5, "x"), BOTTOM)
+                       for m in out)
+            assert reader.buffered == 0
+
+    def test_multiple_frames_in_one_read(self):
+        wire = b"".join(encode_frame({"i": i}) for i in range(10))
+        assert [m["i"] for m in FrameReader().feed(wire)] == list(range(10))
+
+    def test_oversized_incoming_frame_rejected(self):
+        reader = FrameReader(max_frame=64)
+        header = struct.pack(">I", 65)
+        with pytest.raises(FrameError):
+            list(reader.feed(header + b"x" * 65))
+
+    def test_oversized_header_rejected_before_body_arrives(self):
+        # the length prefix alone must trigger rejection: a malicious
+        # 4 GiB announcement must not cause 4 GiB of buffering
+        reader = FrameReader()
+        header = struct.pack(">I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(FrameError):
+            list(reader.feed(header))
+
+    def test_oversized_outgoing_frame_rejected(self):
+        with pytest.raises(FrameError):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+    def test_empty_feed_yields_nothing(self):
+        reader = FrameReader()
+        assert list(reader.feed(b"")) == []
+        assert list(reader.feed(encode_frame({"a": 1})[:3])) == []
+        assert reader.buffered == 3

@@ -1,6 +1,6 @@
 """Property-based tests: batch algebra and anchor/decomposer invariants."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.anchor import QueueAnchorState, StackAnchorState

@@ -1,6 +1,5 @@
 """Unit tests for the public hash functions (Section II assumptions)."""
 
-import math
 
 import pytest
 

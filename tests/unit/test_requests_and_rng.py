@@ -1,6 +1,5 @@
 """Unit tests: request records, sentinels, RNG streams, action codes."""
 
-import pytest
 
 from repro.core import actions
 from repro.core.requests import BOTTOM, INSERT, OpRecord, REMOVE, kind_name

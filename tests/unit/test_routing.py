@@ -1,6 +1,5 @@
 """Unit tests for De Bruijn routing (Lemma 3)."""
 
-import math
 
 from repro.overlay.ldb import LdbTopology
 from repro.overlay.routing import (

@@ -1,8 +1,7 @@
 """Unit tests for the aggregation tree rules (Section III-B)."""
 
-import math
 
-from repro.overlay.ldb import LEFT, MIDDLE, RIGHT, LdbTopology, kind_of
+from repro.overlay.ldb import RIGHT, LdbTopology, kind_of
 from repro.overlay.tree import (
     children_of,
     is_anchor_local,
