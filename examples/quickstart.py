@@ -1,52 +1,54 @@
 #!/usr/bin/env python3
-"""Quickstart: a Skueue cluster in five minutes.
+"""Quickstart: one workload script, every execution substrate.
 
-Builds a 16-process distributed queue, enqueues a few items from
-different processes, dequeues them from others, and shows that FIFO
-order holds globally even though no single machine holds the queue.
+``repro.connect()`` opens a handle-based queue session; operations
+return ``OpHandle`` objects (``.result()``, ``.done()``, awaitable)
+instead of raw request ids.  The *same* ``workload`` function below runs
+on deterministic synchronous rounds and on the adversarial asynchronous
+simulator — and ``examples/tcp_quickstart.py`` reuses it, unmodified,
+against a real multi-OS-process TCP deployment.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import BOTTOM, SkueueCluster
-from repro.verify import check_queue_history
+import repro
+from repro import BOTTOM
+
+
+def workload(session) -> None:
+    """Enqueue from one process, dequeue from others, verify FIFO."""
+    # enqueue three items from process 3 as one pipelined batch; its
+    # program order pins their FIFO positions
+    items = ["alpha", "bravo", "charlie"]
+    puts = session.submit_batch([("enqueue", item, 3) for item in items])
+    session.drain()
+    assert all(handle.result() is True for handle in puts)
+    print(f"  process 3 enqueued {items}")
+
+    # dequeue from three *other* processes, one at a time — FIFO order
+    # holds globally even though no single machine holds the queue
+    for pid, expected in zip((0, 5, 2), items):
+        handle = session.dequeue(pid=pid)
+        print(f"  process {pid} dequeued {handle.result()!r}")
+        assert handle.result() == expected
+
+    # one more dequeue on the now-empty queue returns BOTTOM (⊥)
+    assert session.dequeue(pid=4).result() is BOTTOM
+    print("  process 4 dequeued ⊥ (queue empty)")
+
+    # every run is checkable against the paper's Definition 1
+    records = session.verify()
+    print(f"  history of {len(records)} ops verified sequentially consistent ✓")
 
 
 def main() -> None:
-    with SkueueCluster(n_processes=16, seed=7) as cluster:
-        run(cluster)
-
-
-def run(cluster: SkueueCluster) -> None:
-    print(f"cluster up: {len(cluster.runtime.actors)} virtual nodes on the ring")
-    print(f"anchor: virtual node {cluster.anchor.vid} (the leftmost label)")
-
-    # enqueue from three different processes
-    for pid, item in [(3, "alpha"), (9, "bravo"), (14, "charlie")]:
-        cluster.enqueue(pid, item)
-        cluster.run_until_done()  # quiesce so the order is deterministic
-        print(f"process {pid:2d} enqueued {item!r}   (queue size {cluster.size})")
-
-    # dequeue from three other processes — FIFO order, globally
-    for pid in (0, 6, 11):
-        handle = cluster.dequeue(pid)
-        cluster.run_until_done()
-        print(f"process {pid:2d} dequeued {cluster.result_of(handle)!r}")
-
-    # one more dequeue on the now-empty queue returns BOTTOM (⊥)
-    handle = cluster.dequeue(5)
-    cluster.run_until_done()
-    assert cluster.result_of(handle) is BOTTOM
-    print("process  5 dequeued ⊥ (queue empty)")
-
-    # every run is checkable against Definition 1
-    check_queue_history(cluster.records)
-    print("history verified sequentially consistent ✓")
-    print(
-        f"stats: {cluster.metrics.generated} requests, "
-        f"{cluster.metrics.messages} messages, "
-        f"mean {cluster.metrics.mean_latency():.1f} rounds/request"
-    )
+    for backend, story in [
+        ("sync", "deterministic synchronous rounds"),
+        ("async", "adversarial asynchronous delays"),
+    ]:
+        print(f"backend={backend!r} ({story})")
+        with repro.connect(backend, n_processes=8, seed=7) as session:
+            workload(session)
 
 
 if __name__ == "__main__":

@@ -1,47 +1,32 @@
 #!/usr/bin/env python3
-"""Quickstart for the real TCP deployment (repro.net).
+"""Quickstart for the real TCP deployment — same workload, new substrate.
 
-Spawns two NodeHost OS processes that together emulate an 8-process
-Skueue, submits enqueues and dequeues over TCP from this process, and
-verifies the collected history against Definition 1 — the same checker
-the simulators use, over the same unmodified protocol code.
+``repro.connect("tcp", ...)`` spawns two NodeHost OS processes that
+together emulate an 8-process Skueue, then runs **the exact workload
+function from examples/quickstart.py** against them over real sockets.
+That is the point of the unified API: the script does not know whether
+it is talking to a simulator or a deployment.
+
+Under the hood every session gets a host-assigned nonce packed into its
+request ids, so any number of these sessions (or raw ``SkueueClient``
+instances) may submit to the same hosts concurrently.
 
 Run:  python examples/tcp_quickstart.py
 (or `skueue-node demo --hosts 2 --processes 8 --ops 40` after install)
 """
 
-import asyncio
-
-from repro.net import SkueueClient, launch_local
-from repro.verify import check_queue_history
-
-
-async def workload(deployment) -> None:
-    async with SkueueClient(deployment.host_map) as client:
-        # enqueue from three pids; their owning hosts differ (pid % 2)
-        handles = {}
-        for pid, item in [(3, "alpha"), (4, "bravo"), (7, "charlie")]:
-            await client.enqueue(pid, item)
-            print(f"pid {pid} (host {client.host_for(pid)}) enqueued {item!r}")
-        # dequeue from three other pids; submissions run concurrently
-        # with the enqueues, so a dequeue may legally be ordered before
-        # them (returning ⊥) — the checker validates whatever happened
-        for pid in (0, 1, 6):
-            handles[pid] = await client.dequeue(pid)
-        await client.wait_all()
-        for pid, req in handles.items():
-            print(f"pid {pid} (host {client.host_for(pid)}) "
-                  f"dequeued {client.result_of(req)!r}")
-        records = await client.collect_records()
-        check_queue_history(records)
-        print(f"history of {len(records)} ops verified "
-              "sequentially consistent across OS processes ✓")
+import repro
+from quickstart import workload
 
 
 def main() -> None:
-    with launch_local(n_hosts=2, n_processes=8, seed=7) as deployment:
-        print(f"deployment up: hosts at {sorted(deployment.host_map.values())}")
-        asyncio.run(workload(deployment))
+    print("backend='tcp' (NodeHost OS processes, real asyncio sockets)")
+    with repro.connect("tcp", n_processes=8, seed=7, n_hosts=2) as session:
+        hosts = sorted(session.backend.client.host_map.values())
+        print(f"  deployment up: hosts at {hosts}")
+        workload(session)
+        print("  same workload function as examples/quickstart.py — "
+              "zero changes for TCP")
 
 
 if __name__ == "__main__":

@@ -7,20 +7,25 @@ consistent-hashing DHT, the batched four-stage queue protocol with
 JOIN/LEAVE, the distributed stack variant, a Definition-1 sequential
 consistency checker, baselines, and the paper's full evaluation harness.
 
-Quickstart::
+Quickstart (the unified handle API — same script on every backend)::
 
-    from repro import SkueueCluster
+    import repro
 
-    cluster = SkueueCluster(n_processes=16, seed=1)
-    cluster.enqueue(pid=3, item="job-1")
-    handle = cluster.dequeue(pid=11)
-    cluster.run_until_done()
-    assert cluster.result_of(handle) == "job-1"
+    with repro.connect("sync", n_processes=16, seed=1) as queue:
+        queue.enqueue("job-1", pid=3)
+        job = queue.dequeue(pid=11)
+        assert job.result() == "job-1"
+
+Swap ``"sync"`` for ``"async"`` (adversarial delays) or ``"tcp"`` (real
+multi-process deployment) and nothing else changes; see ``repro.api``.
+The engine-level facades (:class:`SkueueCluster`, :class:`SkackCluster`)
+remain available for round-precise simulation control.
 """
 
+from repro.api import connect
 from repro.core.cluster import SkackCluster, SkueueCluster
 from repro.core.requests import BOTTOM
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["BOTTOM", "SkackCluster", "SkueueCluster", "__version__"]
+__all__ = ["BOTTOM", "SkackCluster", "SkueueCluster", "__version__", "connect"]

@@ -1,0 +1,86 @@
+"""One queue API for every runtime: ``connect()`` + handle sessions.
+
+The protocol is runtime-agnostic; this package makes the *public
+surface* runtime-agnostic too.  ``connect`` returns a
+:class:`~repro.api.session.QueueSession` (or ``StackSession``) whose
+operations return :class:`~repro.api.handles.OpHandle` objects — the
+same workload script runs unmodified on synchronous rounds, the
+asynchronous event simulator, and a real multi-process TCP deployment::
+
+    import repro
+
+    def workload(session):
+        a = session.enqueue("job-1", pid=3)
+        b = session.dequeue(pid=5)
+        session.drain()
+        assert b.result() == "job-1"
+        session.verify()                      # Definition-1 check
+
+    for backend in ("sync", "async", "tcp"):
+        with repro.connect(backend, n_processes=8, seed=7) as session:
+            workload(session)
+
+Backends
+--------
+``sync``
+    Deterministic synchronous rounds (:class:`SyncRunner`); the paper's
+    round metrics.  Extra kwargs go to :class:`SkueueCluster`.
+``async``
+    Adversarial asynchronous delays (:class:`AsyncRunner`).
+``tcp``
+    Real asyncio TCP over NodeHost OS processes.  Launches a local
+    deployment by default (``n_hosts=``); pass ``host_map=`` or
+    ``deployment=`` to attach to a running one — any number of
+    concurrent sessions may attach to the same deployment (per-client
+    nonces keep their request-id spaces disjoint, see
+    :func:`repro.core.requests.pack_req_id`).
+
+The older per-runtime facades (:class:`repro.SkueueCluster`'s raw
+req_id ints, :class:`repro.net.SkueueClient`) remain as thin
+compatibility shims over the same machinery; new code should start
+here.
+"""
+
+from __future__ import annotations
+
+from repro.api.handles import OpHandle
+from repro.api.session import QueueSession, Session, StackSession
+
+__all__ = ["OpHandle", "QueueSession", "Session", "StackSession", "connect"]
+
+
+def connect(
+    backend: str = "sync",
+    *,
+    structure: str = "queue",
+    n_processes: int = 8,
+    seed: int = 0,
+    **kwargs,
+) -> Session:
+    """Open a queue/stack session on the chosen backend.
+
+    ``structure`` selects FIFO (``"queue"``) or LIFO (``"stack"``)
+    semantics; remaining kwargs are backend-specific (cluster options on
+    the simulators; ``n_hosts``/``host_map``/``deployment`` and launch
+    options on TCP).
+    """
+    if structure not in ("queue", "stack"):
+        raise ValueError(f"unknown structure {structure!r}")
+    if backend in ("sync", "async"):
+        from repro.api._sim import SimBackend
+
+        impl = SimBackend(
+            structure=structure, runner=backend, n_processes=n_processes,
+            seed=seed, **kwargs,
+        )
+    elif backend == "tcp":
+        from repro.api._tcp import TcpBackend
+
+        impl = TcpBackend(
+            structure=structure, n_processes=n_processes, seed=seed, **kwargs
+        )
+    else:
+        raise ValueError(f"unknown backend {backend!r} "
+                         "(expected 'sync', 'async', or 'tcp')")
+    session_cls = StackSession if structure == "stack" else QueueSession
+    return session_cls(impl)

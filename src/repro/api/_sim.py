@@ -1,0 +1,80 @@
+"""Simulator backend of the public API (sync rounds / async events).
+
+Wraps one :class:`~repro.core.cluster.SkueueCluster` /
+:class:`~repro.core.cluster.SkackCluster`.  Waiting on a handle *drives
+the engine*: the simulators have no background progress, so ``wait``
+steps until the record completes — bounded by ``max_rounds``
+(a :class:`RuntimeError` past the bound indicates a protocol bug, not
+slow progress, matching the cluster facade's convention).  Timeouts in
+seconds are meaningless here and are ignored.
+"""
+
+from __future__ import annotations
+
+from repro.core.cluster import SkackCluster, SkueueCluster
+from repro.core.requests import OpRecord
+
+__all__ = ["SimBackend"]
+
+
+class SimBackend:
+    """In-process backend: one simulated cluster per session."""
+
+    def __init__(
+        self,
+        structure: str = "queue",
+        runner: str = "sync",
+        n_processes: int = 8,
+        seed: int = 0,
+        max_rounds: int = 200_000,
+        **cluster_kwargs,
+    ) -> None:
+        cluster_cls = SkackCluster if structure == "stack" else SkueueCluster
+        self.cluster = cluster_cls(
+            n_processes=n_processes, seed=seed, runner=runner, **cluster_kwargs
+        )
+        self.n_processes = n_processes
+        self.max_rounds = max_rounds
+
+    # -- submission -----------------------------------------------------------
+    def submit(self, pid: int, kind: int, item: object) -> int:
+        return self.cluster.submit(pid, kind, item)
+
+    def submit_many(self, ops: list[tuple[int, int, object]]) -> list[int]:
+        return [self.cluster.submit(pid, kind, item) for pid, kind, item in ops]
+
+    # -- completion -----------------------------------------------------------
+    def _record(self, req_id: int) -> OpRecord:
+        records = self.cluster.records
+        if not 0 <= req_id < len(records):
+            raise KeyError(f"req_id {req_id} was never submitted on this session")
+        return records[req_id]
+
+    def is_done(self, req_id: int) -> bool:
+        return self._record(req_id).completed
+
+    def wait(self, req_id: int, timeout: float | None = None):
+        rec = self._record(req_id)
+        if not rec.completed:
+            self.cluster.runtime.run_until(lambda: rec.completed, self.max_rounds)
+        return self.cluster.result_of(req_id)
+
+    async def await_result(self, req_id: int):
+        # the simulators complete synchronously under the hood; awaiting
+        # a handle is still useful so one async workload script can run
+        # unmodified against every backend
+        return self.wait(req_id)
+
+    def wait_all(self, timeout: float | None = None) -> None:
+        self.cluster.run_until_done(self.max_rounds)
+
+    def result(self, req_id: int):
+        self._record(req_id)  # KeyError for never-submitted ids
+        return self.cluster.result_of(req_id)
+
+    # -- history / lifecycle ----------------------------------------------------
+    def history(self) -> list[OpRecord]:
+        return list(self.cluster.records)
+
+    def close(self) -> None:
+        self.cluster.close()

@@ -1,0 +1,144 @@
+"""TCP backend of the public API.
+
+Runs a :class:`~repro.net.client.SkueueClient` on a dedicated asyncio
+event loop in a background thread, so the session surface is plain
+synchronous calls — the same shape as the simulator backends — while
+``await handle`` still works from the caller's own event loop
+(the handle wraps the cross-thread future).
+
+The backend either *attaches* to an existing deployment (``host_map=``
+or ``deployment=``) or *launches* a local one and owns its lifecycle.
+Attaching is what multi-client scenarios use: every ``connect()`` gets
+its own host-assigned nonce, so sessions never collide on req_ids.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.core.requests import OpRecord
+
+__all__ = ["TcpBackend"]
+
+
+class TcpBackend:
+    """One client connection to a (possibly shared) TCP deployment."""
+
+    def __init__(
+        self,
+        structure: str = "queue",
+        n_processes: int = 8,
+        seed: int = 0,
+        *,
+        host_map: dict[int, tuple[str, int]] | None = None,
+        deployment=None,
+        n_hosts: int = 2,
+        default_timeout: float = 60.0,
+        **launch_kwargs,
+    ) -> None:
+        from repro.net.client import SkueueClient
+
+        self.default_timeout = default_timeout
+        self._owns_deployment = False
+        self._closed = False
+        self.deployment = deployment
+        self.client = None
+        self._loop = None
+        self._thread = None
+        try:
+            if host_map is None and deployment is None:
+                from repro.net.launcher import launch_local
+
+                self.deployment = launch_local(
+                    n_hosts, n_processes, seed=seed, structure=structure,
+                    **launch_kwargs,
+                )
+                self._owns_deployment = True
+            if self.deployment is not None:
+                host_map = self.deployment.host_map
+            self.client = SkueueClient(host_map)
+            self._loop = asyncio.new_event_loop()
+            self._thread = threading.Thread(
+                target=self._run_loop, name="skueue-tcp-backend", daemon=True
+            )
+            self._thread.start()
+            self._call(self.client.connect())
+            info = self.client.deployment_info
+            if info["structure"] != structure:
+                raise ValueError(
+                    f"deployment serves a {info['structure']!r}, session "
+                    f"asked for a {structure!r}"
+                )
+            self.n_processes = info["n_processes"]
+        except BaseException:
+            self.close()
+            raise
+
+    # -- loop plumbing ---------------------------------------------------------
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    def _call(self, coro, timeout: float | None = None):
+        """Run a coroutine on the backend loop; block for its result."""
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(timeout)
+
+    # -- submission -----------------------------------------------------------
+    def submit(self, pid: int, kind: int, item: object) -> int:
+        return self._call(self.client._submit(pid, kind, item))
+
+    def submit_many(self, ops: list[tuple[int, int, object]]) -> list[int]:
+        return self._call(self.client.submit_many(ops))
+
+    # -- completion -----------------------------------------------------------
+    def is_done(self, req_id: int) -> bool:
+        return self.client.is_done(req_id)
+
+    def _timeout(self, timeout: float | None) -> float:
+        # None means "backend default"; an explicit 0 stays 0 (poll)
+        return self.default_timeout if timeout is None else timeout
+
+    def wait(self, req_id: int, timeout: float | None = None):
+        return self._call(self.client.wait(req_id, self._timeout(timeout)))
+
+    def await_result(self, req_id: int):
+        future = asyncio.run_coroutine_threadsafe(
+            self.client.wait(req_id, self.default_timeout), self._loop
+        )
+
+        async def _await():
+            return await asyncio.wrap_future(future)
+
+        return _await()
+
+    def wait_all(self, timeout: float | None = None) -> None:
+        self._call(self.client.wait_all(self._timeout(timeout)))
+
+    def result(self, req_id: int):
+        return self.client.result_of(req_id)
+
+    # -- history / lifecycle ----------------------------------------------------
+    def history(self) -> list[OpRecord]:
+        return self._call(self.client.collect_records())
+
+    def host_metrics(self) -> dict[int, dict]:
+        return self._call(self.client.host_metrics())
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if (self.client is not None and self._loop is not None
+                    and self._loop.is_running()):
+                self._call(self.client.close(), timeout=5.0)
+        except Exception:
+            pass
+        finally:
+            if self._loop is not None:
+                self._loop.call_soon_threadsafe(self._loop.stop)
+                self._thread.join(timeout=5.0)
+                self._loop.close()
+            if self._owns_deployment and self.deployment is not None:
+                self.deployment.close()

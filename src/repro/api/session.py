@@ -1,0 +1,209 @@
+"""Queue/Stack sessions: the backend-agnostic operation surface.
+
+A session owns one backend (simulator engine or TCP client) and turns
+operation submissions into :class:`~repro.api.handles.OpHandle` objects.
+The surface is identical on every backend:
+
+* ``enqueue``/``dequeue`` (``push``/``pop`` on stacks) — one handle each;
+* :meth:`Session.submit_batch` — many operations pipelined in one call
+  (one network flush per touched host on TCP, plain loop on the sims),
+  returned as handles in submission order;
+* :meth:`Session.drain` / ``wait_all`` — block until every operation
+  submitted so far has completed;
+* :meth:`Session.history` / :meth:`Session.verify` — the full OpRecord
+  history (collected from every host on TCP) and the Definition-1
+  sequential-consistency check over it.
+
+``pid`` is optional everywhere: by default the session spreads
+operations round-robin over the deployment's processes, so simple
+workloads never mention pids at all.
+"""
+
+from __future__ import annotations
+
+from repro.core.requests import INSERT, REMOVE, OpRecord
+from repro.api.handles import OpHandle
+
+__all__ = ["QueueSession", "Session", "StackSession"]
+
+_INSERT_NAMES = frozenset({"enqueue", "push", "insert"})
+_REMOVE_NAMES = frozenset({"dequeue", "pop", "remove"})
+
+
+def _parse_kind(op) -> int:
+    """Normalise an operation designator (name or INSERT/REMOVE int)."""
+    if op in (INSERT, REMOVE):
+        return op
+    if isinstance(op, str):
+        name = op.lower()
+        if name in _INSERT_NAMES:
+            return INSERT
+        if name in _REMOVE_NAMES:
+            return REMOVE
+    raise ValueError(f"unknown operation {op!r}")
+
+
+def _parse_op(spec) -> tuple[int, object, int | None]:
+    """One batch element -> ``(kind, item, pid_or_None)``.
+
+    Accepted shapes: ``("enqueue", item)``, ``("enqueue", item, pid)``,
+    ``("dequeue",)``, ``("dequeue", pid)`` (removals carry no item, so
+    their second element is the pid) — names may be any alias accepted
+    by :func:`_parse_kind`.
+    """
+    name, *rest = spec
+    kind = _parse_kind(name)
+    if kind == INSERT:
+        if len(rest) > 2:
+            raise ValueError(f"insert spec {spec!r} has too many fields")
+        item = rest[0] if rest else None
+        pid = rest[1] if len(rest) > 1 else None
+    else:
+        if len(rest) > 1:
+            raise ValueError(f"removal spec {spec!r} has too many fields")
+        item = None
+        pid = rest[0] if rest else None
+    return kind, item, pid
+
+
+class Session:
+    """One open connection to a queue/stack, over any backend."""
+
+    structure = "queue"
+
+    def __init__(self, backend) -> None:
+        self._backend = backend
+        self._rr_pid = 0  # round-robin cursor for default pid assignment
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+    def close(self) -> None:
+        """Release the backend (idempotent): engine, sockets, and — if
+        this session launched its own TCP deployment — the host
+        processes."""
+        if not self._closed:
+            self._closed = True
+            self._backend.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- submission -----------------------------------------------------------
+    @property
+    def n_processes(self) -> int:
+        """Number of processes requests can be issued at."""
+        return self._backend.n_processes
+
+    def _pick_pid(self, pid: int | None) -> int:
+        if pid is not None:
+            return pid
+        pid = self._rr_pid % self.n_processes
+        self._rr_pid += 1
+        return pid
+
+    def _wrap(self, req_id: int, kind: int, pid: int, item: object) -> OpHandle:
+        return OpHandle(self._backend, req_id, kind, pid, item,
+                        stack=self.structure == "stack")
+
+    def submit(self, op, item: object = None, *, pid: int | None = None) -> OpHandle:
+        """Submit one operation by designator; returns its handle."""
+        kind = _parse_kind(op)
+        pid = self._pick_pid(pid)
+        req_id = self._backend.submit(pid, kind, item)
+        return self._wrap(req_id, kind, pid, item)
+
+    def submit_batch(self, ops) -> list[OpHandle]:
+        """Pipeline many operations; handles come back in submission order.
+
+        ``ops`` is an iterable of specs (see :func:`_parse_op`).  Per-pid
+        program order follows the iterable's order on every backend.
+        """
+        parsed = [
+            (self._pick_pid(pid), kind, item)
+            for kind, item, pid in map(_parse_op, ops)
+        ]
+        req_ids = self._backend.submit_many(parsed)
+        return [
+            self._wrap(req_id, kind, pid, item)
+            for req_id, (pid, kind, item) in zip(req_ids, parsed)
+        ]
+
+    # -- completion -----------------------------------------------------------
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every operation submitted so far has completed."""
+        self._backend.wait_all(timeout)
+
+    # identical semantics, familiar name for client-API users
+    wait_all = drain
+
+    def result_of(self, req_id: int):
+        """Result by raw req_id: completed result, ``None`` while
+        pending; :class:`KeyError` for ids never submitted here."""
+        return self._backend.result(req_id)
+
+    # -- history / verification -----------------------------------------------
+    def history(self) -> list[OpRecord]:
+        """The full operation history (every host's records on TCP)."""
+        return self._backend.history()
+
+    def verify(self) -> list[OpRecord]:
+        """Check the history against Definition 1; returns the records.
+
+        Raises :class:`repro.verify.ConsistencyViolation` on failure.
+        On TCP the history includes operations of *all* clients of the
+        deployment, so the merged multi-client execution is what gets
+        verified.
+        """
+        from repro.verify import check_queue_history, check_stack_history
+
+        records = self.history()
+        if self.structure == "stack":
+            check_stack_history(records)
+        else:
+            check_queue_history(records)
+        return records
+
+    # -- escape hatches ---------------------------------------------------------
+    @property
+    def cluster(self):
+        """The underlying simulator cluster (sim backends only)."""
+        cluster = getattr(self._backend, "cluster", None)
+        if cluster is None:
+            raise AttributeError("this backend does not expose a cluster "
+                                 "(TCP deployments run in other processes)")
+        return cluster
+
+    @property
+    def backend(self):
+        return self._backend
+
+
+class QueueSession(Session):
+    """FIFO session: ENQUEUE/DEQUEUE handles."""
+
+    structure = "queue"
+
+    def enqueue(self, item: object = None, *, pid: int | None = None) -> OpHandle:
+        """Submit ENQUEUE(item); returns its handle."""
+        return self.submit(INSERT, item, pid=pid)
+
+    def dequeue(self, *, pid: int | None = None) -> OpHandle:
+        """Submit DEQUEUE(); returns its handle."""
+        return self.submit(REMOVE, pid=pid)
+
+
+class StackSession(Session):
+    """LIFO session: PUSH/POP handles (Skack, Section VI)."""
+
+    structure = "stack"
+
+    def push(self, item: object = None, *, pid: int | None = None) -> OpHandle:
+        """Submit PUSH(item); returns its handle."""
+        return self.submit(INSERT, item, pid=pid)
+
+    def pop(self, *, pid: int | None = None) -> OpHandle:
+        """Submit POP(); returns its handle."""
+        return self.submit(REMOVE, pid=pid)

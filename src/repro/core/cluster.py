@@ -1,11 +1,18 @@
-"""Public facade: build a Skueue/Skack cluster and drive it.
+"""Simulation facade: build a Skueue/Skack cluster and drive it.
 
 A cluster owns one simulation engine, builds the LDB over an initial set
 of processes, and exposes the paper's four operations —
 ENQUEUE/DEQUEUE (PUSH/POP for the stack) plus JOIN/LEAVE — along with
 run helpers and introspection for tests, examples and benchmarks.
 
-Typical use::
+This is the *engine-level* surface; the recommended public API is the
+backend-agnostic handle layer in :mod:`repro.api`
+(``repro.api.connect(backend="sync"|"async"|"tcp")``), which wraps this
+facade for the simulators.  ``enqueue``/``dequeue`` here keep returning
+raw request-id ints for compatibility; new code should prefer the
+:class:`~repro.api.OpHandle` objects the session layer returns.
+
+Typical (engine-level) use::
 
     cluster = SkueueCluster(n_processes=32, seed=7)
     handle = cluster.enqueue(pid=3, item="job-1")
@@ -168,6 +175,14 @@ class SkueueCluster:
         """Issue DEQUEUE() at process ``pid``; returns a request id."""
         return self._inject(pid, REMOVE, None)
 
+    def submit(self, pid: int, kind: int, item: object = None) -> int:
+        """Issue one operation by kind (INSERT/REMOVE); returns a request id.
+
+        The generic entry point shared with the :mod:`repro.api` session
+        layer; :meth:`enqueue`/:meth:`dequeue` are name-sugar over it.
+        """
+        return self._inject(pid, kind, item)
+
     def _inject(self, pid: int, kind: int, item: object) -> int:
         if pid in self.leaving_pids:
             raise ValueError(f"process {pid} is leaving and takes no requests")
@@ -182,8 +197,12 @@ class SkueueCluster:
         return rec.req_id
 
     def result_of(self, req_id: int):
-        """Result of a removal request: the dequeued item, BOTTOM, or
-        ``None`` while still pending."""
+        """Result of a request: ``True`` for a completed insert, the
+        dequeued item or ``BOTTOM`` for a completed removal, ``None``
+        while still pending.  Raises :class:`KeyError` for a req_id that
+        was never issued on this cluster."""
+        if not 0 <= req_id < len(self.ctx.records):
+            raise KeyError(f"req_id {req_id} was never issued on this cluster")
         rec = self.ctx.records[req_id]
         if not rec.completed:
             return None

@@ -11,14 +11,72 @@ Elements are stored in the DHT as ``(req_id, item)`` pairs, realising the
 paper's w.l.o.g. assumption that every element is enqueued at most once
 ("make the calling process and the current count of requests performed a
 part of e").
+
+Request-id space
+----------------
+On the simulators a req_id is simply the record's index in the history
+list.  On a sharded TCP deployment req_ids are assigned client-side and
+must (a) encode the submitting host so any DHT node can route a
+completion back to the origin (``req_id % n_hosts``, see
+:class:`repro.net.runtime.RecordTable`) and (b) never collide across
+*concurrent* clients.  :func:`pack_req_id` therefore packs three fields
+into one int::
+
+    req_id = ((nonce << REQ_SEQ_BITS) | seq) * n_hosts + host
+
+where ``nonce`` is a per-connection value the host assigns during the
+``hello``/``welcome`` handshake (unique per host), ``seq`` is the
+client's per-host submission counter, and ``host`` is the owning host
+index.  ``req_id % n_hosts == host`` holds by construction, so record
+routing is oblivious to how many clients exist.
 """
 
 from __future__ import annotations
 
-__all__ = ["BOTTOM", "INSERT", "REMOVE", "OpRecord", "kind_name"]
+__all__ = [
+    "BOTTOM",
+    "INSERT",
+    "REMOVE",
+    "REQ_SEQ_BITS",
+    "MAX_REQ_SEQ",
+    "OpRecord",
+    "kind_name",
+    "pack_req_id",
+    "unpack_req_id",
+]
 
 #: Operation kinds, shared by queue (enqueue/dequeue) and stack (push/pop).
 INSERT, REMOVE = 0, 1
+
+#: Bits reserved for the per-host submission counter inside a packed
+#: req_id; 2**32 operations per client per host before exhaustion.
+REQ_SEQ_BITS = 32
+MAX_REQ_SEQ = (1 << REQ_SEQ_BITS) - 1
+
+
+def pack_req_id(nonce: int, seq: int, host: int, n_hosts: int) -> int:
+    """Pack ``(nonce, seq, host)`` into one collision-free request id.
+
+    Preserves the origin-host residue (``result % n_hosts == host``) that
+    the completion-forwarding path relies on, while giving every client
+    connection its own id space via the host-assigned ``nonce``.
+    """
+    if nonce < 0:
+        raise ValueError(f"nonce must be non-negative, got {nonce}")
+    if not 0 <= seq <= MAX_REQ_SEQ:
+        raise ValueError(f"seq {seq} outside [0, {MAX_REQ_SEQ}]")
+    if not 0 <= host < n_hosts:
+        raise ValueError(f"host {host} outside [0, {n_hosts})")
+    return (((nonce << REQ_SEQ_BITS) | seq) * n_hosts) + host
+
+
+def unpack_req_id(req_id: int, n_hosts: int) -> tuple[int, int, int]:
+    """Inverse of :func:`pack_req_id`; returns ``(nonce, seq, host)``."""
+    if req_id < 0:
+        raise ValueError(f"req_id must be non-negative, got {req_id}")
+    host = req_id % n_hosts
+    rest = req_id // n_hosts
+    return rest >> REQ_SEQ_BITS, rest & MAX_REQ_SEQ, host
 
 
 class _Bottom:

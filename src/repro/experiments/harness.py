@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.cluster import SkackCluster, SkueueCluster
+from repro.api import connect
 
 __all__ = ["ExperimentResult", "run_experiment"]
 
@@ -57,33 +57,48 @@ def run_experiment(
     With ``verify=True`` the full history is checked against Definition 1
     after the run (used by the integration tests; skipped in benchmarks
     where histories get large).
-    """
-    cluster_cls = SkackCluster if stack else SkueueCluster
-    cluster = cluster_cls(n_processes=n_processes, seed=seed, shuffle_delivery=False)
-    for _ in range(rounds):
-        for pid, kind in workload.requests_for_round():
-            cluster._inject(pid, kind, None)
-        cluster.step()
-    before_drain = cluster.runtime.round
-    cluster.run_until_done(max_drain_rounds)
-    if verify:
-        from repro.verify import check_queue_history, check_stack_history
 
-        (check_stack_history if stack else check_queue_history)(cluster.records)
-    metrics = cluster.metrics
-    return ExperimentResult(
+    Runs on the unified session API (``repro.api.connect``) with the
+    deterministic ``sync`` backend; the engine-level escape hatch
+    (``session.cluster``) provides the round-precise stepping the
+    measurement procedure needs.
+    """
+    session = connect(
+        "sync",
+        structure="stack" if stack else "queue",
         n_processes=n_processes,
-        insert_probability=getattr(workload, "insert_probability", 0.5),
-        rounds=rounds,
-        generated=metrics.generated,
-        completed=metrics.completed,
-        mean_rounds_per_request=metrics.mean_latency(),
-        per_kind={
-            kind: {"count": s.count, "mean": s.mean}
-            for kind, s in metrics.latency.items()
-        },
-        messages=metrics.messages,
-        max_batch_len=metrics.max_batch_len,
-        annihilated=metrics.counters.get("annihilated_pairs", 0),
-        drain_rounds=cluster.runtime.round - before_drain,
+        seed=seed,
+        max_rounds=max_drain_rounds,
+        shuffle_delivery=False,
     )
+    with session:
+        cluster = session.cluster
+        # submit through the backend directly: the measurement loop has
+        # no use for per-op handles, and wrapping ~10^5 of them would
+        # tax the wall-clock figures pytest-benchmark tracks
+        backend = session.backend
+        for _ in range(rounds):
+            for pid, kind in workload.requests_for_round():
+                backend.submit(pid, kind, None)
+            cluster.step()
+        before_drain = cluster.runtime.round
+        session.drain()
+        if verify:
+            session.verify()
+        metrics = cluster.metrics
+        return ExperimentResult(
+            n_processes=n_processes,
+            insert_probability=getattr(workload, "insert_probability", 0.5),
+            rounds=rounds,
+            generated=metrics.generated,
+            completed=metrics.completed,
+            mean_rounds_per_request=metrics.mean_latency(),
+            per_kind={
+                kind: {"count": s.count, "mean": s.mean}
+                for kind, s in metrics.latency.items()
+            },
+            messages=metrics.messages,
+            max_batch_len=metrics.max_batch_len,
+            annihilated=metrics.counters.get("annihilated_pairs", 0),
+            drain_rounds=cluster.runtime.round - before_drain,
+        )

@@ -1,4 +1,4 @@
-"""`SkueueClient`: submit queue operations to a TCP deployment.
+"""`SkueueClient`: submit queue/stack operations to a TCP deployment.
 
 The client may talk to *any* host; a request for pid ``p`` goes to the
 host owning ``p`` (round-robin sharding, mirrored from
@@ -7,12 +7,20 @@ client-side and encode the owning host (``req_id % n_hosts``), which is
 what lets a DHT node on one host complete a record that originated on
 another (see :class:`repro.net.runtime.RecordTable`).
 
-Limitation: req_id sequences are per-client, so at most one client may
-*submit* to any given host at a time (concurrent clients on disjoint
-host shards are fine; the host rejects duplicate req_ids loudly).
-Widening the id space with a client nonce is a roadmap item.
+Any number of clients may submit to the same host concurrently: during
+:meth:`connect` every host answers the client's ``hello`` with a
+``welcome`` frame carrying a per-connection **nonce**, and every req_id
+packs ``(nonce, seq, host)`` via
+:func:`repro.core.requests.pack_req_id` — id spaces of different
+clients are disjoint by construction (the host still rejects duplicate
+req_ids loudly as a backstop).
 
-Typical use::
+This is the transport core of the unified facade in :mod:`repro.api`;
+prefer ``repro.api.connect(backend="tcp", ...)`` for new code — it
+returns :class:`~repro.api.OpHandle` objects and runs the same workload
+script on every backend.
+
+Typical (direct) use::
 
     async with SkueueClient(deployment.host_map) as client:
         req = await client.enqueue(pid=3, item="job-1")
@@ -26,7 +34,7 @@ from __future__ import annotations
 
 import asyncio
 
-from repro.core.requests import BOTTOM, INSERT, REMOVE, OpRecord
+from repro.core.requests import BOTTOM, INSERT, REMOVE, OpRecord, pack_req_id
 from repro.net.transport import (
     decode_payload,
     encode_payload,
@@ -47,19 +55,57 @@ class SkueueClient:
         self._writers: dict[int, asyncio.StreamWriter] = {}
         self._readers: dict[int, asyncio.Task] = {}
         self._counters: dict[int, int] = {}
+        self._nonces: dict[int, int] = {}  # host -> welcome-assigned nonce
         self._pending: dict[int, asyncio.Future] = {}
         self._results: dict[int, object] = {}
         self._collect_futures: dict[int, asyncio.Future] = {}
         self._metrics_futures: dict[int, asyncio.Future] = {}
+        self._welcome_futures: dict[int, asyncio.Future] = {}
+        self.deployment_info: dict = {}  # shape learned from `welcome`
         self.errors: list[str] = []
 
     # -- lifecycle -----------------------------------------------------------
-    async def connect(self) -> "SkueueClient":
-        for index, (address, port) in sorted(self.host_map.items()):
-            reader, writer = await asyncio.open_connection(address, port)
-            self._writers[index] = writer
-            self._readers[index] = asyncio.get_running_loop().create_task(
-                self._read_loop(index, reader)
+    async def connect(self, timeout: float | None = 10.0) -> "SkueueClient":
+        """Open one connection per host and perform the nonce handshake.
+
+        ``timeout`` bounds each connection attempt and the whole
+        handshake.  On any failure everything opened so far is closed
+        before the exception propagates.
+        """
+        loop = asyncio.get_running_loop()
+        try:
+            for index, (address, port) in sorted(self.host_map.items()):
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(address, port), timeout
+                )
+                self._writers[index] = writer
+                self._readers[index] = loop.create_task(
+                    self._read_loop(index, reader)
+                )
+            for index, writer in self._writers.items():
+                self._welcome_futures[index] = loop.create_future()
+                write_frame(writer, {"op": "hello"})
+                await writer.drain()
+            welcomes = await asyncio.wait_for(
+                asyncio.gather(*self._welcome_futures.values()), timeout
+            )
+        except BaseException:
+            await self.close()
+            raise
+        finally:
+            self._welcome_futures.clear()
+        for message in welcomes:
+            self._nonces[message["host"]] = message["nonce"]
+        self.deployment_info = {
+            key: welcomes[0][key] for key in ("n_hosts", "n_processes", "structure")
+        }
+        # a partial host_map would mis-shard every submission (host_for
+        # uses len(host_map)); fail fast instead of hanging on DONE
+        if self.deployment_info["n_hosts"] != self.n_hosts:
+            await self.close()
+            raise ValueError(
+                f"host_map names {self.n_hosts} hosts but the deployment "
+                f"has {self.deployment_info['n_hosts']}"
             )
         return self
 
@@ -92,40 +138,99 @@ class SkueueClient:
         """Issue DEQUEUE() at process ``pid``; returns the req_id."""
         return await self._submit(pid, REMOVE, None)
 
-    async def _submit(self, pid: int, kind: int, item: object) -> int:
-        host = self.host_for(pid)
+    def _next_req_id(self, host: int) -> int:
         seq = self._counters.get(host, 0)
         self._counters[host] = seq + 1
-        req_id = seq * self.n_hosts + host
+        return pack_req_id(self._nonces.get(host, 0), seq, host, self.n_hosts)
+
+    def _queue_submit(self, pid: int, kind: int, item: object) -> int:
+        """Frame one submission onto its host's writer (drain separately)."""
+        host = self.host_for(pid)
+        req_id = self._next_req_id(host)
         self._pending[req_id] = asyncio.get_running_loop().create_future()
-        writer = self._writers[host]
         write_frame(
-            writer,
+            self._writers[host],
             {"op": "submit", "req": req_id, "pid": pid, "kind": kind,
              "item": encode_payload(item)},
         )
-        await writer.drain()
         return req_id
+
+    async def _submit(self, pid: int, kind: int, item: object) -> int:
+        req_id = self._queue_submit(pid, kind, item)
+        await self._writers[self.host_for(pid)].drain()
+        return req_id
+
+    async def submit_many(self, ops: list[tuple[int, int, object]]) -> list[int]:
+        """Pipeline many ``(pid, kind, item)`` submissions.
+
+        All frames are written before any drain, so one call costs one
+        flush per touched host instead of one per operation.  Submission
+        order per pid is preserved (TCP is FIFO per connection and a
+        host assigns per-pid indices in arrival order).
+        """
+        req_ids = [self._queue_submit(pid, kind, item) for pid, kind, item in ops]
+        for host in {self.host_for(pid) for pid, _, _ in ops}:
+            await self._writers[host].drain()
+        return req_ids
 
     # -- completions ----------------------------------------------------------
     async def wait(self, req_id: int, timeout: float | None = 30.0):
-        """Await one request; returns its result (see :meth:`result_of`)."""
+        """Await one request; returns its result (see :meth:`result_of`).
+
+        Raises :class:`KeyError` for a req_id this client never
+        submitted, and :class:`TimeoutError` if the request is still
+        pending after ``timeout`` — in which case the request remains
+        pending and may be awaited again (the underlying future is
+        shielded from the timeout cancellation).
+        """
         future = self._pending.get(req_id)
-        if future is not None:
-            await asyncio.wait_for(asyncio.shield(future), timeout)
+        if future is None:
+            raise KeyError(f"req_id {req_id} was never submitted by this client")
+        if not future.done():
+            try:
+                await asyncio.wait_for(asyncio.shield(future), timeout)
+            except asyncio.TimeoutError:
+                raise TimeoutError(
+                    f"req_id {req_id} still pending after {timeout}s"
+                ) from None
         return self.result_of(req_id)
 
     async def wait_all(self, timeout: float | None = 60.0) -> None:
-        """Await every request submitted so far."""
+        """Await every request submitted so far.
+
+        Raises the builtin :class:`TimeoutError` past ``timeout`` (same
+        class as :meth:`wait` on every supported Python), after
+        surfacing any host-reported errors."""
         outstanding = [f for f in self._pending.values() if not f.done()]
         if outstanding:
-            await asyncio.wait_for(asyncio.gather(*outstanding), timeout)
+            try:
+                await asyncio.wait_for(
+                    asyncio.gather(*[asyncio.shield(f) for f in outstanding]),
+                    timeout,
+                )
+            except asyncio.TimeoutError:
+                self._raise_errors()  # a host error explains the hang best
+                raise TimeoutError(
+                    f"{sum(1 for f in outstanding if not f.done())} requests "
+                    f"still pending after {timeout}s"
+                ) from None
         self._raise_errors()
+
+    def is_done(self, req_id: int) -> bool:
+        """Whether a submitted request has completed (KeyError if unknown)."""
+        if req_id not in self._pending:
+            raise KeyError(f"req_id {req_id} was never submitted by this client")
+        return req_id in self._results
 
     def result_of(self, req_id: int):
         """Result of a finished request: ``True`` for inserts, the
-        dequeued item or ``BOTTOM`` for removals, ``None`` if pending."""
+        dequeued item or ``BOTTOM`` for removals, ``None`` if pending.
+        Raises :class:`KeyError` for ids this client never submitted."""
         if req_id not in self._results:
+            if req_id not in self._pending:
+                raise KeyError(
+                    f"req_id {req_id} was never submitted by this client"
+                )
             return None
         kind, result = self._results[req_id]
         if kind == INSERT:
@@ -204,6 +309,10 @@ class SkueueClient:
                     future.set_result(message)
             elif op == "metrics":
                 future = self._metrics_futures.get(index)
+                if future is not None and not future.done():
+                    future.set_result(message)
+            elif op == "welcome":
+                future = self._welcome_futures.get(index)
                 if future is not None and not future.done():
                     future.set_result(message)
             elif op == "error":

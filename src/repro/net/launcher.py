@@ -162,6 +162,7 @@ def launch_local(
     n_hosts: int,
     n_processes: int,
     seed: int = 0,
+    structure: str = "queue",
     round_seconds: float = 0.01,
     timeout_lag: float = 0.004,
     sweep_seconds: float = 0.25,
@@ -184,6 +185,7 @@ def launch_local(
                 n_hosts=n_hosts,
                 n_processes=n_processes,
                 seed=seed,
+                structure=structure,
                 round_seconds=round_seconds,
                 timeout_lag=timeout_lag,
                 sweep_seconds=sweep_seconds,
@@ -224,7 +226,12 @@ def launch_local(
     return NetDeployment(
         processes,
         host_map,
-        {"n_hosts": n_hosts, "n_processes": n_processes, "seed": seed},
+        {
+            "n_hosts": n_hosts,
+            "n_processes": n_processes,
+            "seed": seed,
+            "structure": structure,
+        },
     )
 
 

@@ -21,8 +21,12 @@ that stores the element — on a sharded deployment that node may live in a
 different OS process than the one holding the :class:`OpRecord`.
 :class:`RecordTable` makes ``ctx.records[req_id]`` work anyway: local
 ids resolve to real records, remote ids to a stub whose ``completed``
-setter forwards a COMPLETE control frame to the origin host (req_ids
-encode their origin: ``req_id % n_hosts`` is the submitting host).
+setter forwards a COMPLETE control frame to the origin host.  Req_ids
+encode their origin in the low residue (``req_id % n_hosts`` is the
+submitting host) regardless of how many clients submit concurrently —
+the client nonce and sequence counter live in the high bits (see
+:func:`repro.core.requests.pack_req_id`), so this table is oblivious to
+the multi-client id scheme.
 """
 
 from __future__ import annotations

@@ -15,6 +15,8 @@ Wire vocabulary (one JSON frame each, see :mod:`repro.net.transport`):
 ``wire``        launcher -> host: peer address map; spawns actors, kicks
 ``msg``         host -> host: one actor message ``(dest, action, payload)``
 ``complete``    DHT host -> origin host: req_id finished remotely
+``hello``       client -> host: request a submission nonce
+``welcome``     host -> client: deployment shape + this connection's nonce
 ``submit``      client -> host: ENQUEUE/DEQUEUE at a pid this host owns
 ``done``        host -> client: a submitted request completed (+ result)
 ``collect``     client -> host: dump this host's OpRecords (+ errors)
@@ -22,6 +24,11 @@ Wire vocabulary (one JSON frame each, see :mod:`repro.net.transport`):
 ``ping``        liveness probe
 ``shutdown``    orderly stop
 ==============  =======================================================
+
+Concurrent clients: each ``hello`` is answered with a fresh per-host
+``nonce``; clients pack it into every req_id
+(:func:`repro.core.requests.pack_req_id`), so any number of clients may
+submit to the same host with zero id collisions.
 
 TIMEOUT is event-loop-driven (no rounds): see
 :class:`repro.net.runtime.NetRuntime`.
@@ -35,6 +42,7 @@ from dataclasses import dataclass, field
 
 from repro.core.cluster import spawn_nodes
 from repro.core.protocol import ClusterContext, QueueNode
+from repro.core.stack import StackNode
 from repro.net.runtime import NetOpRecord, NetRuntime, RecordTable
 from repro.net.transport import (
     decode_payload,
@@ -64,9 +72,12 @@ class HostConfig:
     timeout_lag: float = 0.004
     sweep_seconds: float = 0.25
     epoch: float = 0.0  # shared wall-clock origin for `now` (0: host start)
+    structure: str = "queue"  # "queue" (Skueue) or "stack" (Skack)
     salt: str = field(default="")
 
     def __post_init__(self) -> None:
+        if self.structure not in ("queue", "stack"):
+            raise ValueError(f"unknown structure {self.structure!r}")
         if not self.salt:
             self.salt = f"skueue-{self.seed}"
 
@@ -93,6 +104,7 @@ class HostConfig:
             "timeout_lag": self.timeout_lag,
             "sweep_seconds": self.sweep_seconds,
             "epoch": self.epoch,
+            "structure": self.structure,
             "salt": self.salt,
         }
 
@@ -217,10 +229,9 @@ class _PeerLink:
 class NodeHost:
     """Asyncio server process running one shard of the distributed queue."""
 
-    node_class = QueueNode
-
     def __init__(self, config: HostConfig) -> None:
         self.config = config
+        self.node_class = StackNode if config.structure == "stack" else QueueNode
         self.runtime = NetRuntime(
             self._send_remote,
             Metrics(),
@@ -243,6 +254,9 @@ class NodeHost:
         self.errors: list[str] = []
         self._op_counts: dict[int, int] = {}
         self._submitters: dict[int, _Connection] = {}
+        # client nonces start at 1: nonce 0 is the legacy single-client
+        # id space (`req_id = seq * n_hosts + host`), kept collision-free
+        self._next_nonce = 1
         self._stopped: asyncio.Event | None = None
         # peer frames racing our own `wire` frame (a peer that was wired
         # first may talk to us before the launcher reaches us); buffered
@@ -370,6 +384,19 @@ class NodeHost:
                     self._pre_wire.append(message)
             elif op == "submit":
                 self._submit(conn, message)
+            elif op == "hello":
+                nonce = self._next_nonce
+                self._next_nonce += 1
+                conn.send(
+                    {
+                        "op": "welcome",
+                        "host": self.config.host_index,
+                        "n_hosts": self.config.n_hosts,
+                        "n_processes": self.config.n_processes,
+                        "structure": self.config.structure,
+                        "nonce": nonce,
+                    }
+                )
             elif op == "wire":
                 self._wire({int(k): v for k, v in message["peers"].items()})
                 conn.send({"op": "wired", "host": self.config.host_index})

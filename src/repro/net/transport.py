@@ -18,7 +18,10 @@ dicts with float keys (DHT handover slices), and the ⊥ sentinel
 * lists, strings, ints, floats, bools, ``None`` pass through.
 
 Python's ``json`` round-trips floats exactly (``repr``-based), so LDB
-labels and DHT keys survive the wire bit-for-bit.
+labels and DHT keys survive the wire bit-for-bit.  Ints are arbitrary
+precision on both ends, which is what lets packed request ids
+(:func:`repro.core.requests.pack_req_id` — nonce and sequence in the
+high bits) travel in plain ``req`` fields.
 """
 
 from __future__ import annotations

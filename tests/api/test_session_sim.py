@@ -1,0 +1,165 @@
+"""The handle-based public API on the simulator backends.
+
+The TCP variants of these behaviours live in ``tests/net/test_api_tcp.py``
+(they spawn OS processes and are excluded from tier-1); everything here
+is hermetic and runs on both in-process engines.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+import repro
+from repro import BOTTOM
+from repro.api import OpHandle, QueueSession, StackSession, connect
+from repro.core.requests import INSERT, REMOVE
+from tests.conftest import run_uniform_workload
+
+BACKENDS = ("sync", "async")
+
+
+@pytest.fixture(params=BACKENDS)
+def queue(request):
+    with connect(request.param, n_processes=8, seed=11) as session:
+        yield session
+
+
+@pytest.fixture(params=BACKENDS)
+def stack(request):
+    with connect(request.param, structure="stack", n_processes=8, seed=11) as session:
+        yield session
+
+
+class TestConnect:
+    def test_connect_is_exported_at_top_level(self):
+        assert repro.connect is connect
+
+    def test_returns_structure_specific_sessions(self):
+        with connect("sync") as q, connect("sync", structure="stack") as s:
+            assert isinstance(q, QueueSession)
+            assert isinstance(s, StackSession)
+
+    def test_unknown_backend_and_structure(self):
+        with pytest.raises(ValueError):
+            connect("carrier-pigeon")
+        with pytest.raises(ValueError):
+            connect("sync", structure="deque")
+
+    def test_cluster_escape_hatch_and_kwargs(self):
+        with connect("sync", n_processes=4, seed=1, shuffle_delivery=False) as q:
+            assert q.n_processes == 4
+            assert not q.cluster.runtime.shuffle_delivery
+
+
+class TestHandles:
+    def test_enqueue_dequeue_round_trip(self, queue):
+        put = queue.enqueue("job-1", pid=3)
+        got = queue.dequeue(pid=5)
+        assert isinstance(put, OpHandle) and isinstance(got, OpHandle)
+        assert put.kind == INSERT and got.kind == REMOVE
+        assert not put.done()
+        assert put.result() is True
+        assert got.result() == "job-1"
+        assert put.done() and got.done()
+
+    def test_result_is_idempotent(self, queue):
+        handle = queue.enqueue("x")
+        assert handle.result() is handle.result() is True
+
+    def test_empty_dequeue_returns_bottom(self, queue):
+        assert queue.dequeue().result() is BOTTOM
+
+    def test_default_pids_round_robin(self, queue):
+        handles = [queue.enqueue(i) for i in range(queue.n_processes + 2)]
+        assert [h.pid for h in handles[:3]] == [0, 1, 2]
+        assert handles[queue.n_processes].pid == 0  # wrapped around
+
+    def test_handles_are_awaitable(self, queue):
+        async def go():
+            put = queue.enqueue("via-await", pid=2)
+            got = queue.dequeue(pid=6)
+            assert (await put) is True
+            return await got
+
+        assert asyncio.run(go()) == "via-await"
+
+    def test_stack_handles(self, stack):
+        stack.push("a", pid=0)
+        stack.push("b", pid=0)
+        top = stack.pop(pid=0)
+        assert top.result() == "b"
+        stack.drain()
+        stack.verify()
+
+
+class TestBatchAndDrain:
+    def test_batch_preserves_per_pid_program_order(self, queue):
+        # all ops at one process: sequential consistency degenerates to
+        # sequential execution, so FIFO results are fully determined
+        n = 6
+        handles = queue.submit_batch(
+            [("enqueue", f"x{i}", 0) for i in range(n)]
+            + [("dequeue", 0)] * n
+        )
+        queue.drain()
+        assert [h.result() for h in handles[n:]] == [f"x{i}" for i in range(n)]
+
+    def test_batch_spec_shapes(self, queue):
+        put, mixed, rem = queue.submit_batch(
+            [("push", "alias-ok"), ("insert", "x", 4), ("remove",)]
+        )
+        queue.drain()
+        assert put.result() is True and mixed.pid == 4
+        assert rem.result() in ("alias-ok", "x", BOTTOM)
+
+    def test_bad_specs_rejected(self, queue):
+        with pytest.raises(ValueError):
+            queue.submit_batch([("enqueue", "x", 0, "extra")])
+        with pytest.raises(ValueError):
+            queue.submit_batch([("dequeue", 0, 1)])
+        with pytest.raises(ValueError):
+            queue.submit("frobnicate")
+
+    def test_drain_completes_everything(self, queue):
+        handles = [queue.enqueue(i) for i in range(10)]
+        assert not all(h.done() for h in handles)
+        queue.drain()
+        assert all(h.done() for h in handles)
+        # wait_all is the same operation under the client-API name
+        queue.wait_all()
+
+    def test_uniform_workload_script(self, queue):
+        handles, records = run_uniform_workload(queue, ops=40, seed=5)
+        assert len(records) == len(handles)
+
+
+class TestResults:
+    def test_result_of_unknown_id_raises(self, queue):
+        with pytest.raises(KeyError):
+            queue.result_of(123456)
+        with pytest.raises(KeyError):
+            queue.result_of(-1)
+
+    def test_result_of_pending_is_none(self, queue):
+        handle = queue.enqueue("x")
+        assert queue.result_of(handle.req_id) is None
+
+    def test_history_matches_handles(self, queue):
+        handles = queue.submit_batch([("enqueue", i) for i in range(4)])
+        queue.drain()
+        records = queue.history()
+        assert {h.req_id for h in handles} == {r.req_id for r in records}
+
+    def test_old_facade_result_of_also_raises_keyerror(self):
+        from repro import SkueueCluster
+
+        with SkueueCluster(n_processes=4, seed=0) as cluster:
+            with pytest.raises(KeyError):
+                cluster.result_of(99)
+            with pytest.raises(KeyError):
+                cluster.result_of(-1)
+            handle = cluster.enqueue(0, "x")
+            cluster.run_until_done()
+            assert cluster.result_of(handle) is True

@@ -38,6 +38,43 @@ def drive_random(
     return rng
 
 
+def run_uniform_workload(session, ops: int = 40, seed: int = 0):
+    """One workload script for *every* backend of the handle API.
+
+    Mixed enqueues/dequeues via handles, batch submission, drain, and a
+    Definition-1 check over the collected history.  Returns
+    ``(handles, records)``.  Used unmodified against sync, async, and
+    tcp sessions — that portability is itself the property under test.
+    """
+    rng = random.Random(f"uniform-{seed}")
+    handles = []
+    enqueued = 0
+    for i in range(ops // 2):
+        if rng.random() < 0.6 or enqueued == 0:
+            handles.append(session.enqueue(f"item-{i}"))
+            enqueued += 1
+        else:
+            handles.append(session.dequeue())
+    # second half as one pipelined batch
+    batch = []
+    for i in range(ops // 2, ops):
+        if rng.random() < 0.6:
+            batch.append(("enqueue", f"item-{i}"))
+            enqueued += 1
+        else:
+            batch.append(("dequeue",))
+    handles.extend(session.submit_batch(batch))
+    session.drain()
+    assert all(handle.done() for handle in handles)
+    for handle in handles:
+        result = handle.result()
+        assert result is not None
+        assert session.result_of(handle.req_id) == result
+    records = session.verify()
+    assert len(records) >= len(handles)
+    return handles, records
+
+
 def verify(cluster) -> None:
     """Check the full history against Definition 1."""
     if isinstance(cluster, SkackCluster):

@@ -1,0 +1,110 @@
+"""The handle-based public API over the real TCP deployment.
+
+The point of these tests is *portability*: the very same workload
+helper that tests the sim backends (``tests/conftest.py``,
+``run_uniform_workload``) drives a multi-OS-process deployment here.
+Marked ``net`` (excluded from tier-1; CI runs it in the net job).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import BOTTOM
+from repro.api import connect
+from repro.net.launcher import launch_local
+from tests.conftest import run_uniform_workload
+
+pytestmark = pytest.mark.net
+
+
+def test_uniform_workload_runs_unmodified_on_every_backend():
+    histories = {}
+    for backend in ("sync", "async", "tcp"):
+        with connect(backend, n_processes=8, seed=21) as session:
+            handles, records = run_uniform_workload(session, ops=40, seed=21)
+            histories[backend] = len(records)
+    # same script, same op count, three execution substrates
+    assert histories["sync"] == histories["async"] == histories["tcp"] == 40
+
+
+def test_tcp_kwargs_only_apply_to_tcp():
+    # n_hosts is a tcp kwarg; sim backends must reject it loudly rather
+    # than silently absorb it
+    with pytest.raises(TypeError):
+        connect("sync", n_hosts=2)
+
+
+def test_batch_pipelining_and_fifo_per_pid_over_tcp():
+    n = 8
+    with connect("tcp", n_processes=4, seed=5, n_hosts=2) as queue:
+        handles = queue.submit_batch(
+            [("enqueue", f"x{i}", 1) for i in range(n)] + [("dequeue", 1)] * n
+        )
+        queue.drain()
+        assert [h.result() for h in handles[n:]] == [f"x{i}" for i in range(n)]
+        queue.verify()
+
+
+def test_handles_awaitable_from_callers_event_loop():
+    with connect("tcp", n_processes=4, seed=6, n_hosts=2) as queue:
+
+        async def go():
+            put = queue.enqueue("via-await", pid=0)
+            got = queue.dequeue(pid=0)
+            assert (await put) is True
+            return await got
+
+        assert asyncio.run(go()) == "via-await"
+
+
+def test_stack_structure_over_tcp():
+    with connect("tcp", structure="stack", n_processes=4, seed=7,
+                 n_hosts=2) as stack:
+        stack.push("a", pid=0)
+        stack.push("b", pid=0)
+        stack.drain()
+        top = stack.pop(pid=0)
+        assert top.result() == "b"
+        stack.drain()
+        records = stack.verify()
+        assert len(records) == 3
+
+        # a structure-mismatched session attaching to the same
+        # deployment is rejected during the handshake
+        with pytest.raises(ValueError):
+            connect("tcp", structure="queue", deployment=stack.backend.deployment)
+
+
+def test_partial_host_map_rejected_at_connect():
+    # the welcome frame carries the deployment's true n_hosts; attaching
+    # with a subset of the addresses must fail fast, not mis-shard
+    with launch_local(2, 4, seed=9) as deployment:
+        partial = {0: deployment.host_map[0]}
+        with pytest.raises(ValueError):
+            connect("tcp", host_map=partial)
+
+
+def test_zero_timeout_polls_instead_of_blocking():
+    # round_seconds=0.1 makes completion take several hundred ms, so the
+    # immediate poll below cannot race the protocol even on a loaded box
+    with connect("tcp", n_processes=4, seed=10, n_hosts=2,
+                 round_seconds=0.1) as queue:
+        handle = queue.enqueue("x", pid=0)
+        # an explicit zero timeout must poll, not fall back to the 60s
+        # backend default — and raise the *builtin* TimeoutError
+        with pytest.raises(TimeoutError):
+            handle.result(timeout=0)
+        assert handle.result() is True  # still awaitable afterwards
+
+
+def test_result_of_unknown_and_drain_semantics():
+    with connect("tcp", n_processes=4, seed=8, n_hosts=2) as queue:
+        with pytest.raises(KeyError):
+            queue.result_of(987654321)
+        handles = [queue.enqueue(i) for i in range(6)]
+        queue.drain()
+        assert all(h.done() for h in handles)
+        assert queue.dequeue(pid=2).result() in (BOTTOM, *range(6))

@@ -1,0 +1,168 @@
+"""Multi-client TCP deployments: the nonce-widened req_id space.
+
+Regression suite for the removal of the single-submitter-per-host
+limitation: several clients submit to the *same* hosts concurrently,
+req_ids never collide (host-assigned nonces, see
+:func:`repro.core.requests.pack_req_id`), and the merged history —
+collected once, covering every client's operations — passes the
+Definition-1 sequential-consistency checker.  Marked ``net``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import connect
+from repro.core.requests import BOTTOM, REMOVE, unpack_req_id
+from repro.net.client import SkueueClient
+from repro.net.launcher import launch_local
+from repro.verify import check_queue_history
+
+pytestmark = pytest.mark.net
+
+
+def test_three_concurrent_sessions_one_deployment():
+    """3 connect() sessions interleave ops on the same 2-host deployment."""
+    ops_per_session, n_sessions = 60, 3
+    with launch_local(2, 8, seed=31) as deployment:
+        sessions = [
+            connect("tcp", deployment=deployment) for _ in range(n_sessions)
+        ]
+        try:
+
+            def drive(worker: int):
+                session = sessions[worker]
+                rng = random.Random(f"mc-{worker}")
+                handles = []
+                for i in range(ops_per_session):
+                    if rng.random() < 0.6:
+                        handles.append(session.enqueue(f"s{worker}-item-{i}"))
+                    else:
+                        handles.append(session.dequeue())
+                session.drain(timeout=120.0)
+                return handles
+
+            with ThreadPoolExecutor(max_workers=n_sessions) as pool:
+                all_handles = [
+                    handle
+                    for worker_handles in pool.map(drive, range(n_sessions))
+                    for handle in worker_handles
+                ]
+
+            # zero req_id collisions across sessions
+            req_ids = [handle.req_id for handle in all_handles]
+            assert len(set(req_ids)) == len(req_ids) == n_sessions * ops_per_session
+
+            # nonces: every session got its own id space on every host
+            nonces = {
+                (unpack_req_id(req_id, 2)[0], unpack_req_id(req_id, 2)[2])
+                for req_id in req_ids
+            }
+            assert len({nonce for nonce, _host in nonces}) >= n_sessions
+
+            # one collect sees the merged multi-client history — and it
+            # is sequentially consistent
+            records = sessions[0].verify()
+            assert len(records) == n_sessions * ops_per_session
+            assert {rec.req_id for rec in records} == set(req_ids)
+
+            # a session only answers result_of for its own submissions
+            foreign = next(
+                handle.req_id
+                for handle in all_handles
+                if handle.req_id not in {h.req_id for h in all_handles[:ops_per_session]}
+            )
+            with pytest.raises(KeyError):
+                sessions[0].result_of(foreign)
+        finally:
+            for session in sessions:
+                session.close()
+
+
+def test_two_raw_clients_200_ops_each_zero_collisions():
+    """Acceptance: two SkueueClient instances on the same hosts, >=200
+    ops each, no req_id collisions, merged history Definition-1 clean."""
+    ops_per_client = 220
+    n_processes = 8
+
+    async def drive(client: SkueueClient, tag: int) -> list[int]:
+        rng = random.Random(f"raw-{tag}")
+        req_ids = []
+        for i in range(ops_per_client):
+            pid = rng.randrange(n_processes)
+            if rng.random() < 0.6:
+                req_ids.append(await client.enqueue(pid, f"c{tag}-item-{i}"))
+            else:
+                req_ids.append(await client.dequeue(pid))
+            if i % 16 == 0:  # yield so the two submitters interleave
+                await asyncio.sleep(0)
+        await client.wait_all(timeout=180.0)
+        return req_ids
+
+    async def scenario(deployment):
+        async with SkueueClient(deployment.host_map) as one:
+            async with SkueueClient(deployment.host_map) as two:
+                ids_one, ids_two = await asyncio.gather(
+                    drive(one, 1), drive(two, 2)
+                )
+                records = await one.collect_records()
+                return one, two, ids_one, ids_two, records
+
+    with launch_local(2, n_processes, seed=32) as deployment:
+        one, two, ids_one, ids_two, records = asyncio.run(scenario(deployment))
+
+    # both clients really submitted to both hosts, concurrently
+    assert {req % 2 for req in ids_one} == {0, 1}
+    assert {req % 2 for req in ids_two} == {0, 1}
+
+    # zero collisions; the host gave each connection its own nonce
+    assert not set(ids_one) & set(ids_two)
+    assert len(records) == 2 * ops_per_client
+    assert {rec.req_id for rec in records} == set(ids_one) | set(ids_two)
+    nonces_one = {unpack_req_id(req, 2)[0] for req in ids_one}
+    nonces_two = {unpack_req_id(req, 2)[0] for req in ids_two}
+    assert not nonces_one & nonces_two
+
+    # the merged two-client history is sequentially consistent
+    check_queue_history(records)
+
+    # every client-visible result matches the collected history
+    by_req = {rec.req_id: rec for rec in records}
+    for client, ids in ((one, ids_one), (two, ids_two)):
+        for req_id in ids:
+            rec = by_req[req_id]
+            got = client.result_of(req_id)
+            if rec.kind != REMOVE:
+                assert got is True
+            elif rec.result is BOTTOM:
+                assert got is BOTTOM
+            else:
+                assert got == rec.result[1]
+
+    # result_of/wait on a req_id owned by the *other* client raises
+    with pytest.raises(KeyError):
+        one.result_of(ids_two[0])
+
+
+def test_wait_semantics_on_old_client_surface():
+    """Satellite regression: wait() raises KeyError for never-submitted
+    ids instead of silently returning None."""
+
+    async def scenario(deployment):
+        async with SkueueClient(deployment.host_map) as client:
+            with pytest.raises(KeyError):
+                await client.wait(424242)
+            with pytest.raises(KeyError):
+                client.result_of(424242)
+            with pytest.raises(KeyError):
+                client.is_done(424242)
+            req = await client.enqueue(0, "x")
+            assert await client.wait(req) is True
+            assert client.is_done(req)
+
+    with launch_local(2, 4, seed=33) as deployment:
+        asyncio.run(scenario(deployment))

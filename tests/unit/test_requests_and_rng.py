@@ -1,8 +1,18 @@
-"""Unit tests: request records, sentinels, RNG streams, action codes."""
+"""Unit tests: request records, sentinels, req_id packing, RNG streams."""
 
+import pytest
 
 from repro.core import actions
-from repro.core.requests import BOTTOM, INSERT, OpRecord, REMOVE, kind_name
+from repro.core.requests import (
+    BOTTOM,
+    INSERT,
+    MAX_REQ_SEQ,
+    OpRecord,
+    REMOVE,
+    kind_name,
+    pack_req_id,
+    unpack_req_id,
+)
 from repro.util.rng import RngStreams
 
 
@@ -35,6 +45,46 @@ class TestOpRecord:
         assert kind_name(REMOVE) == "dequeue"
         assert kind_name(INSERT, stack=True) == "push"
         assert kind_name(REMOVE, stack=True) == "pop"
+
+
+class TestReqIdPacking:
+    def test_round_trip(self):
+        for nonce in (0, 1, 7, 12345):
+            for seq in (0, 1, 999, MAX_REQ_SEQ):
+                for n_hosts in (1, 2, 5):
+                    for host in range(n_hosts):
+                        req = pack_req_id(nonce, seq, host, n_hosts)
+                        assert unpack_req_id(req, n_hosts) == (nonce, seq, host)
+
+    def test_origin_residue_preserved(self):
+        # the completion-forwarding path depends on req_id % n_hosts
+        for nonce in (0, 3, 999):
+            for seq in (0, 17):
+                assert pack_req_id(nonce, seq, 2, 3) % 3 == 2
+
+    def test_legacy_nonce_zero_matches_old_scheme(self):
+        # pre-handshake clients computed req_id = seq * n_hosts + host
+        assert pack_req_id(0, 5, 1, 2) == 5 * 2 + 1
+
+    def test_distinct_nonces_never_collide(self):
+        n_hosts = 2
+        ids = {
+            pack_req_id(nonce, seq, host, n_hosts)
+            for nonce in (1, 2, 3)
+            for seq in range(50)
+            for host in range(n_hosts)
+        }
+        assert len(ids) == 3 * 50 * n_hosts
+
+    def test_field_validation(self):
+        with pytest.raises(ValueError):
+            pack_req_id(-1, 0, 0, 2)
+        with pytest.raises(ValueError):
+            pack_req_id(0, MAX_REQ_SEQ + 1, 0, 2)
+        with pytest.raises(ValueError):
+            pack_req_id(0, 0, 2, 2)
+        with pytest.raises(ValueError):
+            unpack_req_id(-1, 2)
 
 
 class TestActionCodes:
