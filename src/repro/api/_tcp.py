@@ -10,6 +10,12 @@ The backend either *attaches* to an existing deployment (``host_map=``
 or ``deployment=``) or *launches* a local one and owns its lifecycle.
 Attaching is what multi-client scenarios use: every ``connect()`` gets
 its own host-assigned nonce, so sessions never collide on req_ids.
+
+The deployment may be *elastic*: hosts join and drain while sessions
+submit.  The backend tracks the pushed cluster map instead of a
+hard-coded deployment size — :meth:`TcpBackend.submit_pids` reflects
+joins/leaves live, and the session layer spreads its round-robin over
+exactly those pids.
 """
 
 from __future__ import annotations
@@ -85,6 +91,26 @@ class TcpBackend:
         return asyncio.run_coroutine_threadsafe(coro, self._loop).result(timeout)
 
     # -- submission -----------------------------------------------------------
+    @property
+    def n_processes(self) -> int:
+        """Live process count (follows the cluster map under churn)."""
+        pids = self.client.live_pids()
+        return len(pids) if pids else self._static_n_processes
+
+    @n_processes.setter
+    def n_processes(self, value: int) -> None:
+        self._static_n_processes = value
+
+    def submit_pids(self) -> list[int]:
+        """Pids the session's round-robin should spread over right now.
+
+        Under churn the pid space is neither contiguous nor static: a
+        joined host contributes fresh pid numbers and a draining host's
+        pids stop being pickable.  Reading the client's map each call
+        keeps long-running sessions current without any explicit
+        refresh."""
+        return self.client.live_pids()
+
     def submit(self, pid: int, kind: int, item: object) -> int:
         return self._call(self.client._submit(pid, kind, item))
 

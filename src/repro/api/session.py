@@ -100,7 +100,14 @@ class Session:
     def _pick_pid(self, pid: int | None) -> int:
         if pid is not None:
             return pid
-        pid = self._rr_pid % self.n_processes
+        pids = getattr(self._backend, "submit_pids", None)
+        pool = pids() if pids is not None else None
+        if pool:
+            # elastic backends (TCP under churn): spread over the pids
+            # that are actually live right now
+            pid = pool[self._rr_pid % len(pool)]
+        else:
+            pid = self._rr_pid % self.n_processes
         self._rr_pid += 1
         return pid
 

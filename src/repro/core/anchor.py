@@ -31,18 +31,29 @@ class QueueAnchorState:
 
     ``epoch`` numbers the update phases this anchor has triggered
     (Section IV); it travels with the anchor state on handoff so epochs
-    stay globally monotone.
+    stay globally monotone.  ``members`` is the anchor's running estimate
+    of the network size in *virtual nodes*: seeded with the bootstrap
+    topology size and updated from the join/leave counters of every
+    flagged wave, it is piggybacked on the UPDATE_OVER broadcast so each
+    node can recompute its De Bruijn routing depth without any global
+    view (see DESIGN.md, "Membership over TCP").
     """
 
-    __slots__ = ("first", "last", "counter", "epoch")
+    __slots__ = ("first", "last", "counter", "epoch", "members")
 
     def __init__(
-        self, first: int = 0, last: int = -1, counter: int = 1, epoch: int = 0
+        self,
+        first: int = 0,
+        last: int = -1,
+        counter: int = 1,
+        epoch: int = 0,
+        members: int = 0,
     ) -> None:
         self.first = first
         self.last = last
         self.counter = counter
         self.epoch = epoch
+        self.members = members
 
     @property
     def size(self) -> int:
@@ -78,7 +89,7 @@ class QueueAnchorState:
 
     # -- anchor handoff (Section IV) -----------------------------------------
     def export(self) -> tuple:
-        return (self.first, self.last, self.counter, self.epoch)
+        return (self.first, self.last, self.counter, self.epoch, self.members)
 
     @classmethod
     def restore(cls, state: tuple) -> "QueueAnchorState":
@@ -88,15 +99,21 @@ class QueueAnchorState:
 class StackAnchorState:
     """``v0.last``, the monotone ``v0.ticket`` and the value counter."""
 
-    __slots__ = ("last", "ticket", "counter", "epoch")
+    __slots__ = ("last", "ticket", "counter", "epoch", "members")
 
     def __init__(
-        self, last: int = 0, ticket: int = 0, counter: int = 1, epoch: int = 0
+        self,
+        last: int = 0,
+        ticket: int = 0,
+        counter: int = 1,
+        epoch: int = 0,
+        members: int = 0,
     ) -> None:
         self.last = last
         self.ticket = ticket
         self.counter = counter
         self.epoch = epoch
+        self.members = members
 
     @property
     def size(self) -> int:
@@ -137,7 +154,7 @@ class StackAnchorState:
         return out
 
     def export(self) -> tuple:
-        return (self.last, self.ticket, self.counter, self.epoch)
+        return (self.last, self.ticket, self.counter, self.epoch, self.members)
 
     @classmethod
     def restore(cls, state: tuple) -> "StackAnchorState":

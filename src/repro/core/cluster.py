@@ -20,10 +20,11 @@ Typical (engine-level) use::
     cluster.run_until_done()
     assert cluster.result_of(deq) == "job-1"
 
-Simulation-level conveniences (documented substitutions, see DESIGN.md):
-the number of De Bruijn routing bits is recomputed by the cluster after
-each update phase (a real deployment would piggyback the size estimate on
-the UPDATE_OVER broadcast).
+The number of De Bruijn routing bits is no longer a facade substitution:
+the anchor piggybacks its network-size estimate on every UPDATE_OVER
+broadcast and each node refreshes ``ctx.route_steps`` from it (see
+DESIGN.md, "Membership over TCP") — identically on the simulators and on
+a live TCP deployment.
 """
 
 from __future__ import annotations
@@ -80,6 +81,9 @@ def spawn_nodes(ctx, topology, node_class, pids=None) -> list:
             topology.label(succ),
             is_anchor=(vid == anchor_vid),
         )
+        if node.is_anchor:
+            # seed the size estimate piggybacked on UPDATE_OVER broadcasts
+            node.anchor_state.members = len(topology)
         runtime.add_actor(node)
         nodes.append(node)
     return nodes
@@ -253,7 +257,7 @@ class SkueueCluster:
         for kind in (LEFT, MIDDLE, RIGHT):
             self.runtime.actors[vid_of(pid, kind)].start_leave()
 
-    def _on_update_over(self, epoch: int) -> None:
+    def _on_update_over(self, epoch: int, members: int = 0) -> None:
         # promote joiners whose three virtual nodes are all integrated
         for pid in list(self.joining_pids):
             nodes = [
@@ -271,7 +275,8 @@ class SkueueCluster:
             ):
                 self.leaving_pids.discard(pid)
                 self.live_pids.discard(pid)
-        self.ctx.route_steps = route_steps_for(len(self.runtime.actors))
+        # ctx.route_steps is refreshed by the protocol itself from the
+        # member estimate piggybacked on UPDATE_OVER (no facade substitute)
 
     # -- stepping -------------------------------------------------------------------------
     def step(self, rounds: int = 1) -> None:

@@ -66,6 +66,7 @@ from repro.core.actions import (
     A_UPDATE_OVER,
 )
 from repro.overlay.ldb import MIDDLE
+from repro.overlay.routing import route_steps_for
 
 __all__ = ["MembershipMixin"]
 
@@ -365,9 +366,19 @@ class MembershipMixin:
         Used by nodes whose batch missed the wave: they owe no
         acknowledgement (they are in nobody's Cold) and have no splice
         duties this epoch; departing replacements still send their META.
+
+        Re-entry of the *current* epoch is allowed when the node is not
+        updating: a passive member that released on its grace timer (the
+        epoch outlasted it) and got bounced again must be able to rejoin
+        — in particular, a replaced node re-entering is what (re)sends
+        the DEPART_META its responsible node is blocked on.  Only epochs
+        that actually finished here (UPDATE_OVER seen, ``finished_epoch``)
+        are refused, so a stale bounce cannot resurrect a closed epoch.
         """
-        if epoch <= self.update_epoch:
+        if epoch < self.update_epoch or epoch <= self.finished_epoch:
             return
+        if epoch == self.update_epoch and self.updating:
+            return  # already participating (actively or passively)
         self.update_epoch = epoch
         self.updating = True
         self.passive_entry = True
@@ -469,6 +480,14 @@ class MembershipMixin:
         # the responsible node, which redistributes/adopts them; from now
         # on this node is a forwarding zombie outside the cycle
         self.dumped = True
+        # tree batches still buffered here would vanish with this node
+        # (a replacement that entered its epoch passively never ran the
+        # missed-wave requeue of _enter_update): bounce them so their
+        # senders re-fire at the spliced cycle.  Relay batches are
+        # handled by the META/splice choreography (pending_relays).
+        for vid in [v for v, entry in self.child_batches.items() if not entry[3]]:
+            del self.child_batches[vid]
+            self.send(vid, A_REQUEUE, (0,))
         items = self.store.items
         parked = self.store.parked
         self.store = self._new_store()
@@ -681,7 +700,7 @@ class MembershipMixin:
     def _on_min_is(self, payload: tuple) -> None:
         min_vid, epoch = payload
         if min_vid == self.vid:
-            self._broadcast_update_over(epoch)
+            self._broadcast_update_over(epoch, self.anchor_state.members)
         else:
             state = self.anchor_state.export()
             self.anchor_state = None
@@ -698,25 +717,36 @@ class MembershipMixin:
         self.anchor_state = self._new_anchor_state().restore(state)
         self.is_anchor = True
         self.update_epoch = max(self.update_epoch, epoch)
-        self._broadcast_update_over(epoch)
+        self._broadcast_update_over(epoch, self.anchor_state.members)
 
     # -- resuming -------------------------------------------------------------------------
-    def _broadcast_update_over(self, epoch: int) -> None:
-        """UPDATE_OVER travels the new tree *and* the ring.
+    def _broadcast_update_over(self, epoch: int, members: int) -> None:
+        """UPDATE_OVER travels the new tree *and* the ring, both ways.
 
         Tree edges give O(log n) depth, but nodes whose same-process edge
         is temporarily broken (siblings integrating in different epochs)
-        can be nobody's tree child; the succ hop guarantees coverage of
-        the whole cycle, with duplicates suppressed by the epoch number.
+        can be nobody's tree child.  The ring hops guarantee coverage of
+        the whole cycle; they go to *both* neighbours because under churn
+        a node's pred/succ pointers may straddle a just-spliced segment —
+        a one-directional walk with a wrap guard can stop early, leaving
+        part of the cycle suspended in the epoch forever (batching stays
+        suspended while updating, so such a gap deadlocks the deployment).
+        A bidirectional flood over a connected cycle reaches everyone,
+        and each node relays a given epoch at most once (the epoch guards
+        in ``_on_update_over``), so the cost is O(n) messages per epoch.
+        ``members`` piggybacks the anchor's network-size estimate so every
+        node can refresh its De Bruijn routing depth locally.
         """
-        self._finish_update(epoch)
+        self._finish_update(epoch, members)
         for child in self._aggregation_children():
-            self.send(child, A_UPDATE_OVER, (epoch,))
-        if self.succ_label > self.label:  # stop the ring at the wrap
-            self.send(self.succ_vid, A_UPDATE_OVER, (epoch,))
+            self.send(child, A_UPDATE_OVER, (epoch, members))
+        if self.succ_vid >= 0:
+            self.send(self.succ_vid, A_UPDATE_OVER, (epoch, members))
+        if self.pred_vid >= 0:
+            self.send(self.pred_vid, A_UPDATE_OVER, (epoch, members))
 
     def _on_update_over(self, payload: tuple) -> None:
-        (epoch,) = payload
+        epoch, members = payload
         if self.replaced and self.dumped:
             # a zombie reached via a stale tree pointer: nothing to resume
             return
@@ -724,7 +754,7 @@ class MembershipMixin:
             return  # stale broadcast from an earlier epoch, still in flight
         if epoch == self.update_epoch and not self.updating:
             return  # duplicate (tree + ring deliver more than once)
-        self._broadcast_update_over(epoch)
+        self._broadcast_update_over(epoch, members)
 
     def _on_requeue(self, payload: tuple) -> None:
         """Our in-flight batch never went up the tree: resend it ourselves.
@@ -764,13 +794,19 @@ class MembershipMixin:
             for payload in deferred:
                 self.send(self.resp_vid, A_JOIN_DEFER, payload)
 
-    def _finish_update(self, epoch: int) -> None:
+    def _finish_update(self, epoch: int, members: int = 0) -> None:
         self.updating = False
         self.passive_entry = False
         self.update_epoch = max(self.update_epoch, epoch)
+        self.finished_epoch = max(self.finished_epoch, epoch)
         self.pold = None
         self.acked = False
         self.segment_members = []
+        if members > 0:
+            # the paper's size estimate, piggybacked on UPDATE_OVER: every
+            # node refreshes its routing depth without a global view (the
+            # sim facade used to substitute len(actors) here)
+            self.ctx.route_steps = route_steps_for(members)
         if self.deferred_joins:
             deferred, self.deferred_joins = self.deferred_joins, []
             for new_vid, new_label in deferred:
@@ -778,5 +814,5 @@ class MembershipMixin:
                 self._route_start(A_JOIN_RT, new_label, (new_vid, new_label))
         hook = self.ctx.on_update_over
         if hook is not None:
-            hook(epoch)
+            hook(epoch, members)
         self.wake_me()

@@ -79,7 +79,7 @@ class ClusterContext:
         insert_name: str = "enqueue",
         remove_name: str = "dequeue",
         empty_name: str = "dequeue_empty",
-        on_update_over: Callable[[int], None] | None = None,
+        on_update_over: Callable[[int, int], None] | None = None,
     ) -> None:
         self.runtime = runtime
         self.metrics = runtime.metrics
@@ -123,6 +123,7 @@ class QueueNode(MembershipMixin, Actor):
         # membership (Section IV)
         "updating",
         "update_epoch",
+        "finished_epoch",
         "passive_entry",
         "passive_release_at",
         "pold",
@@ -151,7 +152,20 @@ class QueueNode(MembershipMixin, Actor):
         "chain_epoch",
         "metas",
         "leave_request_pending",
+        "wait_since",
     )
+
+    #: Rounds a node waits for an expected local child's batch before
+    #: firing without it.  The wait is a latency optimisation, not a
+    #: correctness requirement — a batch that arrives later is consumed
+    #: as an *extra*, exactly like batches of remote children (DESIGN.md,
+    #: "Local reads and the extras fallback").  Bounding it guarantees
+    #: liveness across membership splices, where the instantaneous
+    #: parent/child views of neighbouring nodes can briefly disagree and
+    #: form a wait cycle: some node times out, fires with what it has,
+    #: and the cycle dissolves.  Normal waves complete in O(log n) ≪ 48
+    #: rounds, so steady state never hits this bound.
+    WAVE_PATIENCE = 48
 
     def __init__(
         self,
@@ -193,6 +207,7 @@ class QueueNode(MembershipMixin, Actor):
 
         self.updating = False
         self.update_epoch = 0
+        self.finished_epoch = 0
         self.passive_entry = False
         self.passive_release_at = 0.0
         self.pold = None
@@ -221,6 +236,7 @@ class QueueNode(MembershipMixin, Actor):
         self.chain_epoch: list[int] = []
         self.metas: dict[int, tuple] = {}
         self.leave_request_pending = False
+        self.wait_since = None  # when this node began waiting on children
 
     # -- discipline hooks (overridden by the stack) ---------------------------
     def _new_anchor_state(self):
@@ -355,9 +371,19 @@ class QueueNode(MembershipMixin, Actor):
             return  # dormant joining left/right node: integrated passively
         children = self._aggregation_children()
         batches = self.child_batches
-        for child in children:
-            if child not in batches:
+        if any(child not in batches for child in children):
+            # waiting is bounded (see WAVE_PATIENCE): a membership splice
+            # can briefly leave neighbouring nodes with disagreeing
+            # parent/child views, where everyone waits on a batch lodged
+            # elsewhere as an unconsumed extra — fire without the
+            # stragglers and let their batches ride a later wave
+            now = self.ctx.runtime.now
+            if self.wait_since is None:
+                self.wait_since = now
+            if now - self.wait_since < self.WAVE_PATIENCE:
                 return
+            children = [c for c in children if c in batches]
+        self.wait_since = None
         # nodes whose same-process tree edge is broken parent themselves
         # here via the pred fallback; their already-arrived batches join
         # this wave as extras
@@ -401,6 +427,7 @@ class QueueNode(MembershipMixin, Actor):
             epoch = 0
             if joins or leaves:
                 state.epoch += 1
+                state.members += joins - leaves
                 epoch = state.epoch
             self.sent_to = None
             assigns = tuple(state.assign(combined))
@@ -659,13 +686,31 @@ class QueueNode(MembershipMixin, Actor):
         ctx = self.ctx
         rec = ctx.records[req_id]
         rec.result = element
+        gen = rec.gen
         rec.completed = True
-        ctx.metrics.observe(ctx.remove_name, ctx.runtime.now - rec.gen)
+        if gen is not None:
+            # a reply forwarded from a departed node can land where the
+            # record is only a stub (gen unknown): the origin host books
+            # the completion; latency is observed where the gen is known
+            ctx.metrics.observe(ctx.remove_name, ctx.runtime.now - gen)
 
     def _on_put_ack(self, payload: tuple) -> None:  # stack only
         raise RuntimeError("PUT_ACK on a queue node")
 
     # -- record adoption (LEAVE, Section IV-B) ------------------------------------
+    def _adopt_one(self, rec: OpRecord) -> OpRecord:
+        """Register an adopted record with the record table, if there is one.
+
+        On the simulators ``ctx.records`` is a plain list and the record
+        object in the DEPART_DUMP payload *is* the original, so adoption
+        is the identity.  On the TCP runtime the payload crossed a host
+        boundary as a wire copy; ``RecordTable.adopt`` swaps it for a
+        proxy that forwards value/result/completion back to the origin
+        host (which owns the client connection and the canonical record).
+        """
+        adopt = getattr(self.ctx.records, "adopt", None)
+        return adopt(rec) if adopt is not None else rec
+
     def _adopt_records(self, records: list[OpRecord]) -> None:
         """Take over unflushed requests of a departed replacement.
 
@@ -675,6 +720,7 @@ class QueueNode(MembershipMixin, Actor):
         operations were valued in strictly earlier waves).
         """
         for rec in records:
+            rec = self._adopt_one(rec)
             self.own_batch.add(rec.kind)
             self.own_records.append(rec)
         if records:

@@ -194,7 +194,7 @@ class StackNode(QueueNode):
         # (cross-process) or ordered (pop after foreign pushes) fall into
         # the overflow and ride a later wave
         for rec in records:
-            self._buffer_op(rec)
+            self._buffer_op(self._adopt_one(rec))
         if records:
             self.wake_me()
 

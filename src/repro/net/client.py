@@ -1,11 +1,12 @@
 """`SkueueClient`: submit queue/stack operations to a TCP deployment.
 
 The client may talk to *any* host; a request for pid ``p`` goes to the
-host owning ``p`` (round-robin sharding, mirrored from
-:class:`~repro.net.server.HostConfig`).  Request ids are assigned
-client-side and encode the owning host (``req_id % n_hosts``), which is
-what lets a DHT node on one host complete a record that originated on
-another (see :class:`repro.net.runtime.RecordTable`).
+host owning ``p`` per the deployment's versioned cluster map (learned
+from the ``welcome`` handshake and refreshed by ``host_map`` pushes —
+see :mod:`repro.net.membership`).  Request ids are assigned client-side
+and encode the owning host (``req_id % id_slots``), which is what lets a
+DHT node on one host complete a record that originated on another (see
+:class:`repro.net.runtime.RecordTable`).
 
 Any number of clients may submit to the same host concurrently: during
 :meth:`connect` every host answers the client's ``hello`` with a
@@ -14,6 +15,13 @@ packs ``(nonce, seq, host)`` via
 :func:`repro.core.requests.pack_req_id` — id spaces of different
 clients are disjoint by construction (the host still rejects duplicate
 req_ids loudly as a backstop).
+
+Live membership: hosts may join and drain while this client submits.
+Connections to freshly joined hosts open lazily on first use; a
+``rejected`` answer (the submission raced a drain or a stale map) makes
+the client refresh its map and transparently resubmit the operation on a
+live pid — the original req_id's future resolves when the replacement
+completes, so callers never see the churn.
 
 This is the transport core of the unified facade in :mod:`repro.api`;
 prefer ``repro.api.connect(backend="tcp", ...)`` for new code — it
@@ -35,6 +43,7 @@ from __future__ import annotations
 import asyncio
 
 from repro.core.requests import BOTTOM, INSERT, REMOVE, OpRecord, pack_req_id
+from repro.net.membership import ClusterMap
 from repro.net.transport import (
     decode_payload,
     encode_payload,
@@ -52,17 +61,27 @@ class SkueueClient:
     def __init__(self, host_map: dict[int, tuple[str, int]]) -> None:
         self.host_map = {int(k): (v[0], int(v[1])) for k, v in host_map.items()}
         self.n_hosts = len(self.host_map)
+        self.id_slots = self.n_hosts  # refined by the welcome handshake
+        self.cluster: ClusterMap | None = None
         self._writers: dict[int, asyncio.StreamWriter] = {}
         self._readers: dict[int, asyncio.Task] = {}
         self._counters: dict[int, int] = {}
         self._nonces: dict[int, int] = {}  # host -> welcome-assigned nonce
         self._pending: dict[int, asyncio.Future] = {}
+        self._pending_meta: dict[int, tuple[int, int, object]] = {}
+        self._redirects: dict[int, int] = {}  # replacement req -> original
         self._results: dict[int, object] = {}
         self._collect_futures: dict[int, asyncio.Future] = {}
         self._metrics_futures: dict[int, asyncio.Future] = {}
         self._welcome_futures: dict[int, asyncio.Future] = {}
+        self._host_locks: dict[int, asyncio.Lock] = {}
         self.deployment_info: dict = {}  # shape learned from `welcome`
         self.errors: list[str] = []
+        self.rejected_resubmits = 0  # churn observability for tests
+        self.last_update_over: dict = {}
+        self._retry_rr = 0
+        self._closed = False
+        self._map_replies = 0  # host_map frames applied (refresh_map waits)
 
     # -- lifecycle -----------------------------------------------------------
     async def connect(self, timeout: float | None = 10.0) -> "SkueueClient":
@@ -70,46 +89,100 @@ class SkueueClient:
 
         ``timeout`` bounds each connection attempt and the whole
         handshake.  On any failure everything opened so far is closed
-        before the exception propagates.
+        before the exception propagates.  The given host_map only needs
+        to *reach* the deployment: the authoritative member list comes
+        back in the ``welcome`` (the cluster map), and connections are
+        reconciled against it.
         """
-        loop = asyncio.get_running_loop()
         try:
-            for index, (address, port) in sorted(self.host_map.items()):
-                reader, writer = await asyncio.wait_for(
-                    asyncio.open_connection(address, port), timeout
+            welcomes = []
+            for index in sorted(self.host_map):
+                welcomes.append(
+                    await asyncio.wait_for(
+                        self._open_host(index, self.host_map[index]), timeout
+                    )
                 )
-                self._writers[index] = writer
-                self._readers[index] = loop.create_task(
-                    self._read_loop(index, reader)
+            first = welcomes[0]
+            self.deployment_info = {
+                key: first[key]
+                for key in ("n_hosts", "n_processes", "structure")
+            }
+            self.id_slots = first.get("id_slots", self.n_hosts)
+            if "map" in first:
+                self._apply_map_json(first["map"], force=True)
+                # reconcile against the authoritative member list
+                for index in list(self.cluster.hosts):
+                    await asyncio.wait_for(self._ensure_host(index), timeout)
+                for index in [
+                    i for i in self._writers if i not in self.cluster.hosts
+                ]:
+                    self._drop_host(index)
+            elif self.deployment_info["n_hosts"] != self.n_hosts:
+                # legacy host without a cluster map: a partial host_map
+                # would mis-shard every submission; fail fast
+                raise ValueError(
+                    f"host_map names {self.n_hosts} hosts but the "
+                    f"deployment has {self.deployment_info['n_hosts']}"
                 )
-            for index, writer in self._writers.items():
-                self._welcome_futures[index] = loop.create_future()
-                write_frame(writer, {"op": "hello"})
-                await writer.drain()
-            welcomes = await asyncio.wait_for(
-                asyncio.gather(*self._welcome_futures.values()), timeout
-            )
         except BaseException:
             await self.close()
             raise
-        finally:
-            self._welcome_futures.clear()
-        for message in welcomes:
-            self._nonces[message["host"]] = message["nonce"]
-        self.deployment_info = {
-            key: welcomes[0][key] for key in ("n_hosts", "n_processes", "structure")
-        }
-        # a partial host_map would mis-shard every submission (host_for
-        # uses len(host_map)); fail fast instead of hanging on DONE
-        if self.deployment_info["n_hosts"] != self.n_hosts:
-            await self.close()
-            raise ValueError(
-                f"host_map names {self.n_hosts} hosts but the deployment "
-                f"has {self.deployment_info['n_hosts']}"
-            )
         return self
 
+    async def _open_host(self, index: int, address: tuple[str, int]) -> dict:
+        """Connect + hello/welcome handshake with one host."""
+        loop = asyncio.get_running_loop()
+        reader, writer = await asyncio.open_connection(*address)
+        self._writers[index] = writer
+        self._readers[index] = loop.create_task(self._read_loop(index, reader))
+        future = self._welcome_futures[index] = loop.create_future()
+        try:
+            write_frame(writer, {"op": "hello"})
+            await writer.drain()
+            welcome = await future
+        finally:
+            self._welcome_futures.pop(index, None)
+        if welcome.get("host", index) != index:
+            # a permuted/stale host_map would mis-shard every submission
+            # keyed by this index: fail fast instead of looping rejections
+            self._drop_host(index)
+            raise ValueError(
+                f"host_map names host {index} at {address}, but host "
+                f"{welcome['host']} answered"
+            )
+        self._nonces[index] = welcome["nonce"]
+        return welcome
+
+    async def _ensure_host(self, index: int) -> None:
+        """Make sure a connection (with nonce) to host ``index`` exists."""
+        if index in self._nonces and index in self._writers:
+            return
+        lock = self._host_locks.setdefault(index, asyncio.Lock())
+        async with lock:
+            if index in self._nonces and index in self._writers:
+                return
+            if self.cluster is not None and index in self.cluster.hosts:
+                address = self.cluster.hosts[index]
+            else:
+                address = self.host_map[index]
+            welcome = await self._open_host(index, address)
+            if "map" in welcome:
+                self._apply_map_json(welcome["map"])
+
+    def _drop_host(self, index: int) -> None:
+        task = self._readers.pop(index, None)
+        if task is not None:
+            task.cancel()
+        writer = self._writers.pop(index, None)
+        if writer is not None:
+            try:
+                writer.close()
+            except Exception:
+                pass
+        self._nonces.pop(index, None)
+
     async def close(self) -> None:
+        self._closed = True
         for task in self._readers.values():
             task.cancel()
         for writer in self._writers.values():
@@ -126,8 +199,37 @@ class SkueueClient:
     async def __aexit__(self, exc_type, exc, tb) -> None:
         await self.close()
 
+    # -- cluster map ----------------------------------------------------------
+    def _apply_map_json(self, map_json: dict | None, force: bool = False) -> None:
+        if map_json is None:
+            return
+        incoming = ClusterMap.from_json(map_json)
+        if (
+            not force
+            and self.cluster is not None
+            and incoming.version <= self.cluster.version
+        ):
+            return
+        self.cluster = incoming
+        self.id_slots = incoming.id_slots
+        self.n_hosts = len(incoming.hosts)
+        self.host_map.update(incoming.hosts)
+        for index in [i for i in self._writers if i not in incoming.hosts]:
+            self._drop_host(index)
+
+    def live_pids(self) -> list[int]:
+        """Pids currently accepting submissions (drain-aware)."""
+        if self.cluster is not None:
+            return self.cluster.live_pids()
+        return list(range(self.deployment_info.get("n_processes", 0)))
+
     # -- submitting operations -----------------------------------------------
     def host_for(self, pid: int) -> int:
+        if self.cluster is not None:
+            owner = self.cluster.owner_of(pid)
+            if owner is None:
+                raise KeyError(f"pid {pid} is not in the cluster map")
+            return owner
         return pid % self.n_hosts
 
     async def enqueue(self, pid: int, item: object = None) -> int:
@@ -141,13 +243,14 @@ class SkueueClient:
     def _next_req_id(self, host: int) -> int:
         seq = self._counters.get(host, 0)
         self._counters[host] = seq + 1
-        return pack_req_id(self._nonces.get(host, 0), seq, host, self.n_hosts)
+        return pack_req_id(self._nonces.get(host, 0), seq, host, self.id_slots)
 
     def _queue_submit(self, pid: int, kind: int, item: object) -> int:
         """Frame one submission onto its host's writer (drain separately)."""
         host = self.host_for(pid)
         req_id = self._next_req_id(host)
         self._pending[req_id] = asyncio.get_running_loop().create_future()
+        self._pending_meta[req_id] = (pid, kind, item)
         write_frame(
             self._writers[host],
             {"op": "submit", "req": req_id, "pid": pid, "kind": kind,
@@ -156,8 +259,10 @@ class SkueueClient:
         return req_id
 
     async def _submit(self, pid: int, kind: int, item: object) -> int:
+        host = self.host_for(pid)
+        await self._ensure_host(host)
         req_id = self._queue_submit(pid, kind, item)
-        await self._writers[self.host_for(pid)].drain()
+        await self._writers[host].drain()
         return req_id
 
     async def submit_many(self, ops: list[tuple[int, int, object]]) -> list[int]:
@@ -168,10 +273,50 @@ class SkueueClient:
         order per pid is preserved (TCP is FIFO per connection and a
         host assigns per-pid indices in arrival order).
         """
+        hosts = {self.host_for(pid) for pid, _, _ in ops}
+        for host in hosts:
+            await self._ensure_host(host)
         req_ids = [self._queue_submit(pid, kind, item) for pid, kind, item in ops]
-        for host in {self.host_for(pid) for pid, _, _ in ops}:
+        for host in hosts:
             await self._writers[host].drain()
         return req_ids
+
+    async def _on_rejected(self, message: dict) -> None:
+        """A submission bounced off a drain or a stale map: resubmit it.
+
+        The replacement gets a fresh req_id on a live pid; completion of
+        the replacement resolves the *original* req_id's future and
+        result slot, so callers are oblivious (the collected history
+        names the replacement id — churn-aware workloads use
+        ``live_pids()`` to make this path rare).
+        """
+        self._apply_map_json(message.get("map"))
+        rejected = message["req"]
+        root = self._redirects.pop(rejected, rejected)
+        if rejected != root:
+            self._pending.pop(rejected, None)
+        meta = self._pending_meta.pop(rejected, None)
+        future = self._pending.get(root)
+        if meta is None or future is None or future.done():
+            return
+        _pid, kind, item = meta
+        try:
+            candidates = self.live_pids()
+            if not candidates:
+                raise RuntimeError(
+                    f"request {root} rejected and no live pids remain"
+                )
+            pid = candidates[self._retry_rr % len(candidates)]
+            self._retry_rr += 1
+            host = self.host_for(pid)
+            await self._ensure_host(host)
+            replacement = self._queue_submit(pid, kind, item)
+            self._redirects[replacement] = root
+            self.rejected_resubmits += 1
+            await self._writers[host].drain()
+        except Exception as exc:
+            if not future.done():
+                future.set_exception(exc)
 
     # -- completions ----------------------------------------------------------
     async def wait(self, req_id: int, timeout: float | None = 30.0):
@@ -247,8 +392,16 @@ class SkueueClient:
     async def collect_records(
         self, timeout: float | None = 30.0
     ) -> list[OpRecord]:
-        """Fetch every host's OpRecords (the history for `repro.verify`)."""
+        """Fetch every host's OpRecords (the history for `repro.verify`).
+
+        Live hosts answer for themselves; records of hosts that drained
+        out are served by the coordinator, which adopted their archives
+        at retirement — the merged history stays complete across churn.
+        """
         loop = asyncio.get_running_loop()
+        if self.cluster is not None:
+            for index in list(self.cluster.hosts):
+                await self._ensure_host(index)
         for index, writer in self._writers.items():
             self._collect_futures[index] = loop.create_future()
             write_frame(writer, {"op": "collect"})
@@ -264,6 +417,30 @@ class SkueueClient:
         self._raise_errors()
         records.sort(key=lambda rec: rec.req_id)
         return records
+
+    async def refresh_map(self, timeout: float | None = 10.0) -> None:
+        """Pull the current cluster map from a connected host.
+
+        Blocks until the ``host_map`` answer has been applied (or
+        ``timeout`` elapses), so callers may rely on :meth:`live_pids`
+        reflecting at least the answering host's view on return."""
+        before = self._map_replies
+        for writer in self._writers.values():
+            write_frame(writer, {"op": "map"})
+            await writer.drain()
+            break
+        else:
+            return
+        deadline = (
+            asyncio.get_running_loop().time() + timeout
+            if timeout is not None else None
+        )
+        while self._map_replies == before:
+            if deadline is not None and (
+                asyncio.get_running_loop().time() > deadline
+            ):
+                raise TimeoutError(f"no host_map answer within {timeout}s")
+            await asyncio.sleep(0.02)
 
     async def host_metrics(self, timeout: float | None = 30.0) -> dict[int, dict]:
         """Per-host metrics summaries."""
@@ -287,22 +464,67 @@ class SkueueClient:
             except (ConnectionError, OSError):
                 pass
 
+    async def _recover_lost(self, index: int) -> None:
+        """A host's connection ended: resubmit its in-limbo requests.
+
+        An orderly retiree completes every accepted record and flushes
+        DONE/rejected replies before closing, and TCP is FIFO — so any
+        request of ours still pending *after* the EOF (origin residue ==
+        that host) was written into the closing socket and silently
+        lost.  Rerouting it through the rejected-resubmission machinery
+        cannot duplicate it.  (A mid-flight *crash* — fail-stop
+        territory, see DESIGN.md — could complete server-side anyway;
+        orderly churn cannot.)
+        """
+        if self._closed:
+            return
+        self._writers.pop(index, None)
+        self._nonces.pop(index, None)
+        self._readers.pop(index, None)
+        for req_id in list(self._pending):
+            future = self._pending.get(req_id)
+            if future is None or future.done():
+                continue
+            if req_id % self.id_slots != index:
+                continue
+            if req_id not in self._pending_meta:
+                continue
+            await self._on_rejected({"req": req_id})
+
     # -- frame handling --------------------------------------------------------
     async def _read_loop(self, index: int, reader: asyncio.StreamReader) -> None:
         while True:
             message = await read_frame(reader)
             if message is None:
+                if not self._closed:
+                    asyncio.get_running_loop().create_task(
+                        self._recover_lost(index)
+                    )
                 return
             op = message.get("op")
             if op == "done":
                 req_id = message["req"]
-                self._results[req_id] = (
-                    message["kind"],
-                    decode_payload(message["result"]),
+                result = (message["kind"], decode_payload(message["result"]))
+                for rid in (req_id, self._redirects.pop(req_id, None)):
+                    if rid is None:
+                        continue
+                    self._results[rid] = result
+                    # the meta is only needed while a resubmission is
+                    # still possible; drop it on completion (it holds
+                    # the enqueued item object)
+                    self._pending_meta.pop(rid, None)
+                    future = self._pending.get(rid)
+                    if future is not None and not future.done():
+                        future.set_result(True)
+            elif op == "rejected":
+                asyncio.get_running_loop().create_task(
+                    self._on_rejected(message)
                 )
-                future = self._pending.get(req_id)
-                if future is not None and not future.done():
-                    future.set_result(True)
+            elif op == "host_map":
+                self._apply_map_json(message.get("map"))
+                self._map_replies += 1
+            elif op == "update_over":
+                self.last_update_over = message
             elif op == "records":
                 future = self._collect_futures.get(index)
                 if future is not None and not future.done():
@@ -317,7 +539,7 @@ class SkueueClient:
                     future.set_result(message)
             elif op == "error":
                 self.errors.append(f"[host {index}] {message['message']}")
-            elif op in ("pong", "bye", "wired"):
+            elif op in ("pong", "bye", "wired", "leaving"):
                 pass
             else:
                 self.errors.append(f"[host {index}] unexpected frame {message!r}")

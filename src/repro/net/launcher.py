@@ -3,15 +3,25 @@
 ``launch_local(n_hosts, n_processes)`` starts ``n_hosts``
 :class:`~repro.net.server.NodeHost` OS processes (``python -m
 repro.net.launcher serve``), learns each one's ephemeral port from its
-``SKUEUE-READY`` line, sends every host the full peer map (the ``wire``
-frame — on receipt a host spawns its shard of the LDB and kicks the
-pipeline), and returns a :class:`NetDeployment` handle whose ``close()``
-/ context-manager exit shuts everything down deterministically.
+``SKUEUE-READY`` line (hosts always bind port 0 unless told otherwise,
+so parallel deployments never collide), sends every host the full peer
+map and the genesis cluster map (the ``wire`` frame — on receipt a host
+spawns its shard of the LDB and kicks the pipeline), and returns a
+:class:`NetDeployment` handle whose ``close()`` / context-manager exit
+shuts everything down deterministically.
+
+Deployments are **elastic**: :meth:`NetDeployment.add_host` spawns a
+new host that joins the live overlay (``skueue-node join``) and
+:meth:`NetDeployment.remove_host` drains one out — both while clients
+keep submitting (see docs/PROTOCOL.md and DESIGN.md, "Membership over
+TCP").
 
 Also the ``skueue-node`` console entry point:
 
 * ``skueue-node serve --config-json '{...}'`` — run one host (what the
   launcher spawns; also usable manually across machines),
+* ``skueue-node join --seed HOST:PORT --pids N`` — join a running
+  deployment as a brand-new host,
 * ``skueue-node demo --hosts 2 --processes 8 --ops 40`` — spawn a local
   deployment, run a mixed workload, verify sequential consistency.
 """
@@ -30,7 +40,8 @@ import threading
 import time
 from pathlib import Path
 
-from repro.net.server import HostConfig, run_host
+from repro.net.membership import ClusterMap
+from repro.net.server import HostConfig, run_host, run_joining_host
 from repro.net.transport import FrameReader, encode_frame
 
 __all__ = ["NetDeployment", "launch_local", "main"]
@@ -107,7 +118,7 @@ def _sync_request(
 
 
 class NetDeployment:
-    """Handle on a running multi-process deployment."""
+    """Handle on a running multi-process deployment (possibly elastic)."""
 
     def __init__(
         self, processes: list[subprocess.Popen], host_map: dict[int, tuple[str, int]],
@@ -157,6 +168,105 @@ class NetDeployment:
     def alive(self) -> bool:
         return all(proc.poll() is None for proc in self.processes)
 
+    # -- live membership -------------------------------------------------------
+    def cluster_map(self) -> ClusterMap:
+        """The current cluster map, pulled from any live host."""
+        last_error: Exception | None = None
+        for address in list(self.host_map.values()):
+            try:
+                reply = _sync_request(address, {"op": "map"}, "host_map",
+                                      timeout=5.0)
+                return ClusterMap.from_json(reply["map"])
+            except (OSError, RuntimeError, ConnectionError) as exc:
+                last_error = exc
+        raise RuntimeError(f"no live host answered a map pull: {last_error}")
+
+    def _sync_map(self, cluster: ClusterMap) -> None:
+        self.host_map = dict(cluster.hosts)
+
+    def add_host(
+        self,
+        n_pids: int = 1,
+        ready_timeout: float = 30.0,
+        integrate_timeout: float | None = 60.0,
+    ) -> int:
+        """Join a fresh host into the live deployment; returns its index.
+
+        With ``integrate_timeout`` set (the default) the call also waits
+        until every new pid has been spliced into the overlay; pass
+        ``None`` to return as soon as the host is serving (its pids take
+        submissions immediately — joining nodes relay through their
+        responsible node until integrated).
+        """
+        seed = next(iter(self.host_map.values()))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _src_path() + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.net.launcher", "join",
+                "--seed", f"{seed[0]}:{seed[1]}",
+                "--pids", str(n_pids),
+            ],
+            stdout=subprocess.PIPE,
+            env=env,
+        )
+        try:
+            index, port = _read_ready_line(
+                proc, time.monotonic() + ready_timeout
+            )
+        except BaseException:
+            proc.kill()
+            raise
+        _drain_stdout(proc)
+        self.processes.append(proc)
+        self.host_map[index] = ("127.0.0.1", port)
+        if integrate_timeout is not None:
+            self.wait_host_integrated(index, timeout=integrate_timeout)
+        return index
+
+    def wait_host_integrated(self, index: int, timeout: float = 60.0) -> None:
+        """Block until host ``index`` reports all its pids integrated."""
+        address = self.host_map[index]
+        deadline = time.monotonic() + timeout
+        while True:
+            reply = _sync_request(address, {"op": "ping"}, "pong", timeout=5.0)
+            if reply.get("wired") and not reply.get("joining"):
+                return
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"host {index} still integrating pids {reply.get('joining')} "
+                    f"after {timeout}s"
+                )
+            time.sleep(0.1)
+
+    def remove_host(
+        self, index: int, wait: bool = True, timeout: float = 120.0
+    ) -> None:
+        """Drain host ``index`` out of the deployment.
+
+        The host stops being picked by clients immediately (the
+        coordinator marks it leaving), its virtual nodes depart through
+        the protocol's LEAVE/update machinery, and once drained it hands
+        its record archive to the coordinator and exits.  With ``wait``
+        the call blocks until the host is gone from the cluster map.
+        """
+        address = self.host_map[index]
+        _sync_request(address, {"op": "leave", "host": index}, "leaving",
+                      timeout=10.0)
+        if not wait:
+            return
+        deadline = time.monotonic() + timeout
+        while True:
+            cluster = self.cluster_map()
+            if index not in cluster.hosts:
+                self._sync_map(cluster)
+                return
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"host {index} still draining after {timeout}s"
+                )
+            time.sleep(0.2)
+
 
 def launch_local(
     n_hosts: int,
@@ -167,12 +277,26 @@ def launch_local(
     timeout_lag: float = 0.004,
     sweep_seconds: float = 0.25,
     ready_timeout: float = 30.0,
+    id_slots: int = 0,
 ) -> NetDeployment:
-    """Spawn, wire and return a local ``n_hosts``-process deployment."""
+    """Spawn, wire and return a local ``n_hosts``-process deployment.
+
+    Every host binds port 0 (the kernel hands out a free ephemeral port,
+    reported back through the READY line), so any number of deployments
+    — parallel CI jobs included — coexist without port coordination.
+
+    ``id_slots`` fixes the req_id origin-residue modulus, which caps how
+    many host indices the deployment can ever hand out; the default
+    (``n_hosts``) reproduces the static id scheme bit for bit, so pass
+    something larger (e.g. 16) when hosts will join at runtime.
+    """
     if n_hosts < 1:
         raise ValueError("need at least one host")
     if n_processes < n_hosts:
         raise ValueError("need at least one pid per host")
+    id_slots = id_slots or n_hosts
+    if id_slots < n_hosts:
+        raise ValueError(f"id_slots={id_slots} < n_hosts={n_hosts}")
     env = dict(os.environ)
     env["PYTHONPATH"] = _src_path() + os.pathsep + env.get("PYTHONPATH", "")
     processes: list[subprocess.Popen] = []
@@ -190,6 +314,7 @@ def launch_local(
                 timeout_lag=timeout_lag,
                 sweep_seconds=sweep_seconds,
                 epoch=epoch,
+                id_slots=id_slots,
             )
             proc = subprocess.Popen(
                 [
@@ -211,10 +336,14 @@ def launch_local(
             _drain_stdout(proc)
         if len(host_map) != n_hosts:
             raise RuntimeError(f"only {len(host_map)}/{n_hosts} hosts became ready")
+        genesis = ClusterMap.genesis(host_map, n_processes, id_slots)
         peers = {str(i): list(addr) for i, addr in host_map.items()}
         for index, address in host_map.items():
             reply = _sync_request(
-                address, {"op": "wire", "peers": peers}, "wired", timeout=10.0
+                address,
+                {"op": "wire", "peers": peers, "map": genesis.to_json()},
+                "wired",
+                timeout=10.0,
             )
             if reply.get("host") != index:
                 raise RuntimeError(f"host at {address} answered as {reply.get('host')}")
@@ -231,6 +360,7 @@ def launch_local(
             "n_processes": n_processes,
             "seed": seed,
             "structure": structure,
+            "id_slots": id_slots,
         },
     )
 
@@ -271,6 +401,18 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--config-json", required=True,
                        help="HostConfig as a JSON object")
 
+    join = sub.add_parser(
+        "join", help="join a running deployment as a brand-new host"
+    )
+    join.add_argument("--seed", required=True,
+                      help="HOST:PORT of any live host of the deployment")
+    join.add_argument("--pids", type=int, default=1,
+                      help="number of fresh processes this host contributes")
+    join.add_argument("--bind", default="127.0.0.1")
+    join.add_argument("--port", type=int, default=0,
+                      help="listen port (default 0: ephemeral; a busy fixed "
+                           "port is retried, then falls back to ephemeral)")
+
     demo = sub.add_parser("demo", help="local deployment + verified demo workload")
     demo.add_argument("--hosts", type=int, default=2)
     demo.add_argument("--processes", type=int, default=8)
@@ -281,6 +423,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "serve":
         config = HostConfig.from_json(json.loads(args.config_json))
         asyncio.run(run_host(config, ready_prefix=_READY_PREFIX))
+        return 0
+    if args.command == "join":
+        seed_host, _, seed_port = args.seed.rpartition(":")
+        asyncio.run(
+            run_joining_host(
+                (seed_host or "127.0.0.1", int(seed_port)),
+                n_pids=args.pids,
+                bind_host=args.bind,
+                port=args.port,
+                ready_prefix=_READY_PREFIX,
+            )
+        )
         return 0
     if args.command == "demo":
         with launch_local(args.hosts, args.processes, seed=args.seed) as deployment:

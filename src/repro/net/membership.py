@@ -1,0 +1,215 @@
+"""Versioned cluster membership for the TCP runtime (`ClusterMap`).
+
+The static deployment of PR 1 derived everything from two integers
+(``pid % n_hosts`` for ownership, ``req_id % n_hosts`` for completion
+routing).  With live host join/leave neither stays well-defined, so the
+control plane carries an explicit, versioned map instead:
+
+* ``hosts`` — live host_index -> (address, port).  Host indices are
+  **never reused**; a joining host gets ``next_host`` and keeps it for
+  the deployment's lifetime.
+* ``pid_owner`` — pid -> host_index for every submittable pid.  Genesis
+  pids are sharded round-robin (matching the old modulo rule bit for
+  bit); a joining host brings *fresh* pids (``next_pid`` onward) that
+  enter the overlay through the paper's JOIN machinery, and a draining
+  host's pids disappear with it — pids never migrate between hosts, so
+  the same-process sibling locality argument of DESIGN.md is preserved
+  across churn.
+* ``leaving`` — hosts currently draining; clients stop picking their
+  pids, but in-flight requests on them still complete (the LEAVE
+  choreography adopts unflushed requests, see ``core/membership.py``).
+* ``departed`` — retired host_index -> adopter host_index.  The adopter
+  holds the retiree's record archive, so stale COMPLETE frames and
+  history collection keep working across epochs.
+* ``forwards`` — vid -> vid forwarding addresses accumulated from
+  retired hosts' runtimes, installed into every live runtime so routed
+  stragglers to spliced-out virtual nodes still resolve.
+* ``id_slots`` — the *fixed* modulus of the req_id origin residue
+  (``req_id % id_slots == submitting host_index``).  It is chosen at
+  genesis and never changes, which is what keeps RecordTable routing
+  stable while ``len(hosts)`` fluctuates; it also caps the number of
+  host indices a deployment can ever hand out.
+
+Every mutation bumps ``version``; receivers apply a map iff its version
+is newer, so broadcasts may race, duplicate, or arrive via different
+paths (peer links, client pushes, ``map`` pulls) without confusion.
+The **coordinator** — the lowest live host_index — serialises all
+membership mutations; it cannot itself be drained.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ClusterMap"]
+
+
+class ClusterMap:
+    """The versioned membership view shared by hosts and clients."""
+
+    __slots__ = (
+        "version",
+        "hosts",
+        "pid_owner",
+        "leaving",
+        "departed",
+        "forwards",
+        "next_pid",
+        "next_host",
+        "id_slots",
+        "n_genesis",
+    )
+
+    def __init__(
+        self,
+        version: int = 0,
+        hosts: dict[int, tuple[str, int]] | None = None,
+        pid_owner: dict[int, int] | None = None,
+        leaving: set[int] | None = None,
+        departed: dict[int, int] | None = None,
+        forwards: dict[int, int] | None = None,
+        next_pid: int = 0,
+        next_host: int = 0,
+        id_slots: int = 0,
+        n_genesis: int = 0,
+    ) -> None:
+        self.version = version
+        self.hosts = dict(hosts or {})
+        self.pid_owner = dict(pid_owner or {})
+        self.leaving = set(leaving or ())
+        self.departed = dict(departed or {})
+        self.forwards = dict(forwards or {})
+        self.next_pid = next_pid
+        self.next_host = next_host
+        self.id_slots = id_slots
+        self.n_genesis = n_genesis
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def genesis(
+        cls,
+        host_map: dict[int, tuple[str, int]],
+        n_processes: int,
+        id_slots: int = 0,
+    ) -> "ClusterMap":
+        """The launch-time map: round-robin pids, version 1."""
+        n_hosts = len(host_map)
+        return cls(
+            version=1,
+            hosts={int(k): (v[0], int(v[1])) for k, v in host_map.items()},
+            pid_owner={pid: pid % n_hosts for pid in range(n_processes)},
+            next_pid=n_processes,
+            next_host=n_hosts,
+            id_slots=id_slots or n_hosts,
+            n_genesis=n_processes,
+        )
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def coordinator(self) -> int:
+        """Lowest live host index: the membership serialisation point."""
+        return min(self.hosts)
+
+    def owner_of(self, pid: int) -> int | None:
+        return self.pid_owner.get(pid)
+
+    def live_pids(self) -> list[int]:
+        """Pids clients should pick: owned by a host that is not draining."""
+        return sorted(
+            pid
+            for pid, host in self.pid_owner.items()
+            if host not in self.leaving
+        )
+
+    def pids_of(self, host_index: int) -> list[int]:
+        return sorted(
+            pid for pid, host in self.pid_owner.items() if host == host_index
+        )
+
+    def complete_target(self, origin: int) -> int | None:
+        """Host to send a COMPLETE/value sync for an origin residue.
+
+        The origin itself while live; its record adopter once it has
+        retired (COMPLETEs keep flowing across membership epochs);
+        ``None`` for an index this deployment never handed out.
+        """
+        if origin in self.hosts:
+            return origin
+        adopter = self.departed.get(origin)
+        while adopter is not None and adopter not in self.hosts:
+            adopter = self.departed.get(adopter)
+        return adopter
+
+    # -- mutations (coordinator only) -----------------------------------------
+    def reserve_join(self, n_pids: int) -> tuple[int, list[int]]:
+        """Hand out the next host_index and ``n_pids`` fresh pids.
+
+        Counters advance immediately (reservations survive a joiner that
+        never commits — indices are cheap and never reused), but the map
+        version is untouched: nothing observable changed yet.
+        """
+        if n_pids < 1:
+            raise ValueError("a joining host needs at least one pid")
+        if self.next_host >= self.id_slots:
+            raise ValueError(
+                f"id_slots={self.id_slots} exhausted: no host indices left "
+                "(choose a larger id_slots at launch for long-lived churn)"
+            )
+        host_index = self.next_host
+        self.next_host += 1
+        pids = list(range(self.next_pid, self.next_pid + n_pids))
+        self.next_pid += n_pids
+        return host_index, pids
+
+    def commit_join(
+        self, host_index: int, address: tuple[str, int], pids: list[int]
+    ) -> None:
+        self.hosts[host_index] = (address[0], int(address[1]))
+        for pid in pids:
+            self.pid_owner[pid] = host_index
+        self.version += 1
+
+    def start_drain(self, host_index: int) -> None:
+        if host_index not in self.hosts:
+            raise ValueError(f"host {host_index} is not live")
+        self.leaving.add(host_index)
+        self.version += 1
+
+    def retire_host(
+        self, host_index: int, adopter: int, forwards: dict[int, int]
+    ) -> None:
+        self.hosts.pop(host_index, None)
+        self.leaving.discard(host_index)
+        for pid in self.pids_of(host_index):
+            del self.pid_owner[pid]
+        self.departed[host_index] = adopter
+        self.forwards.update(forwards)
+        self.version += 1
+
+    # -- wire form -------------------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "version": self.version,
+            "hosts": {str(k): list(v) for k, v in self.hosts.items()},
+            "pid_owner": {str(k): v for k, v in self.pid_owner.items()},
+            "leaving": sorted(self.leaving),
+            "departed": {str(k): v for k, v in self.departed.items()},
+            "forwards": {str(k): v for k, v in self.forwards.items()},
+            "next_pid": self.next_pid,
+            "next_host": self.next_host,
+            "id_slots": self.id_slots,
+            "n_genesis": self.n_genesis,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ClusterMap":
+        return cls(
+            version=data["version"],
+            hosts={int(k): (v[0], int(v[1])) for k, v in data["hosts"].items()},
+            pid_owner={int(k): v for k, v in data["pid_owner"].items()},
+            leaving=set(data.get("leaving", ())),
+            departed={int(k): v for k, v in data.get("departed", {}).items()},
+            forwards={int(k): v for k, v in data.get("forwards", {}).items()},
+            next_pid=data["next_pid"],
+            next_host=data["next_host"],
+            id_slots=data["id_slots"],
+            n_genesis=data.get("n_genesis", 0),
+        )

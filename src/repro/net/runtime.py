@@ -21,12 +21,21 @@ that stores the element — on a sharded deployment that node may live in a
 different OS process than the one holding the :class:`OpRecord`.
 :class:`RecordTable` makes ``ctx.records[req_id]`` work anyway: local
 ids resolve to real records, remote ids to a stub whose ``completed``
-setter forwards a COMPLETE control frame to the origin host.  Req_ids
-encode their origin in the low residue (``req_id % n_hosts`` is the
-submitting host) regardless of how many clients submit concurrently —
-the client nonce and sequence counter live in the high bits (see
-:func:`repro.core.requests.pack_req_id`), so this table is oblivious to
-the multi-client id scheme.
+setter forwards a ``complete`` sync frame to the origin host.  Req_ids
+encode their origin in the low residue (``req_id % id_slots`` is the
+submitting host index, with ``id_slots`` fixed at genesis so the scheme
+survives hosts joining and leaving) regardless of how many clients
+submit concurrently — the client nonce and sequence counter live in the
+high bits (see :func:`repro.core.requests.pack_req_id`), so this table
+is oblivious to the multi-client id scheme.
+
+Live membership adds a third kind of entry: when a draining host's node
+dumps its unflushed requests (``DEPART_DUMP``), the adopting host
+registers the wire copies as :class:`AdoptedRecord` proxies.  The proxy
+rides the adopter's waves like a local record, but every fact the
+protocol learns about it — the witness-order ``value`` assigned in stage
+3, the dequeued ``result``, completion — is forwarded to the origin
+host, which owns the canonical record and the client connection.
 """
 
 from __future__ import annotations
@@ -36,8 +45,9 @@ from typing import Callable, Iterable
 
 from repro.core.requests import OpRecord
 from repro.sim.metrics import Metrics
+from repro.sim.process import bounce_forwarded_batch
 
-__all__ = ["NetOpRecord", "NetRuntime", "RecordTable"]
+__all__ = ["AdoptedRecord", "NetOpRecord", "NetRuntime", "RecordTable"]
 
 
 class NetRuntime:
@@ -99,11 +109,13 @@ class NetRuntime:
 
     def send(self, dest: int, action: int, payload: tuple) -> None:
         self.metrics.messages += 1
-        dest = self.resolve(dest)
-        if dest in self.actors:
-            self._loop.call_soon(self._deliver, dest, action, payload)
+        resolved = self.resolve(dest)
+        if resolved != dest and bounce_forwarded_batch(self, action, payload):
+            return  # tree-up batch to a departed parent
+        if resolved in self.actors:
+            self._loop.call_soon(self._deliver, resolved, action, payload)
         else:
-            self.send_remote(dest, action, payload)
+            self.send_remote(resolved, action, payload)
 
     def request_timeout(self, actor_id: int) -> None:
         if actor_id in self._timeout_pending or self._closed:
@@ -127,6 +139,19 @@ class NetRuntime:
         if forward_to is not None:
             self._forwards[actor_id] = forward_to
 
+    @property
+    def forwards(self) -> dict[int, int]:
+        """Forwarding addresses left by departed actors (read by the host
+        to publish them cluster-wide when this host retires)."""
+        return dict(self._forwards)
+
+    def add_forwards(self, forwards: dict[int, int]) -> None:
+        """Install forwards learned from retired hosts' cluster maps, so
+        routed stragglers to their spliced-out nodes resolve locally."""
+        for vid, target in forwards.items():
+            if vid not in self.actors and vid != target:
+                self._forwards[vid] = target
+
     def resolve(self, actor_id: int) -> int:
         while actor_id in self._forwards:
             actor_id = self._forwards[actor_id]
@@ -148,21 +173,29 @@ class NetRuntime:
                 raise
 
     def _deliver(self, dest: int, action: int, payload: tuple) -> None:
-        actor = self.actors.get(self.resolve(dest))
-        if actor is None:
-            # departed between scheduling and delivery: re-route
-            self.send_remote(dest, action, payload)
+        # re-resolve: the destination may have departed (leaving a
+        # forward) between scheduling and this callback — re-routing must
+        # use the *resolved* id or the host would drop the message as
+        # unroutable-to-self
+        resolved = self.resolve(dest)
+        if resolved != dest and bounce_forwarded_batch(self, action, payload):
             return
-        self._guard(dest, lambda: actor.handle(action, payload))
+        actor = self.actors.get(resolved)
+        if actor is None:
+            self.send_remote(resolved, action, payload)
+            return
+        self._guard(resolved, lambda: actor.handle(action, payload))
 
     def deliver_remote(self, dest: int, action: int, payload: tuple) -> None:
         """Entry point for messages arriving off the wire."""
-        dest = self.resolve(dest)
-        actor = self.actors.get(dest)
-        if actor is None:
-            self.send_remote(dest, action, payload)
+        resolved = self.resolve(dest)
+        if resolved != dest and bounce_forwarded_batch(self, action, payload):
             return
-        self._guard(dest, lambda: actor.handle(action, payload))
+        actor = self.actors.get(resolved)
+        if actor is None:
+            self.send_remote(resolved, action, payload)
+            return
+        self._guard(resolved, lambda: actor.handle(action, payload))
 
     def _fire_timeout(self, actor_id: int) -> None:
         self._timeout_pending.discard(actor_id)
@@ -217,16 +250,23 @@ class NetOpRecord(OpRecord):
 class _RemoteRecordStub:
     """Stand-in for a record owned by another host.
 
-    Only the attribute the DHT-side completion path touches is supported:
-    setting ``completed = True`` forwards a COMPLETE frame to the origin.
+    The DHT-side completion path sets ``completed = True``, which
+    forwards a ``complete`` sync frame to the origin host; any ``value``/
+    ``result``/``local_match`` learned beforehand rides along.
     """
 
-    __slots__ = ("req_id", "_notify", "_done")
+    __slots__ = (
+        "req_id", "_notify", "_done", "value", "result", "local_match", "gen"
+    )
 
-    def __init__(self, req_id: int, notify: Callable[[int], None]) -> None:
+    def __init__(self, req_id: int, notify: Callable[[int, dict], None]) -> None:
         self.req_id = req_id
         self._notify = notify
         self._done = False
+        self.value = None
+        self.result = None
+        self.local_match = False
+        self.gen = None  # unknown here; the origin host owns the real record
 
     @property
     def completed(self) -> bool:
@@ -236,7 +276,78 @@ class _RemoteRecordStub:
     def completed(self, value: bool) -> None:
         if value and not self._done:
             self._done = True
-            self._notify(self.req_id)
+            self._notify(self.req_id, _sync_fields(self, done=True))
+
+
+class AdoptedRecord(OpRecord):
+    """Wire copy of a record adopted across a host boundary (LEAVE).
+
+    A draining node's unflushed requests ride the adopting node's next
+    wave (see ``QueueNode._adopt_records``).  The adopter learns facts
+    the origin host needs — stage-3 assigns the witness-order ``value``
+    here, a GET reply lands here — so the setters forward each fact as a
+    ``complete`` sync frame: ``value`` immediately (an INSERT's
+    completion happens at a *third* host, the DHT node, which never sees
+    the value), ``result`` and ``local_match`` together with completion.
+    """
+
+    __slots__ = ("_value", "_result", "_done", "_notify")
+
+    def __init__(self, rec: OpRecord, notify: Callable[[int, dict], None]) -> None:
+        self._value = None
+        self._result = None
+        self._done = False
+        self._notify = None  # muted while copying the donor's fields
+        super().__init__(rec.req_id, rec.pid, rec.idx, rec.kind, rec.item, rec.gen)
+        self._value = rec.value
+        self._result = rec.result
+        self.local_match = rec.local_match
+        self._notify = notify
+
+    @property
+    def value(self):
+        return self._value
+
+    @value.setter
+    def value(self, value) -> None:
+        self._value = value
+        if value is not None and self._notify is not None:
+            self._notify(self.req_id, {"value": value})
+
+    @property
+    def result(self):
+        return self._result
+
+    @result.setter
+    def result(self, result) -> None:
+        self._result = result
+
+    @property
+    def completed(self) -> bool:
+        return self._done
+
+    @completed.setter
+    def completed(self, value: bool) -> None:
+        if self._notify is None:  # OpRecord.__init__ writing the default
+            self._done = bool(value)
+            return
+        if value and not self._done:
+            self._done = True
+            self._notify(self.req_id, _sync_fields(self, done=True))
+
+
+def _sync_fields(rec, done: bool = False) -> dict:
+    """The payload of a ``complete`` sync frame (encoded by the host)."""
+    fields: dict = {}
+    if done:
+        fields["done"] = True
+    if rec.value is not None:
+        fields["value"] = rec.value
+    if rec.result is not None:
+        fields["result"] = rec.result
+    if rec.local_match:
+        fields["local_match"] = True
+    return fields
 
 
 class RecordTable:
@@ -244,22 +355,35 @@ class RecordTable:
 
     The sim facade uses a plain list (req_id == index); hosts use this
     table, which distinguishes locally submitted records from remote ones
-    by the origin-host residue baked into every req_id.
+    by the origin residue baked into every req_id.  ``id_slots`` is the
+    genesis-fixed residue modulus — *not* the current host count, which
+    may change under churn (see :class:`repro.net.membership.ClusterMap`).
     """
 
-    __slots__ = ("host_index", "n_hosts", "local", "_stubs", "_notify_origin")
+    __slots__ = (
+        "host_index",
+        "id_slots",
+        "local",
+        "_adopted",
+        "_stubs",
+        "_notify_origin",
+    )
 
     def __init__(
-        self, host_index: int, n_hosts: int, notify_origin: Callable[[int], None]
+        self,
+        host_index: int,
+        id_slots: int,
+        notify_origin: Callable[[int, dict], None],
     ) -> None:
         self.host_index = host_index
-        self.n_hosts = n_hosts
+        self.id_slots = id_slots
         self.local: dict[int, NetOpRecord] = {}
+        self._adopted: dict[int, AdoptedRecord] = {}
         self._stubs: dict[int, _RemoteRecordStub] = {}
         self._notify_origin = notify_origin
 
     def origin_of(self, req_id: int) -> int:
-        return req_id % self.n_hosts
+        return req_id % self.id_slots
 
     def add_local(self, rec: NetOpRecord) -> None:
         if rec.req_id in self.local:
@@ -270,10 +394,31 @@ class RecordTable:
             )
         self.local[rec.req_id] = rec
 
+    def adopt(self, rec: OpRecord) -> OpRecord:
+        """Entry point for records arriving in a ``DEPART_DUMP``.
+
+        A record whose origin is this very host is simply the local
+        record (the dump was delivered in-process); anything else becomes
+        a forwarding :class:`AdoptedRecord`, memoised so later lookups
+        (GET replies) find the same object the wave is carrying.
+        """
+        local = self.local.get(rec.req_id)
+        if local is not None:
+            return local
+        adopted = self._adopted.get(rec.req_id)
+        if adopted is None:
+            adopted = self._adopted[rec.req_id] = AdoptedRecord(
+                rec, self._notify_origin
+            )
+        return adopted
+
     def __getitem__(self, req_id: int):
         rec = self.local.get(req_id)
         if rec is not None:
             return rec
+        adopted = self._adopted.get(req_id)
+        if adopted is not None:
+            return adopted
         if self.origin_of(req_id) == self.host_index:
             raise KeyError(f"unknown local req_id {req_id}")
         stub = self._stubs.get(req_id)

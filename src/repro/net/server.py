@@ -1,29 +1,26 @@
 """`NodeHost`: one OS process hosting a shard of virtual nodes over TCP.
 
-A deployment is ``n_hosts`` NodeHost processes plus any number of
-clients.  Processes (pids) are sharded round-robin: host ``h`` emulates
-every pid with ``pid % n_hosts == h`` — all three virtual nodes of a pid
-together, so the protocol's same-process sibling reads stay local (see
-DESIGN.md, "The net runtime").  Every host builds the *same*
-:class:`~repro.overlay.ldb.LdbTopology` snapshot from the shared salt, so
-pred/succ wiring, routing parameters and the anchor agree globally
-without any coordination traffic.
+A deployment is a set of NodeHost processes plus any number of clients.
+Genesis processes (pids) are sharded round-robin: host ``h`` emulates
+every genesis pid with ``pid % n_hosts == h`` — all three virtual nodes
+of a pid together, so the protocol's same-process sibling reads stay
+local (see DESIGN.md, "The net runtime").  Every genesis host builds the
+*same* :class:`~repro.overlay.ldb.LdbTopology` snapshot from the shared
+salt, so pred/succ wiring, routing parameters and the anchor agree
+globally without any coordination traffic.
 
-Wire vocabulary (one JSON frame each, see :mod:`repro.net.transport`):
+Beyond genesis the membership is **live**: hosts join a running
+deployment (``skueue-node join``) bringing fresh pids that enter the
+overlay through the paper's JOIN machinery, and hosts drain out again
+(the ``leave`` frame) with their pids departing through the LEAVE/update
+machinery — all while clients keep submitting.  Ownership is tracked by
+a versioned :class:`~repro.net.membership.ClusterMap` whose mutations
+are serialised by the *coordinator* (the lowest live host index).
 
-==============  =======================================================
-``wire``        launcher -> host: peer address map; spawns actors, kicks
-``msg``         host -> host: one actor message ``(dest, action, payload)``
-``complete``    DHT host -> origin host: req_id finished remotely
-``hello``       client -> host: request a submission nonce
-``welcome``     host -> client: deployment shape + this connection's nonce
-``submit``      client -> host: ENQUEUE/DEQUEUE at a pid this host owns
-``done``        host -> client: a submitted request completed (+ result)
-``collect``     client -> host: dump this host's OpRecords (+ errors)
-``metrics``     client -> host: metrics summary
-``ping``        liveness probe
-``shutdown``    orderly stop
-==============  =======================================================
+The wire vocabulary (one JSON frame each) is catalogued in
+``docs/PROTOCOL.md`` and registered in
+:data:`repro.net.transport.FRAME_TYPES`; a test diffs the two against
+this module's emissions, so consult those rather than a summary here.
 
 Concurrent clients: each ``hello`` is answered with a fresh per-host
 ``nonce``; clients pack it into every req_id
@@ -37,25 +34,45 @@ TIMEOUT is event-loop-driven (no rounds): see
 from __future__ import annotations
 
 import asyncio
+import errno
+import time
 import traceback
+from collections import deque
 from dataclasses import dataclass, field
 
+from repro.core.actions import A_JOIN_RT
 from repro.core.cluster import spawn_nodes
 from repro.core.protocol import ClusterContext, QueueNode
+from repro.core.requests import OpRecord
 from repro.core.stack import StackNode
+from repro.net.membership import ClusterMap
 from repro.net.runtime import NetOpRecord, NetRuntime, RecordTable
 from repro.net.transport import (
     decode_payload,
     encode_frame,
     encode_payload,
     read_frame,
+    record_from_wire,
     record_to_wire,
 )
-from repro.overlay.ldb import MIDDLE, LdbTopology, pid_of, vid_of
+from repro.overlay.ldb import (
+    LEFT,
+    MIDDLE,
+    RIGHT,
+    LdbTopology,
+    pid_of,
+    vid_of,
+    virtual_label,
+)
 from repro.overlay.routing import route_steps_for
 from repro.sim.metrics import Metrics
+from repro.util.hashing import label_of
 
 __all__ = ["HostConfig", "NodeHost"]
+
+#: Seconds an actor message may wait for a cluster-map update that names
+#: its destination pid before it is declared undeliverable.
+_UNROUTED_GRACE = 10.0
 
 
 @dataclass(slots=True)
@@ -74,15 +91,24 @@ class HostConfig:
     epoch: float = 0.0  # shared wall-clock origin for `now` (0: host start)
     structure: str = "queue"  # "queue" (Skueue) or "stack" (Skack)
     salt: str = field(default="")
+    # fixed req_id origin-residue modulus; 0 means n_hosts (static legacy)
+    id_slots: int = 0
+    # explicit pid set for hosts joining a live deployment (None: genesis
+    # round-robin shard over range(n_processes))
+    owned: list[int] | None = None
 
     def __post_init__(self) -> None:
         if self.structure not in ("queue", "stack"):
             raise ValueError(f"unknown structure {self.structure!r}")
         if not self.salt:
             self.salt = f"skueue-{self.seed}"
+        if not self.id_slots:
+            self.id_slots = self.n_hosts
 
     @property
     def owned_pids(self) -> list[int]:
+        if self.owned is not None:
+            return list(self.owned)
         return [
             pid
             for pid in range(self.n_processes)
@@ -90,6 +116,7 @@ class HostConfig:
         ]
 
     def owner_host(self, pid: int) -> int:
+        """Genesis sharding rule (live deployments consult the ClusterMap)."""
         return pid % self.n_hosts
 
     def to_json(self) -> dict:
@@ -106,6 +133,8 @@ class HostConfig:
             "epoch": self.epoch,
             "structure": self.structure,
             "salt": self.salt,
+            "id_slots": self.id_slots,
+            "owned": self.owned,
         }
 
     @classmethod
@@ -122,6 +151,10 @@ class _Connection:
         self.writer = writer
         self.outbox: asyncio.Queue = asyncio.Queue()
         self.tasks: list[asyncio.Task] = []
+        # set on the first client-shaped frame (`hello`/`submit`): only
+        # such connections receive unsolicited pushes (host_map,
+        # update_over) — peers and the launcher never read them
+        self.is_client = False
 
     def start(self) -> None:
         loop = asyncio.get_running_loop()
@@ -190,6 +223,7 @@ class _PeerLink:
         self.outbox: asyncio.Queue = asyncio.Queue()
         self.task: asyncio.Task | None = None
         self._seq = 0
+        self._in_flight: dict | None = None
 
     def start(self) -> None:
         self.task = asyncio.get_running_loop().create_task(self._run())
@@ -200,9 +234,31 @@ class _PeerLink:
         message["seq"] = self._seq
         self.outbox.put_nowait(message)
 
+    @property
+    def idle(self) -> bool:
+        return self._in_flight is None and self.outbox.empty()
+
+    def drain_pending(self) -> list[dict]:
+        """Frames queued but (possibly) never delivered.
+
+        Called after :meth:`close` when the peer host left the cluster:
+        messages sent in the window between the host going away and the
+        map update arriving would otherwise vanish with the link — the
+        host re-dispatches them through the retiree's published
+        forwarding addresses instead.  The frame that was mid-write is
+        included; if the peer did receive it, its (src, seq) dedup
+        discards the re-dispatch downstream.
+        """
+        frames: list[dict] = []
+        if self._in_flight is not None:
+            frames.append(self._in_flight)
+            self._in_flight = None
+        while not self.outbox.empty():
+            frames.append(self.outbox.get_nowait())
+        return frames
+
     async def _run(self) -> None:
         backoff = 0.05
-        pending: dict | None = None
         while True:
             try:
                 reader, writer = await asyncio.open_connection(*self.address)
@@ -213,13 +269,14 @@ class _PeerLink:
             backoff = 0.05
             try:
                 while True:
-                    if pending is None:
-                        pending = await self.outbox.get()
-                    writer.write(encode_frame(pending))
+                    if self._in_flight is None:
+                        self._in_flight = await self.outbox.get()
+                    writer.write(encode_frame(self._in_flight))
                     await writer.drain()
-                    pending = None
+                    self._in_flight = None
             except (ConnectionError, OSError):
-                continue  # reconnect; `pending` resent, deduped by seq
+                continue  # reconnect; the in-flight frame is resent,
+                #           deduped by (src, seq) at the receiver
 
     def close(self) -> None:
         if self.task is not None:
@@ -242,8 +299,9 @@ class NodeHost:
         )
         self.runtime.on_actor_error = self._actor_error
         self.records = RecordTable(
-            config.host_index, config.n_hosts, self._notify_origin
+            config.host_index, config.id_slots, self._notify_origin
         )
+        self.cluster: ClusterMap | None = None
         self.topology: LdbTopology | None = None
         self.ctx: ClusterContext | None = None
         self.peers: dict[int, _PeerLink] = {}
@@ -255,7 +313,7 @@ class NodeHost:
         self._op_counts: dict[int, int] = {}
         self._submitters: dict[int, _Connection] = {}
         # client nonces start at 1: nonce 0 is the legacy single-client
-        # id space (`req_id = seq * n_hosts + host`), kept collision-free
+        # id space (`req_id = seq * id_slots + host`), kept collision-free
         self._next_nonce = 1
         self._stopped: asyncio.Event | None = None
         # peer frames racing our own `wire` frame (a peer that was wired
@@ -265,16 +323,56 @@ class NodeHost:
         # once stopping, the empty-wave pipeline of still-live peers keeps
         # delivering: drop silently instead of flagging protocol errors
         self._stopping = False
-        # per-peer dedup of the reconnect resend (see _PeerLink)
-        self._peer_last_seq: dict[int, int] = {}
+        # per-peer dedup of the reconnect resend (see _PeerLink): a
+        # sliding *set* of seen (src, seq), not a cumulative counter — a
+        # reconnect can interleave the old socket's undelivered tail
+        # after the new socket's first frames, and a high-water mark
+        # would silently drop the tail as "duplicates" it never saw
+        self._peer_seen: dict[int, tuple[set[int], deque]] = {}
+        # -- live membership state -------------------------------------------
+        # pids of this host still integrating into the overlay
+        self.joining_pids: set[int] = set()
+        # archives of retired hosts this (coordinator) host adopted
+        self.adopted_records: dict[int, OpRecord] = {}
+        self.adopted_errors: list[str] = []
+        self.draining = False
+        self._drain_task: asyncio.Task | None = None
+        self._housekeeping_task: asyncio.Task | None = None
+        # join reservations handed out but not yet committed (coordinator)
+        self._join_reservations: dict[int, list[int]] = {}
+        # actor messages whose destination pid the cluster map does not
+        # (yet) name: a join broadcast may still be in flight
+        self._unrouted: list[tuple[float, int, int, tuple]] = []
+        # complete syncs racing a retire handoff: applied on arrival
+        self._orphan_completes: dict[int, dict] = {}
+        self._last_epoch = 0
+        self._pushed_epoch = 0
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> int:
-        """Bind the listening socket; returns the actual port."""
+        """Bind the listening socket; returns the actual port.
+
+        A fixed (non-zero) configured port is retried briefly on
+        ``EADDRINUSE`` and then falls back to an ephemeral port — the
+        READY line and the cluster map always report the truth, so
+        parallel deployments (CI jobs) cannot flake on port collisions.
+        """
         self._stopped = asyncio.Event()
-        self.server = await asyncio.start_server(
-            self._accept, self.config.bind_host, self.config.port
-        )
+        port = self.config.port
+        for attempt in range(4):
+            try:
+                self.server = await asyncio.start_server(
+                    self._accept, self.config.bind_host, port
+                )
+                break
+            except OSError as exc:
+                if port == 0 or exc.errno != errno.EADDRINUSE:
+                    raise
+                await asyncio.sleep(0.05 * (attempt + 1))
+        else:
+            self.server = await asyncio.start_server(
+                self._accept, self.config.bind_host, 0
+            )
         self.port = self.server.sockets[0].getsockname()[1]
         return self.port
 
@@ -287,6 +385,9 @@ class NodeHost:
 
     async def _async_stop(self) -> None:
         await asyncio.sleep(0.05)  # let in-flight replies (`bye`) flush
+        for task in (self._drain_task, self._housekeeping_task):
+            if task is not None:
+                task.cancel()
         self.runtime.close()
         if self.server is not None:
             self.server.close()
@@ -313,13 +414,18 @@ class NodeHost:
         self.connections.discard(conn)
 
     # -- bootstrap (the `wire` frame) ----------------------------------------
-    def _wire(self, peers: dict[int, tuple[str, int]]) -> None:
+    def _wire(self, peers: dict[int, tuple[str, int]], map_json: dict | None) -> None:
         config = self.config
-        for index, address in peers.items():
-            if index != config.host_index and index not in self.peers:
-                link = _PeerLink((address[0], int(address[1])), config.host_index)
-                self.peers[index] = link
-                link.start()
+        if map_json is not None:
+            incoming = ClusterMap.from_json(map_json)
+            if self.cluster is None or incoming.version > self.cluster.version:
+                self.cluster = incoming
+        elif self.cluster is None:
+            # legacy wire frame without a map: synthesise the genesis view
+            self.cluster = ClusterMap.genesis(
+                dict(peers), config.n_processes, config.id_slots
+            )
+        self._sync_peer_links()
         if self.wired:
             return
         self.topology = LdbTopology(list(range(config.n_processes)), salt=config.salt)
@@ -327,43 +433,300 @@ class NodeHost:
             self.runtime,
             salt=config.salt,
             route_steps=route_steps_for(len(self.topology)),
+            on_update_over=self._update_over,
         )
         self.ctx.records = self.records
         spawn_nodes(self.ctx, self.topology, self.node_class, pids=config.owned_pids)
+        self._finish_wiring()
+
+    def wire_joining(self, cluster_map: ClusterMap) -> None:
+        """Bootstrap of a host joining a live deployment.
+
+        No genesis snapshot actors: this host's pids are *new* and enter
+        the overlay through routed JOINs (the coordinator starts the
+        routes once our ``join_commit`` lands).  Until each virtual node
+        is granted and spliced it runs in joining mode, relaying through
+        its responsible node exactly as on the simulators.
+        """
+        config = self.config
+        self.cluster = cluster_map
+        self._sync_peer_links()
+        self.ctx = ClusterContext(
+            self.runtime,
+            salt=config.salt,
+            route_steps=route_steps_for(3 * max(1, len(cluster_map.pid_owner))),
+            on_update_over=self._update_over,
+        )
+        self.ctx.records = self.records
+        for pid in config.owned_pids:
+            mid = label_of(pid, salt=config.salt)
+            for kind in (LEFT, MIDDLE, RIGHT):
+                node = self.node_class(
+                    self.ctx,
+                    vid_of(pid, kind),
+                    virtual_label(mid, kind),
+                    -1,
+                    -1.0,
+                    -1,
+                    -1.0,
+                    joining=True,
+                )
+                self.runtime.add_actor(node)
+            self.joining_pids.add(pid)
+        self._finish_wiring()
+
+    def _finish_wiring(self) -> None:
         self.runtime.start(asyncio.get_running_loop())
         self.runtime.kick()
+        self.runtime.add_forwards(self.cluster.forwards)
         self.wired = True
+        self._housekeeping_task = asyncio.get_running_loop().create_task(
+            self._housekeeping()
+        )
         buffered, self._pre_wire = self._pre_wire, []
         for message in buffered:
             self._handle_peer_frame(message)
 
+    def _sync_peer_links(self) -> None:
+        """Reconcile outbound peer links with the current cluster map."""
+        assert self.cluster is not None
+        for index, address in self.cluster.hosts.items():
+            if index != self.config.host_index and index not in self.peers:
+                link = _PeerLink((address[0], int(address[1])), self.config.host_index)
+                self.peers[index] = link
+                link.start()
+        for index in [i for i in self.peers if i not in self.cluster.hosts]:
+            link = self.peers.pop(index)
+            link.close()
+            # frames queued for the departed host would vanish with the
+            # link; re-dispatch them through its published forwards (the
+            # continuous `forwards` pushes make this the rare tail, not
+            # the common path)
+            for frame in link.drain_pending():
+                self._redispatch_peer_frame(frame)
+
+    def _redispatch_peer_frame(self, message: dict) -> None:
+        op = message.get("op")
+        if op == "msg":
+            self.runtime.deliver_remote(
+                message["dest"],
+                message["action"],
+                decode_payload(message["payload"]),
+            )
+        elif op == "complete":
+            # re-resolve the target: completion syncs are idempotent, and
+            # _notify_origin follows the departed host's adopter chain
+            self._notify_origin(message["req"], self._complete_fields(message))
+        # control frames (host_map, leave, ...) are superseded by the
+        # map update that triggered this drop: nothing to re-send
+
+    # -- cluster map propagation ---------------------------------------------
+    def _apply_map(self, incoming: ClusterMap) -> bool:
+        """Adopt a newer map (push from the coordinator or a peer)."""
+        if self.cluster is None or incoming.version <= self.cluster.version:
+            return False
+        self.cluster = incoming
+        self._after_map_change(broadcast=False)
+        return True
+
+    def _after_map_change(self, broadcast: bool = True) -> None:
+        """React to a map mutation: links, forwards, buffered traffic,
+        client pushes — and (for the coordinator's own mutations) the
+        peer broadcast."""
+        self._sync_peer_links()
+        self.runtime.add_forwards(self.cluster.forwards)
+        self._replay_unrouted()
+        self._replay_orphan_completes()
+        map_json = self.cluster.to_json()
+        for conn in list(self.connections):
+            if conn.is_client:
+                conn.send({"op": "host_map", "map": map_json})
+        if broadcast:
+            for link in self.peers.values():
+                link.send({"op": "host_map", "map": map_json})
+
     # -- remote messaging ----------------------------------------------------
+    def _owner_of(self, pid: int) -> int | None:
+        if self.cluster is not None:
+            return self.cluster.owner_of(pid)
+        return self.config.owner_host(pid)
+
     def _send_remote(self, dest: int, action: int, payload: tuple) -> None:
         if self._stopping:
             return
-        owner = self.config.owner_host(pid_of(dest))
+        owner = self._owner_of(pid_of(dest))
         if owner == self.config.host_index:
             # destination departed locally with no forward: protocol bug
             self.note_error(
                 f"vid {dest}", f"message {action} for unknown local actor {dest}"
             )
             return
-        self.peers[owner].send(
+        link = self.peers.get(owner) if owner is not None else None
+        if link is None:
+            # the pid belongs to a join (or a map) we have not learned of
+            # yet: park the message until a newer cluster map arrives
+            self._unrouted.append((time.monotonic(), dest, action, payload))
+            return
+        link.send(
             {"op": "msg", "dest": dest, "action": action,
              "payload": encode_payload(payload)}
         )
 
-    def _notify_origin(self, req_id: int) -> None:
-        origin = self.records.origin_of(req_id)
-        if origin == self.config.host_index:  # pragma: no cover - stubs are remote
-            self._complete_local(req_id)
-        else:
-            self.peers[origin].send({"op": "complete", "req": req_id})
+    def _replay_unrouted(self) -> None:
+        parked, self._unrouted = self._unrouted, []
+        for stamped_at, dest, action, payload in parked:
+            owner = self._owner_of(pid_of(dest))
+            if owner is not None and owner in self.peers:
+                self.peers[owner].send(
+                    {"op": "msg", "dest": dest, "action": action,
+                     "payload": encode_payload(payload)}
+                )
+            elif time.monotonic() - stamped_at > _UNROUTED_GRACE:
+                self.note_error(
+                    f"vid {dest}",
+                    f"message {action} undeliverable: no owner for pid "
+                    f"{pid_of(dest)} in cluster map v"
+                    f"{self.cluster.version if self.cluster else '?'}",
+                )
+            else:
+                self._unrouted.append((stamped_at, dest, action, payload))
 
-    def _complete_local(self, req_id: int) -> None:
+    async def _housekeeping(self) -> None:
+        """Periodic host duties: flush parked messages, publish forwards."""
+        while not self._stopping:
+            await asyncio.sleep(0.1)
+            if self._unrouted:
+                self._replay_unrouted()
+            self._publish_forwards()
+
+    def _publish_forwards(self) -> None:
+        """Push newly created vid forwards to the coordinator *as nodes
+        depart*, not only at retirement.
+
+        The cluster map spreads each forward to every host within a
+        broadcast round-trip, so peers resolve a departed vid locally
+        and stop targeting this (draining) host long before its process
+        exits — which is what keeps the frames-in-flight tail at link
+        teardown empty in the common case.
+        """
+        if self.cluster is None or not self.wired:
+            return
+        # dedup against the *map*, not a local sent-log: the push is
+        # fire-and-forget, so re-send every housekeeping tick until the
+        # broadcast map acknowledges the entry
+        fresh = {
+            vid: target
+            for vid, target in self.runtime.forwards.items()
+            if self.cluster.forwards.get(vid) != target
+        }
+        if not fresh:
+            return
+        if self._is_coordinator():
+            self._merge_forwards(fresh)
+        else:
+            self.peers[self.cluster.coordinator].send(
+                {"op": "forwards",
+                 "forwards": {str(k): v for k, v in fresh.items()}}
+            )
+
+    def _merge_forwards(self, fresh: dict[int, int]) -> None:
+        """Coordinator side: fold forwards into the map and broadcast."""
+        new = {
+            vid: target
+            for vid, target in fresh.items()
+            if self.cluster.forwards.get(vid) != target
+        }
+        if not new:
+            return
+        self.cluster.forwards.update(new)
+        self.cluster.version += 1
+        self._after_map_change()
+
+    # -- completion syncs ----------------------------------------------------
+    @staticmethod
+    def _complete_frame(req_id: int, fields: dict) -> dict:
+        """Encode a value/result/completion fields dict as a `complete`
+        frame (inverse of :meth:`_complete_fields`)."""
+        frame = {"op": "complete", "req": req_id}
+        if "value" in fields:
+            frame["value"] = fields["value"]
+        if "result" in fields:
+            frame["result"] = encode_payload(fields["result"])
+        if fields.get("local_match"):
+            frame["local_match"] = True
+        if fields.get("done"):
+            frame["done"] = True
+        return frame
+
+    @staticmethod
+    def _complete_fields(message: dict) -> dict:
+        """Decode a `complete` frame's sync fields.  A bare legacy frame
+        (no value/done keys) means "done"; rich frames say so explicitly."""
+        fields: dict = {}
+        if "value" in message:
+            fields["value"] = message["value"]
+        if "result" in message:
+            fields["result"] = decode_payload(message["result"])
+        if message.get("local_match"):
+            fields["local_match"] = True
+        if message.get("done", "value" not in message):
+            fields["done"] = True
+        return fields
+
+    def _notify_origin(self, req_id: int, fields: dict) -> None:
+        """Forward value/result/completion facts to the record's origin.
+
+        The origin is the residue host while it lives; once it retired
+        the sync goes to its record adopter instead — COMPLETEs keep
+        flowing across membership epochs.
+        """
+        origin = self.records.origin_of(req_id)
+        target = origin
+        if self.cluster is not None:
+            resolved = self.cluster.complete_target(origin)
+            if resolved is not None:
+                target = resolved
+        if target == self.config.host_index:
+            self._apply_complete(req_id, dict(fields))
+            return
+        frame = self._complete_frame(req_id, fields)
+        link = self.peers.get(target)
+        if link is not None:
+            link.send(frame)
+        else:  # map lag (e.g. a join broadcast still in flight): parked,
+            #    replayed by _replay_orphan_completes on the next map
+            self._orphan_completes.setdefault(req_id, {}).update(fields)
+
+    def _replay_orphan_completes(self) -> None:
+        """Retry parked completion syncs once the map names their target.
+
+        Entries whose origin this host cannot reach yet (a join broadcast
+        racing the completion) re-park themselves inside _notify_origin;
+        entries for records this (coordinator) host will adopt stay
+        parked until the retire handoff delivers the record.
+        """
+        if not self._orphan_completes:
+            return
+        parked, self._orphan_completes = self._orphan_completes, {}
+        for req_id, fields in parked.items():
+            self._notify_origin(req_id, fields)
+
+    def _apply_complete(self, req_id: int, fields: dict) -> None:
         rec = self.records.local.get(req_id)
-        if rec is not None and not rec.completed:
-            rec.completed = True  # triggers the DONE push via on_completed
+        if rec is None:
+            rec = self.adopted_records.get(req_id)
+        if rec is None:
+            # racing a retire handoff: hold the facts for the archive
+            self._orphan_completes.setdefault(req_id, {}).update(fields)
+            return
+        if "value" in fields and fields["value"] is not None:
+            rec.value = fields["value"]
+        if "result" in fields and fields["result"] is not None:
+            rec.result = fields["result"]
+        if fields.get("local_match"):
+            rec.local_match = True
+        if fields.get("done") and not rec.completed:
+            rec.completed = True  # NetOpRecord pushes DONE via on_completed
 
     # -- frame dispatch ------------------------------------------------------
     def handle_frame(self, conn: _Connection, message: dict) -> None:
@@ -375,40 +738,80 @@ class NodeHost:
                 src = message.get("src")
                 if src is not None:
                     seq = message["seq"]
-                    if seq <= self._peer_last_seq.get(src, 0):
+                    seen, order = self._peer_seen.setdefault(
+                        src, (set(), deque())
+                    )
+                    if seq in seen:
                         return  # duplicate of a reconnect resend
-                    self._peer_last_seq[src] = seq
+                    seen.add(seq)
+                    order.append(seq)
+                    if len(order) > 8192:
+                        seen.discard(order.popleft())
                 if self.wired:
                     self._handle_peer_frame(message)
                 else:
                     self._pre_wire.append(message)
             elif op == "submit":
+                conn.is_client = True
                 self._submit(conn, message)
             elif op == "hello":
+                conn.is_client = True
                 nonce = self._next_nonce
                 self._next_nonce += 1
-                conn.send(
-                    {
-                        "op": "welcome",
-                        "host": self.config.host_index,
-                        "n_hosts": self.config.n_hosts,
-                        "n_processes": self.config.n_processes,
-                        "structure": self.config.structure,
-                        "nonce": nonce,
-                    }
-                )
+                reply = {
+                    "op": "welcome",
+                    "host": self.config.host_index,
+                    "n_hosts": (
+                        len(self.cluster.hosts) if self.cluster is not None
+                        else self.config.n_hosts
+                    ),
+                    "n_processes": self.config.n_processes,
+                    "structure": self.config.structure,
+                    "nonce": nonce,
+                    "id_slots": self.config.id_slots,
+                }
+                if self.cluster is not None:
+                    reply["map"] = self.cluster.to_json()
+                conn.send(reply)
             elif op == "wire":
-                self._wire({int(k): v for k, v in message["peers"].items()})
+                self._wire(
+                    {int(k): v for k, v in message["peers"].items()},
+                    message.get("map"),
+                )
                 conn.send({"op": "wired", "host": self.config.host_index})
+            elif op == "host_map":
+                incoming = ClusterMap.from_json(message["map"])
+                self._apply_map(incoming)
+            elif op == "map":
+                if self.cluster is not None:
+                    conn.send({"op": "host_map", "map": self.cluster.to_json()})
+                else:
+                    conn.send({"op": "error", "message": "host not wired yet"})
+            elif op == "join":
+                self._handle_join(conn, message)
+            elif op == "join_commit":
+                self._handle_join_commit(conn, message)
+            elif op == "leave":
+                self._handle_leave(conn, message)
+            elif op == "forwards":
+                if self._is_coordinator():
+                    self._merge_forwards(
+                        {int(k): v
+                         for k, v in message.get("forwards", {}).items()}
+                    )
+            elif op == "retire":
+                self._handle_retire(conn, message)
             elif op == "collect":
+                records = [record_to_wire(rec) for rec in self.records.values()]
+                records.extend(
+                    record_to_wire(rec) for rec in self.adopted_records.values()
+                )
                 conn.send(
                     {
                         "op": "records",
                         "host": self.config.host_index,
-                        "records": [
-                            record_to_wire(rec) for rec in self.records.values()
-                        ],
-                        "errors": list(self.errors),
+                        "records": records,
+                        "errors": list(self.errors) + list(self.adopted_errors),
                     }
                 )
             elif op == "metrics":
@@ -420,8 +823,19 @@ class NodeHost:
                     }
                 )
             elif op == "ping":
-                conn.send({"op": "pong", "host": self.config.host_index,
-                           "wired": self.wired})
+                conn.send(
+                    {
+                        "op": "pong",
+                        "host": self.config.host_index,
+                        "wired": self.wired,
+                        "joining": sorted(self.joining_pids),
+                        "draining": self.draining,
+                        "map_version": (
+                            self.cluster.version if self.cluster is not None else 0
+                        ),
+                        "update_epoch": self._last_epoch,
+                    }
+                )
             elif op == "shutdown":
                 conn.send({"op": "bye", "host": self.config.host_index})
                 asyncio.get_running_loop().call_soon(self.stop)
@@ -437,8 +851,243 @@ class NodeHost:
                 message["action"],
                 decode_payload(message["payload"]),
             )
-        else:  # complete
-            self._complete_local(message["req"])
+        else:  # complete (value/result/completion sync)
+            self._apply_complete(message["req"], self._complete_fields(message))
+
+    # -- membership: join ----------------------------------------------------
+    def _is_coordinator(self) -> bool:
+        return (
+            self.cluster is not None
+            and self.cluster.coordinator == self.config.host_index
+        )
+
+    def _handle_join(self, conn: _Connection, message: dict) -> None:
+        if not self.wired or self.cluster is None:
+            conn.send({"op": "error", "message": "host not wired yet"})
+            return
+        if not self._is_coordinator():
+            conn.send(
+                {
+                    "op": "error",
+                    "message": f"not the coordinator (host "
+                               f"{self.cluster.coordinator} is)",
+                    "coordinator": self.cluster.coordinator,
+                    "map": self.cluster.to_json(),
+                }
+            )
+            return
+        try:
+            host_index, pids = self.cluster.reserve_join(
+                int(message.get("pids", 1))
+            )
+        except ValueError as exc:
+            conn.send({"op": "error", "message": str(exc)})
+            return
+        self._join_reservations[host_index] = pids
+        config = self.config
+        conn.send(
+            {
+                "op": "join_ok",
+                "host": host_index,
+                "pids": pids,
+                "config": {
+                    "n_hosts": config.n_hosts,
+                    "n_processes": config.n_processes,
+                    "seed": config.seed,
+                    "round_seconds": config.round_seconds,
+                    "timeout_lag": config.timeout_lag,
+                    "sweep_seconds": config.sweep_seconds,
+                    "epoch": config.epoch,
+                    "structure": config.structure,
+                    "salt": config.salt,
+                    "id_slots": config.id_slots,
+                },
+                "map": self.cluster.to_json(),
+            }
+        )
+
+    def _handle_join_commit(self, conn: _Connection, message: dict) -> None:
+        host_index = int(message["host"])
+        pids = self._join_reservations.pop(host_index, None)
+        if pids is None:
+            conn.send(
+                {"op": "error",
+                 "message": f"no join reservation for host {host_index}"}
+            )
+            return
+        address = message["address"]
+        self.cluster.commit_join(host_index, (address[0], int(address[1])), pids)
+        self._after_map_change()
+        starter = self._route_starter()
+        for pid in pids:
+            mid = label_of(pid, salt=self.config.salt)
+            for kind in (LEFT, MIDDLE, RIGHT):
+                lbl = virtual_label(mid, kind)
+                starter._route_start(A_JOIN_RT, lbl, (vid_of(pid, kind), lbl))
+        conn.send({"op": "join_done", "host": host_index})
+
+    def _route_starter(self):
+        """A local on-cycle middle node to start routed JOINs from."""
+        for actor in self.runtime.actors.values():
+            if actor.kind == MIDDLE and not actor.joining and not actor.replaced:
+                return actor
+        raise RuntimeError("no integrated middle node to route from")
+
+    # -- membership: leave ---------------------------------------------------
+    def _handle_leave(self, conn: _Connection, message: dict) -> None:
+        target = int(message.get("host", self.config.host_index))
+        if self.cluster is None or not self.wired:
+            conn.send({"op": "error", "message": "host not wired yet"})
+            return
+        if target == self.cluster.coordinator:
+            conn.send(
+                {"op": "error",
+                 "message": "the coordinator host cannot be drained"}
+            )
+            return
+        if target not in self.cluster.hosts:
+            conn.send({"op": "error", "message": f"host {target} is not live"})
+            return
+        if target == self.config.host_index:
+            if not self.draining:
+                self._start_drain()
+                # tell the coordinator so clients stop picking our pids
+                self.peers[self.cluster.coordinator].send(
+                    {"op": "leave", "host": target}
+                )
+            conn.send({"op": "leaving", "host": target})
+        elif self._is_coordinator():
+            if target not in self.cluster.leaving:
+                self.cluster.start_drain(target)
+                self._after_map_change()
+                # relay in case the operator talked to us only
+                self.peers[target].send({"op": "leave", "host": target})
+            conn.send({"op": "leaving", "host": target})
+        else:
+            conn.send(
+                {"op": "error",
+                 "message": f"send leave to host {target} or the coordinator"}
+            )
+
+    def _start_drain(self) -> None:
+        if self.draining:
+            return
+        self.draining = True
+        for actor in list(self.runtime.actors.values()):
+            actor.start_leave()
+        self.runtime.kick()
+        self._drain_task = asyncio.get_running_loop().create_task(
+            self._drain_loop()
+        )
+
+    async def _drain_loop(self) -> None:
+        """Wait for this host to empty out, then hand everything over.
+
+        Empty means: every local actor departed through the LEAVE/update
+        machinery *and* every locally originated record completed (late
+        completions arrive as `complete` syncs from the nodes that
+        adopted our unflushed requests).
+        """
+        while not self._stopping:
+            await asyncio.sleep(0.1)
+            if self.runtime.actors:
+                continue
+            if any(not rec.completed for rec in self.records.local.values()):
+                continue
+            break
+        if self._stopping:
+            return
+        await self._retire()
+
+    async def _retire(self) -> None:
+        coordinator = self.cluster.coordinator
+        address = self.cluster.hosts[coordinator]
+        frame = {
+            "op": "retire",
+            "host": self.config.host_index,
+            "records": [record_to_wire(rec) for rec in self.records.values()],
+            "errors": list(self.errors),
+            "forwards": {str(k): v for k, v in self.runtime.forwards.items()},
+        }
+        for _attempt in range(20):
+            try:
+                reader, writer = await asyncio.open_connection(*address)
+                writer.write(encode_frame(frame))
+                await writer.drain()
+                while True:
+                    reply = await read_frame(reader)
+                    if reply is None:
+                        raise ConnectionError("coordinator closed mid-retire")
+                    if reply.get("op") == "retired":
+                        break
+                writer.close()
+                break
+            except (ConnectionError, OSError):
+                await asyncio.sleep(0.25)
+        # flush our own outbound links, then linger so peers can push
+        # stragglers through our forwarding table before the process goes
+        # away (their steady-state traffic stopped when the continuous
+        # `forwards` pushes rerouted our departed vids)
+        deadline = time.monotonic() + 2.0
+        while (
+            any(not link.idle for link in self.peers.values())
+            and time.monotonic() < deadline
+        ):
+            await asyncio.sleep(0.05)
+        await asyncio.sleep(2 * self.config.sweep_seconds)
+        self.stop()
+
+    def _handle_retire(self, conn: _Connection, message: dict) -> None:
+        host_index = int(message["host"])
+        if not self._is_coordinator():
+            conn.send({"op": "error", "message": "not the coordinator"})
+            return
+        for data in message.get("records", ()):
+            rec = record_from_wire(data)
+            stashed = self._orphan_completes.pop(rec.req_id, None)
+            if stashed is not None:
+                if stashed.get("value") is not None:
+                    rec.value = stashed["value"]
+                if stashed.get("result") is not None:
+                    rec.result = stashed["result"]
+                if stashed.get("local_match"):
+                    rec.local_match = True
+                if stashed.get("done"):
+                    rec.completed = True
+            self.adopted_records[rec.req_id] = rec
+        self.adopted_errors.extend(message.get("errors", ()))
+        if host_index in self.cluster.hosts:
+            forwards = {
+                int(k): v for k, v in message.get("forwards", {}).items()
+            }
+            self.cluster.retire_host(host_index, self.config.host_index, forwards)
+            self._after_map_change()
+        conn.send({"op": "retired", "host": host_index})
+
+    # -- update-phase hook ---------------------------------------------------
+    def _update_over(self, epoch: int, members: int = 0) -> None:
+        """Runs on every local node's UPDATE_OVER: promote integrated
+        joiners and push one notification per epoch to client sessions."""
+        self._last_epoch = max(self._last_epoch, epoch)
+        for pid in list(self.joining_pids):
+            nodes = [
+                self.runtime.actors.get(vid_of(pid, kind))
+                for kind in (LEFT, MIDDLE, RIGHT)
+            ]
+            if all(node is not None and not node.joining for node in nodes):
+                self.joining_pids.discard(pid)
+        if epoch > self._pushed_epoch:
+            self._pushed_epoch = epoch
+            for conn in list(self.connections):
+                if conn.is_client:
+                    conn.send(
+                        {
+                            "op": "update_over",
+                            "host": self.config.host_index,
+                            "epoch": epoch,
+                            "members": members,
+                        }
+                    )
 
     # -- request intake ------------------------------------------------------
     def _submit(self, conn: _Connection, message: dict) -> None:
@@ -447,18 +1096,25 @@ class NodeHost:
             return
         pid = message["pid"]
         req_id = message["req"]
-        if not 0 <= pid < self.config.n_processes:
-            conn.send(
-                {"op": "error",
-                 "message": f"pid {pid} out of range (n_processes="
-                            f"{self.config.n_processes})"}
-            )
-            return
-        if self.config.owner_host(pid) != self.config.host_index:
-            conn.send(
-                {"op": "error",
-                 "message": f"pid {pid} not owned by host {self.config.host_index}"}
-            )
+        owner = self._owner_of(pid)
+        node = self.runtime.actors.get(vid_of(pid, MIDDLE))
+        if owner != self.config.host_index or node is None:
+            # not rejectable with certainty by the client: its map was
+            # stale (join/leave raced the submission).  Send the current
+            # map along so one round-trip re-shards the retry.
+            reply = {
+                "op": "rejected",
+                "req": req_id,
+                "pid": pid,
+                "reason": (
+                    f"pid {pid} not serviceable by host "
+                    f"{self.config.host_index}"
+                    + (" (draining)" if self.draining else "")
+                ),
+            }
+            if self.cluster is not None:
+                reply["map"] = self.cluster.to_json()
+            conn.send(reply)
             return
         idx = self._op_counts.get(pid, 0)
         self._op_counts[pid] = idx + 1
@@ -473,7 +1129,6 @@ class NodeHost:
         rec.on_completed = self._record_done
         self.records.add_local(rec)
         self._submitters[req_id] = conn
-        node = self.runtime.actors[vid_of(pid, MIDDLE)]
         node.local_op(rec)
 
     def _record_done(self, rec: NetOpRecord) -> None:
@@ -509,4 +1164,83 @@ async def run_host(config: HostConfig, ready_prefix: str = "SKUEUE-READY") -> No
     host = NodeHost(config)
     port = await host.start()
     print(f"{ready_prefix} {config.host_index} {port}", flush=True)
+    await host.wait_stopped()
+
+
+async def _async_request(
+    address: tuple[str, int], message: dict, expect_op: str, timeout: float = 10.0
+) -> dict:
+    """One request/response round-trip on a throwaway connection."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(*address), timeout
+    )
+    try:
+        writer.write(encode_frame(message))
+        await writer.drain()
+        while True:
+            reply = await asyncio.wait_for(read_frame(reader), timeout)
+            if reply is None:
+                raise ConnectionError(f"host at {address} closed the connection")
+            if reply.get("op") == expect_op:
+                return reply
+            if reply.get("op") == "error":
+                raise RuntimeError(reply.get("message"))
+    finally:
+        try:
+            writer.close()
+        except Exception:
+            pass
+
+
+async def run_joining_host(
+    seed_address: tuple[str, int],
+    n_pids: int = 1,
+    bind_host: str = "127.0.0.1",
+    port: int = 0,
+    ready_prefix: str = "SKUEUE-READY",
+) -> None:
+    """Join a live deployment as a brand-new host and serve until stopped.
+
+    The join choreography (frames catalogued in docs/PROTOCOL.md):
+
+    1. ``hello`` to any live host — the ``welcome`` carries the cluster
+       map, which names the coordinator;
+    2. ``join`` to the coordinator — it reserves our host_index and a
+       batch of fresh pids and returns the deployment config;
+    3. bind and announce (READY line), so the operator learns our port;
+    4. ``join_commit`` with our address — the coordinator publishes the
+       new map to every host and client and starts routed JOINs for our
+       virtual nodes, which integrate through the paper's Section-IV
+       machinery while clients keep submitting.
+    """
+    welcome = await _async_request(seed_address, {"op": "hello"}, "welcome")
+    if "map" not in welcome:
+        raise RuntimeError(
+            "seed host predates live membership (no cluster map in welcome)"
+        )
+    seed_map = ClusterMap.from_json(welcome["map"])
+    coordinator_address = seed_map.hosts[seed_map.coordinator]
+    reply = await _async_request(
+        coordinator_address, {"op": "join", "pids": n_pids}, "join_ok"
+    )
+    config = HostConfig(
+        host_index=reply["host"],
+        bind_host=bind_host,
+        port=port,
+        owned=list(reply["pids"]),
+        **reply["config"],
+    )
+    host = NodeHost(config)
+    actual_port = await host.start()
+    print(f"{ready_prefix} {config.host_index} {actual_port}", flush=True)
+    host.wire_joining(ClusterMap.from_json(reply["map"]))
+    await _async_request(
+        coordinator_address,
+        {
+            "op": "join_commit",
+            "host": config.host_index,
+            "address": [bind_host, actual_port],
+        },
+        "join_done",
+    )
     await host.wait_stopped()

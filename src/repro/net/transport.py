@@ -15,6 +15,9 @@ dicts with float keys (DHT handover slices), and the ⊥ sentinel
 * ``{"t": [...]}`` — tuple (items encoded recursively),
 * ``{"d": [[k, v], ...]}`` — dict (keys of any encodable type),
 * ``{"b": 0}`` — the ``BOTTOM`` singleton,
+* ``{"r": {...}}`` — an :class:`~repro.core.requests.OpRecord` (flattened
+  via :func:`record_to_wire`; a LEAVE's ``DEPART_DUMP`` hands unflushed
+  requests across host boundaries),
 * lists, strings, ints, floats, bools, ``None`` pass through.
 
 Python's ``json`` round-trips floats exactly (``repr``-based), so LDB
@@ -33,6 +36,7 @@ from typing import Iterator
 from repro.core.requests import BOTTOM, OpRecord
 
 __all__ = [
+    "FRAME_TYPES",
     "MAX_FRAME_BYTES",
     "FrameError",
     "FrameReader",
@@ -47,6 +51,46 @@ __all__ = [
 
 #: Upper bound on one frame's JSON body (16 MiB).
 MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: The authoritative frame registry: every ``op`` the TCP runtime puts on
+#: the wire, with a one-line summary.  ``docs/PROTOCOL.md`` is the prose
+#: catalog; ``tests/unit/test_docs.py`` diffs the two and also scans the
+#: ``repro.net`` sources so no frame can ship undocumented.
+FRAME_TYPES: dict[str, str] = {
+    # bootstrap / control plane
+    "wire": "launcher -> host: peer map + genesis cluster map; spawn and kick",
+    "wired": "host -> launcher: wire acknowledged",
+    "ping": "any -> host: liveness/status probe",
+    "pong": "host -> any: liveness answer + wired/joining/draining status",
+    "shutdown": "any -> host: orderly stop",
+    "bye": "host -> any: shutdown acknowledged",
+    "error": "host -> any: request could not be processed",
+    # host <-> host data plane
+    "msg": "host -> host: one actor message (dest, action, payload)",
+    "complete": "host -> host: value/result/completion sync for a req_id",
+    # client session
+    "hello": "client -> host: request a submission nonce + cluster map",
+    "welcome": "host -> client: nonce, id_slots and the current cluster map",
+    "submit": "client -> host: ENQUEUE/DEQUEUE at a pid this host owns",
+    "done": "host -> client: a submitted request completed (+ result)",
+    "rejected": "host -> client: submission not accepted (drain/ownership)",
+    "collect": "client -> host: dump this host's (+ adopted) OpRecords",
+    "records": "host -> client: the collect answer (+ errors)",
+    "metrics": "client <-> host: metrics summary request/answer",
+    # live membership
+    "join": "joining host -> coordinator: reserve a host_index + fresh pids",
+    "join_ok": "coordinator -> joining host: reservation + deployment config",
+    "join_commit": "joining host -> coordinator: listening; publish me + route JOINs",
+    "join_done": "coordinator -> joining host: map published, JOINs routed",
+    "leave": "operator -> host: drain this host and retire it",
+    "leaving": "host -> operator: drain started",
+    "forwards": "draining host -> coordinator: incremental vid forwards",
+    "retire": "drained host -> coordinator: records/forwards handoff",
+    "retired": "coordinator -> drained host: handoff accepted, safe to stop",
+    "map": "client -> host: pull the current cluster map",
+    "host_map": "host -> peers/clients: versioned cluster map (push or pull answer)",
+    "update_over": "host -> clients: an update phase finished (epoch, members)",
+}
 
 _LEN = struct.Struct(">I")
 
@@ -66,6 +110,8 @@ def encode_payload(obj: object) -> object:
         return obj
     if obj is BOTTOM:
         return {"b": 0}
+    if isinstance(obj, OpRecord):
+        return {"r": record_to_wire(obj)}
     if isinstance(obj, tuple):
         return {"t": [encode_payload(item) for item in obj]}
     if isinstance(obj, list):
@@ -86,6 +132,8 @@ def decode_payload(obj: object) -> object:
             return {decode_payload(k): decode_payload(v) for k, v in obj["d"]}
         if "b" in obj:
             return BOTTOM
+        if "r" in obj:
+            return record_from_wire(obj["r"])
         raise FrameError(f"unknown tagged object {obj!r}")
     return obj
 

@@ -21,7 +21,7 @@ from typing import Callable
 
 from repro.sim.delays import UniformDelay
 from repro.sim.metrics import Metrics
-from repro.sim.process import Actor
+from repro.sim.process import Actor, bounce_forwarded_batch
 from repro.util.rng import RngStreams
 
 __all__ = ["AsyncRunner"]
@@ -118,6 +118,10 @@ class AsyncRunner:
         if kind == _MSG:
             actor = self.actors.get(dest)
             if actor is None:
+                if dest in self._forwards and bounce_forwarded_batch(
+                    self, action, payload
+                ):
+                    return True  # tree-up batch to a departed parent
                 actor = self.actors[self.resolve(dest)]
             actor.handle(action, payload)
         elif kind == _SWEEP:

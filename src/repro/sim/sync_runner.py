@@ -25,7 +25,7 @@ import heapq
 from typing import Callable, Iterable
 
 from repro.sim.metrics import Metrics
-from repro.sim.process import Actor
+from repro.sim.process import Actor, bounce_forwarded_batch
 from repro.util.rng import RngStreams
 
 __all__ = ["SyncRunner"]
@@ -115,6 +115,10 @@ class SyncRunner:
             if actor is None:
                 if not resolve_needed and not self._forwards:
                     raise KeyError(f"message for unknown actor {dest}")
+                if dest in self._forwards and bounce_forwarded_batch(
+                    self, action, payload
+                ):
+                    continue  # tree-up batch to a departed parent
                 actor = actors[self.resolve(dest)]
             actor.handle(action, payload)
         # expired timers feed the TIMEOUT set

@@ -78,13 +78,21 @@ def test_stack_structure_over_tcp():
             connect("tcp", structure="queue", deployment=stack.backend.deployment)
 
 
-def test_partial_host_map_rejected_at_connect():
-    # the welcome frame carries the deployment's true n_hosts; attaching
-    # with a subset of the addresses must fail fast, not mis-shard
+def test_partial_host_map_is_reconciled_at_connect():
+    # the welcome frame carries the authoritative cluster map: a partial
+    # host_map is only a *seed* — the client discovers and connects to
+    # the remaining hosts itself instead of mis-sharding (or, as before
+    # live membership, refusing outright)
     with launch_local(2, 4, seed=9) as deployment:
         partial = {0: deployment.host_map[0]}
-        with pytest.raises(ValueError):
-            connect("tcp", host_map=partial)
+        with connect("tcp", host_map=partial) as queue:
+            handles = [queue.enqueue(f"item-{i}") for i in range(8)]
+            queue.drain()
+            assert all(handle.result() is True for handle in handles)
+            records = queue.verify()
+            # submissions really spanned both hosts' pids
+            assert len(records) == 8
+            assert {rec.pid % 2 for rec in records} == {0, 1}
 
 
 def test_zero_timeout_polls_instead_of_blocking():

@@ -1,0 +1,222 @@
+"""Live membership over TCP: hosts join and drain under client load.
+
+The scenarios this suite pins down are the ones PR 1 left open ("TCP
+membership churn is still sim-only"):
+
+* a brand-new OS process joins a running deployment (``skueue-node
+  join`` via :meth:`NetDeployment.add_host`) and its fresh pids take
+  real traffic,
+* a live host drains out (:meth:`NetDeployment.remove_host`): its
+  virtual nodes depart through the paper's LEAVE/update machinery, its
+  unflushed requests are adopted by surviving nodes, its record archive
+  moves to the coordinator — and the *merged* history, collected after
+  the host's OS process is gone, still passes the Definition-1 checker,
+* both at once, with several concurrent API sessions submitting
+  throughout (the acceptance scenario: >=2 joins and >=2 leaves
+  mid-workload).
+
+Marked ``net`` (excluded from tier-1; CI runs a dedicated net-churn
+step).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import connect
+from repro.net.client import SkueueClient
+from repro.net.launcher import launch_local
+from repro.verify import check_queue_history
+
+pytestmark = pytest.mark.net
+
+
+async def _drive_load(
+    client: SkueueClient, stop: asyncio.Event, tag: str, max_ops: int = 5000
+):
+    """Submit mixed ops over the live pid set until told to stop.
+
+    ``max_ops`` bounds the backlog: a drain only finishes once every
+    record originated at the draining host completed, so an unbounded
+    firehose would stretch the test far past what CI tolerates without
+    making the scenario any more adversarial.
+    """
+    rng = random.Random(tag)
+    submitted = 0
+    enqueued = 0
+    while not stop.is_set() and submitted < max_ops:
+        pids = client.live_pids()
+        pid = pids[rng.randrange(len(pids))]
+        if rng.random() < 0.6 or enqueued == 0:
+            await client.enqueue(pid, f"{tag}-item-{submitted}")
+            enqueued += 1
+        else:
+            await client.dequeue(pid)
+        submitted += 1
+        await asyncio.sleep(0.002)
+    return submitted
+
+
+def test_host_join_under_load_serves_fresh_pids():
+    with launch_local(2, 4, seed=41, id_slots=16) as deployment:
+
+        async def scenario():
+            async with SkueueClient(deployment.host_map) as client:
+                stop = asyncio.Event()
+                load = asyncio.create_task(_drive_load(client, stop, "join-41"))
+                loop = asyncio.get_running_loop()
+                new_index = await loop.run_in_executor(
+                    None, lambda: deployment.add_host(2)
+                )
+                # keep submitting a little with the enlarged pid set
+                await asyncio.sleep(0.5)
+                stop.set()
+                submitted = await load
+                await client.wait_all(timeout=120.0)
+                records = await client.collect_records()
+                return new_index, submitted, records, dict(client.cluster.pid_owner)
+
+        new_index, submitted, records, pid_owner = asyncio.run(scenario())
+
+    assert new_index == 2  # genesis hosts 0..1, first join gets index 2
+    new_pids = [pid for pid, owner in pid_owner.items() if owner == new_index]
+    assert len(new_pids) == 2 and min(new_pids) >= 4  # fresh, never recycled
+    assert len(records) == submitted
+    assert all(rec.completed for rec in records)
+    # the joined host's pids really served operations
+    assert {rec.pid for rec in records} & set(new_pids)
+    check_queue_history(records)
+
+
+def test_host_leave_under_load_keeps_history_complete():
+    with launch_local(3, 6, seed=42, id_slots=16) as deployment:
+
+        async def scenario():
+            async with SkueueClient(deployment.host_map) as client:
+                stop = asyncio.Event()
+                load = asyncio.create_task(_drive_load(client, stop, "leave-42"))
+                loop = asyncio.get_running_loop()
+                # some traffic lands on host 1's pids before it drains
+                await asyncio.sleep(0.5)
+                await loop.run_in_executor(
+                    None, lambda: deployment.remove_host(1, timeout=120.0)
+                )
+                stop.set()
+                submitted = await load
+                await client.wait_all(timeout=120.0)
+                # collected *after* host 1's OS process retired: its records
+                # must come back anyway (the coordinator adopted them)
+                records = await client.collect_records()
+                return submitted, records
+
+        submitted, records = asyncio.run(scenario())
+        cluster = deployment.cluster_map()
+
+    assert 1 not in cluster.hosts
+    assert cluster.departed.get(1) == 0  # coordinator adopted the archive
+    assert all(owner != 1 for owner in cluster.pid_owner.values())
+    assert len(records) == submitted
+    assert all(rec.completed for rec in records)
+    # pids of the drained host appear in the merged history
+    assert {rec.pid for rec in records} & {1, 4}
+    check_queue_history(records)
+
+
+def test_churn_under_load_three_sessions_two_joins_two_leaves():
+    """Acceptance: 4-host cluster, 3 concurrent API sessions, >=2 joins
+    and >=2 leaves mid-workload, merged history Definition-1 clean."""
+    with launch_local(4, 8, seed=43, id_slots=16) as deployment:
+        sessions = [connect("tcp", deployment=deployment) for _ in range(3)]
+        stop = threading.Event()
+
+        def drive(worker: int) -> int:
+            session = sessions[worker]
+            rng = random.Random(f"churn-{worker}")
+            submitted = 0
+            enqueued = 0
+            # bounded firehose: see _drive_load on why max_ops matters
+            while not stop.is_set() and submitted < 4000:
+                if rng.random() < 0.6 or enqueued == 0:
+                    session.enqueue(f"s{worker}-item-{submitted}")
+                    enqueued += 1
+                else:
+                    session.dequeue()
+                submitted += 1
+                stop.wait(0.002)
+            session.drain(timeout=180.0)
+            return submitted
+
+        try:
+            with ThreadPoolExecutor(max_workers=3) as pool:
+                futures = [pool.submit(drive, worker) for worker in range(3)]
+                joined = []
+                try:
+                    for round_no in range(2):
+                        joined.append(deployment.add_host(2))
+                        victim = 1 + round_no  # never the coordinator (0)
+                        deployment.remove_host(victim, timeout=150.0)
+                finally:
+                    stop.set()
+                counts = [future.result(timeout=240.0) for future in futures]
+
+            assert joined == [4, 5]
+            cluster = deployment.cluster_map()
+            assert set(cluster.hosts) == {0, 3, 4, 5}
+            assert cluster.departed == {1: 0, 2: 0}
+
+            # one collect sees the merged three-session history across all
+            # surviving hosts (including both retirees' adopted archives)
+            records = sessions[0].verify()
+            assert len(records) == sum(counts)
+            assert all(rec.completed for rec in records)
+            # traffic reached the first joined host's pids (the second
+            # joined near the end of the bounded workload, so its pids
+            # may legitimately have seen no ops) and both retirees' pids
+            pids_seen = {rec.pid for rec in records}
+            first_joined_pids = {
+                pid for pid, owner in cluster.pid_owner.items() if owner == 4
+            }
+            assert first_joined_pids <= pids_seen
+            assert {1, 2} <= pids_seen  # genesis pids of the drained hosts
+        finally:
+            for session in sessions:
+                session.close()
+
+
+@pytest.mark.slow
+def test_repeated_churn_long_workload():
+    """Three churn rounds back to back on a bigger deployment."""
+    with launch_local(3, 9, seed=44, id_slots=24) as deployment:
+
+        async def scenario():
+            async with SkueueClient(deployment.host_map) as client:
+                stop = asyncio.Event()
+                load = asyncio.create_task(_drive_load(client, stop, "long-44"))
+                loop = asyncio.get_running_loop()
+                victims = [1, 2, 3]
+                for round_no in range(3):
+                    await loop.run_in_executor(
+                        None, lambda: deployment.add_host(1)
+                    )
+                    await loop.run_in_executor(
+                        None,
+                        lambda v=victims[round_no]: deployment.remove_host(
+                            v, timeout=150.0
+                        ),
+                    )
+                stop.set()
+                submitted = await load
+                await client.wait_all(timeout=180.0)
+                records = await client.collect_records()
+                return submitted, records
+
+        submitted, records = asyncio.run(scenario())
+
+    assert len(records) == submitted
+    assert all(rec.completed for rec in records)
+    check_queue_history(records)

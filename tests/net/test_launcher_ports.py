@@ -1,0 +1,78 @@
+"""Port selection: ephemeral by default, EADDRINUSE-tolerant when fixed.
+
+Parallel CI net jobs used to be able to flake if anything pinned a port;
+the rule is now: hosts bind port 0 unless told otherwise (the kernel
+guarantees a free port, reported via READY/cluster map), and a *fixed*
+port that turns out busy is retried briefly and then falls back to an
+ephemeral one rather than crashing the host.  Marked ``net`` (binds real
+sockets).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.net.launcher import launch_local
+from repro.net.server import HostConfig, NodeHost
+
+pytestmark = pytest.mark.net
+
+
+def _occupied_port() -> tuple[socket.socket, int]:
+    blocker = socket.socket()
+    blocker.bind(("127.0.0.1", 0))
+    blocker.listen(1)
+    return blocker, blocker.getsockname()[1]
+
+
+def test_fixed_busy_port_falls_back_to_ephemeral():
+    blocker, busy_port = _occupied_port()
+    try:
+        async def scenario():
+            host = NodeHost(
+                HostConfig(host_index=0, n_hosts=1, n_processes=1,
+                           port=busy_port)
+            )
+            try:
+                return await host.start()
+            finally:
+                host.stop()
+                await host.wait_stopped()
+
+        port = asyncio.run(scenario())
+        assert port != busy_port
+        assert port > 0
+    finally:
+        blocker.close()
+
+
+def test_ephemeral_port_zero_never_collides():
+    async def scenario():
+        hosts = [
+            NodeHost(HostConfig(host_index=i, n_hosts=4, n_processes=4))
+            for i in range(4)
+        ]
+        try:
+            return [await host.start() for host in hosts]
+        finally:
+            for host in hosts:
+                host.stop()
+            for host in hosts:
+                await host.wait_stopped()
+
+    ports = asyncio.run(scenario())
+    assert len(set(ports)) == 4
+
+
+def test_parallel_deployments_coexist():
+    # two deployments launched side by side: the kernel hands out
+    # disjoint ephemeral ports, so neither wire-up can interfere
+    with launch_local(2, 4, seed=71) as one:
+        with launch_local(2, 4, seed=72) as two:
+            assert one.alive and two.alive
+            ports_one = {addr[1] for addr in one.host_map.values()}
+            ports_two = {addr[1] for addr in two.host_map.values()}
+            assert not ports_one & ports_two

@@ -114,3 +114,93 @@ class TestFraming:
         assert list(reader.feed(b"")) == []
         assert list(reader.feed(encode_frame({"a": 1})[:3])) == []
         assert reader.buffered == 3
+
+
+class TestOpRecordPayloadCodec:
+    """OpRecords cross host boundaries inside DEPART_DUMP payloads."""
+
+    def test_record_round_trips_inside_a_payload(self):
+        rec = OpRecord(37, 4, 11, INSERT, ("tup", 1.5), 12.25)
+        rec.value = 99
+        rec.result = BOTTOM
+        rec.local_match = True
+        wrapped = (["leftover"], {0.5: "ctx"}, [rec, rec])
+        decoded = decode_payload(
+            json.loads(json.dumps(encode_payload(wrapped)))
+        )
+        items, parked, leftover = decoded
+        clone = leftover[0]
+        assert isinstance(clone, OpRecord)
+        for attr in ("req_id", "pid", "idx", "kind", "item", "gen", "value",
+                     "completed", "local_match"):
+            assert getattr(clone, attr) == getattr(rec, attr)
+        assert clone.result is BOTTOM
+        assert clone.element == rec.element
+
+    def test_nested_record_fields_keep_their_tuples(self):
+        rec = OpRecord(5, 0, 0, INSERT, (5, "payload"), 0.0)
+        clone = decode_payload(
+            json.loads(json.dumps(encode_payload(rec)))
+        )
+        assert clone.item == (5, "payload")
+        assert isinstance(clone.item, tuple)
+
+
+class TestClusterMapWireForm:
+    def test_genesis_round_trip(self):
+        from repro.net.membership import ClusterMap
+
+        genesis = ClusterMap.genesis(
+            {0: ("127.0.0.1", 1000), 1: ("127.0.0.1", 1001)}, 6, id_slots=16
+        )
+        clone = ClusterMap.from_json(
+            json.loads(json.dumps(genesis.to_json()))
+        )
+        assert clone.version == 1
+        assert clone.hosts == genesis.hosts
+        assert clone.pid_owner == {pid: pid % 2 for pid in range(6)}
+        assert clone.id_slots == 16
+        assert clone.coordinator == 0
+        assert clone.live_pids() == list(range(6))
+
+    def test_churned_map_round_trip(self):
+        from repro.net.membership import ClusterMap
+
+        cmap = ClusterMap.genesis(
+            {0: ("127.0.0.1", 1000), 1: ("127.0.0.1", 1001)}, 4, id_slots=8
+        )
+        host_index, pids = cmap.reserve_join(2)
+        cmap.commit_join(host_index, ("127.0.0.1", 1002), pids)
+        cmap.start_drain(1)
+        clone = ClusterMap.from_json(json.loads(json.dumps(cmap.to_json())))
+        assert clone.version == cmap.version == 3
+        assert clone.leaving == {1}
+        assert set(clone.hosts) == {0, 1, 2}
+        # draining host's pids are excluded from the pickable set
+        assert clone.live_pids() == [0, 2, 4, 5]
+        clone.retire_host(1, adopter=0, forwards={3: 6, 4: 6})
+        assert 1 not in clone.hosts
+        assert clone.complete_target(1) == 0
+        assert clone.forwards == {3: 6, 4: 6}
+
+    def test_complete_target_follows_adopter_chains(self):
+        from repro.net.membership import ClusterMap
+
+        cmap = ClusterMap.genesis(
+            {0: ("127.0.0.1", 1000), 1: ("127.0.0.1", 1001),
+             2: ("127.0.0.1", 1002)}, 3, id_slots=8
+        )
+        cmap.retire_host(2, adopter=1, forwards={})
+        cmap.retire_host(1, adopter=0, forwards={})
+        assert cmap.complete_target(2) == 0  # 2 -> 1 -> 0
+        assert cmap.complete_target(0) == 0
+        assert cmap.complete_target(7) is None  # never handed out
+
+    def test_id_slots_exhaustion_is_loud(self):
+        from repro.net.membership import ClusterMap
+
+        cmap = ClusterMap.genesis(
+            {0: ("127.0.0.1", 1000), 1: ("127.0.0.1", 1001)}, 2, id_slots=2
+        )
+        with pytest.raises(ValueError, match="id_slots"):
+            cmap.reserve_join(1)

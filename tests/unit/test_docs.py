@@ -1,0 +1,88 @@
+"""Documentation enforcement: the wire catalog and internal links.
+
+Two invariants, both cheap enough for tier-1:
+
+* ``docs/PROTOCOL.md`` documents **exactly** the frame vocabulary the
+  TCP runtime emits: its per-frame headings are diffed against the
+  authoritative registry (:data:`repro.net.transport.FRAME_TYPES`),
+  which in turn is diffed against the ``"op"`` literals actually
+  present in the ``repro.net`` sources.  A frame cannot ship
+  undocumented, and a removed frame cannot linger in the docs.
+* Internal markdown links in README/DESIGN/PROTOCOL resolve — no
+  dangling cross-references (CI runs this in a dedicated docs job).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.net.transport import FRAME_TYPES
+
+REPO_ROOT = Path(repro.__file__).resolve().parents[2]
+PROTOCOL_MD = REPO_ROOT / "docs" / "PROTOCOL.md"
+NET_SOURCES = sorted((REPO_ROOT / "src" / "repro" / "net").glob("*.py"))
+
+# one `#### `op`` heading per documented frame
+_HEADING = re.compile(r"^#### `([a-z_]+)`\s*$", re.MULTILINE)
+# a frame emission in code: {"op": "x", ...}
+_EMISSION = re.compile(r'"op":\s*"([a-z_]+)"')
+# markdown links; external schemes are skipped below
+_MD_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+
+class TestFrameCatalog:
+    def test_protocol_md_matches_the_frame_registry(self):
+        documented = set(_HEADING.findall(PROTOCOL_MD.read_text()))
+        registered = set(FRAME_TYPES)
+        assert documented == registered, (
+            f"docs/PROTOCOL.md out of sync with transport.FRAME_TYPES: "
+            f"undocumented={sorted(registered - documented)}, "
+            f"stale={sorted(documented - registered)}"
+        )
+
+    def test_every_emitted_frame_is_registered(self):
+        emitted: dict[str, list[str]] = {}
+        for source in NET_SOURCES:
+            for op in _EMISSION.findall(source.read_text()):
+                emitted.setdefault(op, []).append(source.name)
+        unregistered = {
+            op: files for op, files in emitted.items() if op not in FRAME_TYPES
+        }
+        assert not unregistered, (
+            f"frames emitted but missing from transport.FRAME_TYPES "
+            f"(and hence docs/PROTOCOL.md): {unregistered}"
+        )
+
+    def test_no_dead_registry_entries(self):
+        emitted = set()
+        for source in NET_SOURCES:
+            emitted.update(_EMISSION.findall(source.read_text()))
+        dead = set(FRAME_TYPES) - emitted
+        assert not dead, (
+            f"FRAME_TYPES registers frames nothing emits any more: "
+            f"{sorted(dead)}"
+        )
+
+    def test_registry_entries_have_summaries(self):
+        for op, summary in FRAME_TYPES.items():
+            assert summary and ("->" in summary or ":" in summary), op
+
+
+@pytest.mark.parametrize(
+    "document",
+    ["README.md", "DESIGN.md", "ROADMAP.md", "docs/PROTOCOL.md"],
+)
+def test_internal_links_resolve(document: str):
+    path = REPO_ROOT / document
+    dangling = []
+    for target in _MD_LINK.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            dangling.append(target)
+    assert not dangling, f"{document} has dangling internal links: {dangling}"

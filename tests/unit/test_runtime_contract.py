@@ -91,7 +91,9 @@ def test_net_runtime_forwarding_addresses():
 class TestRecordTable:
     def test_local_records_resolve_and_complete(self):
         completions = []
-        table = RecordTable(0, 2, notify_origin=lambda req: completions.append(req))
+        table = RecordTable(
+            0, 2, notify_origin=lambda req, fields: completions.append(req)
+        )
         rec = NetOpRecord(4, 0, 0, 0, "item", 0.0)
         done = []
         rec.on_completed = lambda r: done.append(r.req_id)
@@ -104,15 +106,58 @@ class TestRecordTable:
 
     def test_remote_ids_get_forwarding_stubs(self):
         completions = []
-        table = RecordTable(0, 2, notify_origin=lambda req: completions.append(req))
+        table = RecordTable(
+            0,
+            2,
+            notify_origin=lambda req, fields: completions.append((req, fields)),
+        )
         stub = table[7]  # 7 % 2 == 1: owned by host 1
         assert table[7] is stub  # cached
         stub.completed = True
         stub.completed = True
-        assert completions == [7]
+        assert completions == [(7, {"done": True})]
+
+    def test_stub_forwards_learned_fields_with_completion(self):
+        completions = []
+        table = RecordTable(
+            0,
+            2,
+            notify_origin=lambda req, fields: completions.append((req, fields)),
+        )
+        stub = table[9]
+        stub.result = (9, "payload")
+        stub.completed = True
+        assert completions == [(9, {"done": True, "result": (9, "payload")})]
+
+    def test_adopt_wire_copy_forwards_value_and_completion(self):
+        """An adopted record proxies every learned fact to the origin."""
+        from repro.core.requests import OpRecord
+
+        syncs = []
+        table = RecordTable(
+            0, 2, notify_origin=lambda req, fields: syncs.append((req, fields))
+        )
+        donor = OpRecord(5, 3, 1, 0, "x", 0.25)  # 5 % 2 == 1: remote origin
+        adopted = table.adopt(donor)
+        assert adopted is not donor
+        assert table.adopt(donor) is adopted  # memoised
+        assert table[5] is adopted  # GET replies find the same object
+        adopted.value = 42  # stage 3 assigns the witness rank
+        adopted.result = (5, "x")
+        adopted.completed = True
+        assert syncs == [
+            (5, {"value": 42}),
+            (5, {"done": True, "value": 42, "result": (5, "x")}),
+        ]
+
+    def test_adopt_local_origin_returns_the_canonical_record(self):
+        table = RecordTable(0, 2, notify_origin=lambda req, fields: None)
+        rec = NetOpRecord(6, 0, 0, 0, None, 0.0)
+        table.add_local(rec)
+        assert table.adopt(rec) is rec
 
     def test_foreign_req_id_rejected_and_unknown_local_raises(self):
-        table = RecordTable(0, 2, notify_origin=lambda req: None)
+        table = RecordTable(0, 2, notify_origin=lambda req, fields: None)
         with pytest.raises(ValueError):
             table.add_local(NetOpRecord(3, 1, 0, 0, None, 0.0))  # 3 % 2 != 0
         with pytest.raises(KeyError):
