@@ -1,0 +1,76 @@
+"""Skeap: heap vs queue throughput across priority-class counts.
+
+The heap rides the queue's wave machinery with a constant-size batch of
+``P + 1`` runs, so the per-request round cost should stay within a small
+factor of the queue's and be essentially flat in the number of classes —
+the class count changes the batch *layout*, not the wave depth.  The
+run asserts both shapes and exports the rows into the benchmark JSON
+artifact (CI uploads it alongside the fig2/api-overhead runs).
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import run_once
+
+from repro.experiments.harness import run_experiment
+from repro.experiments.workload import FixedRateWorkload, MixedPriorityWorkload
+
+FULL = bool(os.environ.get("SKUEUE_FULL"))
+N_PROCESSES = 64 if FULL else 24
+ROUNDS = 120 if FULL else 60
+CLASS_COUNTS = (1, 2, 4, 8)
+
+
+def test_heap_vs_queue_throughput(benchmark):
+    def sweep():
+        rows = []
+        queue_result = run_experiment(
+            FixedRateWorkload(N_PROCESSES, 0.5, requests_per_round=6, seed=2),
+            N_PROCESSES,
+            ROUNDS,
+            seed=2,
+        )
+        rows.append({"structure": "queue", "classes": 0,
+                     "avg_rounds": queue_result.mean_rounds_per_request,
+                     "requests": queue_result.generated})
+        for n_priorities in CLASS_COUNTS:
+            result = run_experiment(
+                MixedPriorityWorkload(
+                    N_PROCESSES, 0.5, n_priorities=n_priorities,
+                    requests_per_round=6, seed=2,
+                ),
+                N_PROCESSES,
+                ROUNDS,
+                seed=2,
+                structure="heap",
+                n_priorities=n_priorities,
+            )
+            rows.append({"structure": "heap", "classes": n_priorities,
+                         "avg_rounds": result.mean_rounds_per_request,
+                         "requests": result.generated})
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    for row in rows:
+        label = row["structure"] + (
+            f"(P={row['classes']})" if row["structure"] == "heap" else ""
+        )
+        print(f"  {label:12s} avg_rounds={row['avg_rounds']:.1f} "
+              f"requests={row['requests']}")
+
+    queue_rounds = rows[0]["avg_rounds"]
+    heap_rounds = {row["classes"]: row["avg_rounds"] for row in rows[1:]}
+    # the heap stays within a small factor of the queue at every class
+    # count (same wave machinery, no stage-4 barrier)
+    for n_priorities, avg in heap_rounds.items():
+        assert avg < queue_rounds * 2.0, (
+            f"P={n_priorities}: heap {avg:.1f} vs queue {queue_rounds:.1f}"
+        )
+    # ... and is essentially flat in the class count
+    assert max(heap_rounds.values()) < min(heap_rounds.values()) * 1.5, (
+        f"heap cost not flat across class counts: {heap_rounds}"
+    )
+    benchmark.extra_info["rows"] = rows

@@ -23,9 +23,16 @@ remain available for round-precise simulation control.
 """
 
 from repro.api import connect
-from repro.core.cluster import SkackCluster, SkueueCluster
+from repro.core.cluster import SkackCluster, SkeapCluster, SkueueCluster
 from repro.core.requests import BOTTOM
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-__all__ = ["BOTTOM", "SkackCluster", "SkueueCluster", "__version__", "connect"]
+__all__ = [
+    "BOTTOM",
+    "SkackCluster",
+    "SkeapCluster",
+    "SkueueCluster",
+    "__version__",
+    "connect",
+]

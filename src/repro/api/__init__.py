@@ -43,10 +43,18 @@ here.
 
 from __future__ import annotations
 
+from repro.core.structures import get_structure
 from repro.api.handles import OpHandle
-from repro.api.session import QueueSession, Session, StackSession
+from repro.api.session import HeapSession, QueueSession, Session, StackSession
 
-__all__ = ["OpHandle", "QueueSession", "Session", "StackSession", "connect"]
+__all__ = [
+    "HeapSession",
+    "OpHandle",
+    "QueueSession",
+    "Session",
+    "StackSession",
+    "connect",
+]
 
 
 def connect(
@@ -57,15 +65,16 @@ def connect(
     seed: int = 0,
     **kwargs,
 ) -> Session:
-    """Open a queue/stack session on the chosen backend.
+    """Open a queue/stack/heap session on the chosen backend.
 
-    ``structure`` selects FIFO (``"queue"``) or LIFO (``"stack"``)
-    semantics; remaining kwargs are backend-specific (cluster options on
-    the simulators; ``n_hosts``/``host_map``/``deployment`` and launch
-    options on TCP).
+    ``structure`` selects FIFO (``"queue"``), LIFO (``"stack"``) or
+    constant-priority (``"heap"``, Skeap — pass ``n_priorities=`` to size
+    the class count) semantics; any registered structure name is
+    accepted (see :mod:`repro.core.structures`).  Remaining kwargs are
+    backend-specific (cluster options on the simulators;
+    ``n_hosts``/``host_map``/``deployment`` and launch options on TCP).
     """
-    if structure not in ("queue", "stack"):
-        raise ValueError(f"unknown structure {structure!r}")
+    spec = get_structure(structure)
     if backend in ("sync", "async"):
         from repro.api._sim import SimBackend
 
@@ -82,5 +91,4 @@ def connect(
     else:
         raise ValueError(f"unknown backend {backend!r} "
                          "(expected 'sync', 'async', or 'tcp')")
-    session_cls = StackSession if structure == "stack" else QueueSession
-    return session_cls(impl)
+    return spec.session_class(impl)

@@ -11,8 +11,8 @@ seconds are meaningless here and are ignored.
 
 from __future__ import annotations
 
-from repro.core.cluster import SkackCluster, SkueueCluster
 from repro.core.requests import OpRecord
+from repro.core.structures import get_structure
 
 __all__ = ["SimBackend"]
 
@@ -29,19 +29,25 @@ class SimBackend:
         max_rounds: int = 200_000,
         **cluster_kwargs,
     ) -> None:
-        cluster_cls = SkackCluster if structure == "stack" else SkueueCluster
+        cluster_cls = get_structure(structure).cluster_class
         self.cluster = cluster_cls(
             n_processes=n_processes, seed=seed, runner=runner, **cluster_kwargs
         )
         self.n_processes = n_processes
+        self.n_priorities = self.cluster.ctx.n_priorities
         self.max_rounds = max_rounds
 
     # -- submission -----------------------------------------------------------
-    def submit(self, pid: int, kind: int, item: object) -> int:
-        return self.cluster.submit(pid, kind, item)
+    def submit(self, pid: int, kind: int, item: object, priority: int = 0) -> int:
+        return self.cluster.submit(pid, kind, item, priority)
 
-    def submit_many(self, ops: list[tuple[int, int, object]]) -> list[int]:
-        return [self.cluster.submit(pid, kind, item) for pid, kind, item in ops]
+    def submit_many(
+        self, ops: list[tuple[int, int, object, int]]
+    ) -> list[int]:
+        return [
+            self.cluster.submit(pid, kind, item, priority)
+            for pid, kind, item, priority in ops
+        ]
 
     # -- completion -----------------------------------------------------------
     def _record(self, req_id: int) -> OpRecord:

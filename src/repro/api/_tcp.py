@@ -77,6 +77,7 @@ class TcpBackend:
                     f"asked for a {structure!r}"
                 )
             self.n_processes = info["n_processes"]
+            self.n_priorities = info.get("n_priorities", 4)
         except BaseException:
             self.close()
             raise
@@ -111,10 +112,12 @@ class TcpBackend:
         refresh."""
         return self.client.live_pids()
 
-    def submit(self, pid: int, kind: int, item: object) -> int:
-        return self._call(self.client._submit(pid, kind, item))
+    def submit(self, pid: int, kind: int, item: object, priority: int = 0) -> int:
+        return self._call(self.client._submit(pid, kind, item, priority))
 
-    def submit_many(self, ops: list[tuple[int, int, object]]) -> list[int]:
+    def submit_many(
+        self, ops: list[tuple[int, int, object, int]]
+    ) -> list[int]:
         return self._call(self.client.submit_many(ops))
 
     # -- completion -----------------------------------------------------------

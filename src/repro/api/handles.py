@@ -24,18 +24,22 @@ __all__ = ["OpHandle"]
 
 
 class OpHandle:
-    """Handle on one submitted ENQUEUE/DEQUEUE (PUSH/POP) operation."""
+    """Handle on one submitted insert/remove operation (any structure)."""
 
-    __slots__ = ("req_id", "kind", "pid", "item", "_backend", "_stack")
+    __slots__ = (
+        "req_id", "kind", "pid", "item", "priority", "_backend", "_structure"
+    )
 
     def __init__(self, backend, req_id: int, kind: int, pid: int,
-                 item: object, stack: bool = False) -> None:
+                 item: object, stack: bool = False,
+                 structure: str | None = None, priority: int = 0) -> None:
         self._backend = backend
         self.req_id = req_id
         self.kind = kind
         self.pid = pid
         self.item = item
-        self._stack = stack
+        self.priority = priority  # Skeap class of a heap INSERT
+        self._structure = structure or ("stack" if stack else "queue")
 
     # -- future-like surface ---------------------------------------------------
     def done(self) -> bool:
@@ -60,6 +64,8 @@ class OpHandle:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "done" if self.done() else "pending"
-        op = kind_name(self.kind, stack=self._stack)
+        op = kind_name(self.kind, structure=self._structure)
         tail = f", {self.item!r}" if self.kind == INSERT else ""
+        if self.kind == INSERT and self._structure == "heap":
+            tail += f", priority={self.priority}"
         return f"<OpHandle {op}(p{self.pid}{tail}) req={self.req_id} {state}>"

@@ -22,12 +22,13 @@ workloads never mention pids at all.
 from __future__ import annotations
 
 from repro.core.requests import INSERT, REMOVE, OpRecord
+from repro.core.structures import get_structure
 from repro.api.handles import OpHandle
 
-__all__ = ["QueueSession", "Session", "StackSession"]
+__all__ = ["HeapSession", "QueueSession", "Session", "StackSession"]
 
 _INSERT_NAMES = frozenset({"enqueue", "push", "insert"})
-_REMOVE_NAMES = frozenset({"dequeue", "pop", "remove"})
+_REMOVE_NAMES = frozenset({"dequeue", "pop", "remove", "delete_min"})
 
 
 def _parse_kind(op) -> int:
@@ -43,27 +44,30 @@ def _parse_kind(op) -> int:
     raise ValueError(f"unknown operation {op!r}")
 
 
-def _parse_op(spec) -> tuple[int, object, int | None]:
-    """One batch element -> ``(kind, item, pid_or_None)``.
+def _parse_op(spec) -> tuple[int, object, int | None, int]:
+    """One batch element -> ``(kind, item, pid_or_None, priority)``.
 
     Accepted shapes: ``("enqueue", item)``, ``("enqueue", item, pid)``,
-    ``("dequeue",)``, ``("dequeue", pid)`` (removals carry no item, so
-    their second element is the pid) — names may be any alias accepted
-    by :func:`_parse_kind`.
+    ``("insert", item, pid, priority)`` (heap sessions; ``pid`` may be
+    ``None`` for round-robin), ``("dequeue",)``, ``("dequeue", pid)``
+    (removals carry no item, so their second element is the pid) — names
+    may be any alias accepted by :func:`_parse_kind`.
     """
     name, *rest = spec
     kind = _parse_kind(name)
+    priority = 0
     if kind == INSERT:
-        if len(rest) > 2:
+        if len(rest) > 3:
             raise ValueError(f"insert spec {spec!r} has too many fields")
         item = rest[0] if rest else None
         pid = rest[1] if len(rest) > 1 else None
+        priority = rest[2] if len(rest) > 2 else 0
     else:
         if len(rest) > 1:
             raise ValueError(f"removal spec {spec!r} has too many fields")
         item = None
         pid = rest[0] if rest else None
-    return kind, item, pid
+    return kind, item, pid, priority
 
 
 class Session:
@@ -111,16 +115,26 @@ class Session:
         self._rr_pid += 1
         return pid
 
-    def _wrap(self, req_id: int, kind: int, pid: int, item: object) -> OpHandle:
+    def _wrap(
+        self, req_id: int, kind: int, pid: int, item: object, priority: int = 0
+    ) -> OpHandle:
         return OpHandle(self._backend, req_id, kind, pid, item,
-                        stack=self.structure == "stack")
+                        structure=self.structure, priority=priority)
 
-    def submit(self, op, item: object = None, *, pid: int | None = None) -> OpHandle:
+    def _check_priority(self, kind: int, priority: int) -> None:
+        from repro.core.structures import check_priority
+
+        check_priority(self.structure, kind, priority,
+                       getattr(self._backend, "n_priorities", None))
+
+    def submit(self, op, item: object = None, *, pid: int | None = None,
+               priority: int = 0) -> OpHandle:
         """Submit one operation by designator; returns its handle."""
         kind = _parse_kind(op)
+        self._check_priority(kind, priority)
         pid = self._pick_pid(pid)
-        req_id = self._backend.submit(pid, kind, item)
-        return self._wrap(req_id, kind, pid, item)
+        req_id = self._backend.submit(pid, kind, item, priority)
+        return self._wrap(req_id, kind, pid, item, priority)
 
     def submit_batch(self, ops) -> list[OpHandle]:
         """Pipeline many operations; handles come back in submission order.
@@ -128,14 +142,14 @@ class Session:
         ``ops`` is an iterable of specs (see :func:`_parse_op`).  Per-pid
         program order follows the iterable's order on every backend.
         """
-        parsed = [
-            (self._pick_pid(pid), kind, item)
-            for kind, item, pid in map(_parse_op, ops)
-        ]
+        parsed = []
+        for kind, item, pid, priority in map(_parse_op, ops):
+            self._check_priority(kind, priority)
+            parsed.append((self._pick_pid(pid), kind, item, priority))
         req_ids = self._backend.submit_many(parsed)
         return [
-            self._wrap(req_id, kind, pid, item)
-            for req_id, (pid, kind, item) in zip(req_ids, parsed)
+            self._wrap(req_id, kind, pid, item, priority)
+            for req_id, (pid, kind, item, priority) in zip(req_ids, parsed)
         ]
 
     # -- completion -----------------------------------------------------------
@@ -164,13 +178,8 @@ class Session:
         deployment, so the merged multi-client execution is what gets
         verified.
         """
-        from repro.verify import check_queue_history, check_stack_history
-
         records = self.history()
-        if self.structure == "stack":
-            check_stack_history(records)
-        else:
-            check_queue_history(records)
+        get_structure(self.structure).check_history(records)
         return records
 
     # -- escape hatches ---------------------------------------------------------
@@ -214,3 +223,31 @@ class StackSession(Session):
     def pop(self, *, pid: int | None = None) -> OpHandle:
         """Submit POP(); returns its handle."""
         return self.submit(REMOVE, pid=pid)
+
+
+class HeapSession(Session):
+    """Priority session: INSERT/DELETE-MIN handles (Skeap).
+
+    ``priority`` 0 is the most urgent class; the number of classes is
+    fixed per deployment (``n_priorities``) and exposed on the session.
+    """
+
+    structure = "heap"
+
+    def insert(self, item: object = None, *, priority: int = 0,
+               pid: int | None = None) -> OpHandle:
+        """Submit INSERT(item, priority); returns its handle."""
+        return self.submit(INSERT, item, pid=pid, priority=priority)
+
+    def delete_min(self, *, pid: int | None = None) -> OpHandle:
+        """Submit DELETE-MIN(); returns its handle.
+
+        Completes with the oldest element of the lowest non-empty
+        priority class, or ⊥ when every class is empty.
+        """
+        return self.submit(REMOVE, pid=pid)
+
+    @property
+    def n_priorities(self) -> int | None:
+        """Priority class count of the underlying deployment."""
+        return getattr(self._backend, "n_priorities", None)

@@ -12,6 +12,13 @@ For the stack, ``first`` disappears and a monotone ``ticket`` counter is
 added: positions get reused when the stack shrinks, so elements are
 disambiguated by ``(position, ticket)`` pairs (Section VI).
 
+For the Skeap heap (the authors' follow-up paper), the queue's pair of
+counters is replicated *per priority class*: INSERT runs of class ``p``
+extend ``last[p]``, and every DELETE-MIN is assigned a position from the
+lowest non-empty class at its rank in the wave — mirroring how the stack
+repurposes ``last``, the heap repurposes the whole ``first``/``last``
+pair as arrays.
+
 Assignments are plain tuples because they travel inside SERVE messages:
 
 * queue run:  ``(lo, hi, value_start)``
@@ -19,11 +26,18 @@ Assignments are plain tuples because they travel inside SERVE messages:
   is the ticket of position ``hi`` for pop runs (tickets *decrease* going
   down the interval) and of position ``lo`` for push runs (tickets
   *increase* going up).
+* heap remove run: ``(value_start, ((priority, lo, hi), ...))`` — the
+  run decomposes into per-priority position segments (the lowest
+  non-empty class is drained before the next one is touched, so the
+  segments are contiguous and ordered by class); removals past the last
+  segment return ⊥.
+* heap insert run of class ``p``: ``(lo, hi, value_start)``, exactly the
+  queue shape against class ``p``'s counters.
 """
 
 from __future__ import annotations
 
-__all__ = ["QueueAnchorState", "StackAnchorState"]
+__all__ = ["HeapAnchorState", "QueueAnchorState", "StackAnchorState"]
 
 
 class QueueAnchorState:
@@ -159,3 +173,115 @@ class StackAnchorState:
     @classmethod
     def restore(cls, state: tuple) -> "StackAnchorState":
         return cls(*state)
+
+
+class HeapAnchorState:
+    """Per-priority ``first[p]``/``last[p]`` pairs and the value counter.
+
+    The Skeap anchor keeps one occupied-position interval per priority
+    class (invariant ``first[p] <= last[p] + 1`` for every ``p``).
+    DELETE-MIN carries no class of its own: the anchor assigns it the
+    lowest non-empty class *at its rank in the wave*, so a removal run
+    drains class after class in ascending order.  Positions within a
+    class are never reused (both counters only grow), which is what lets
+    the DHT keep the queue's single-use key discipline under
+    ``(priority, position)`` keys — no tickets, no stage-4 barrier.
+    """
+
+    __slots__ = ("first", "last", "counter", "epoch", "members")
+
+    def __init__(
+        self,
+        n_priorities: int = 4,
+        first=None,
+        last=None,
+        counter: int = 1,
+        epoch: int = 0,
+        members: int = 0,
+    ) -> None:
+        if n_priorities < 1:
+            raise ValueError("need at least one priority class")
+        self.first = list(first) if first is not None else [0] * n_priorities
+        self.last = list(last) if last is not None else [-1] * n_priorities
+        if len(self.first) != len(self.last):
+            raise ValueError("first/last class counts disagree")
+        self.counter = counter
+        self.epoch = epoch
+        self.members = members
+
+    @property
+    def n_priorities(self) -> int:
+        return len(self.first)
+
+    def class_size(self, priority: int) -> int:
+        return self.last[priority] - self.first[priority] + 1
+
+    @property
+    def size(self) -> int:
+        """Stored elements across all priority classes."""
+        return sum(
+            last - first + 1 for first, last in zip(self.first, self.last)
+        )
+
+    def assign(self, runs) -> list[tuple]:
+        """Assign the remove run, then one insert run per class.
+
+        ``runs`` is the combined heap batch ``[removes, ins_0, ...,
+        ins_{P-1}]`` (trailing runs may be missing: they count zero).
+        The remove run becomes per-priority segments from the lowest
+        non-empty class upward; removals beyond the stored total return
+        ⊥ in stage 4 (the queue's Lemma-10 clamp, classwise).
+        """
+        if not runs:
+            return []
+        first, last = self.first, self.last
+        n_classes = len(first)
+        value = self.counter
+        removes = runs[0]
+
+        segments: list[tuple[int, int, int]] = []
+        served = 0
+        priority = 0
+        while served < removes and priority < n_classes:
+            avail = last[priority] - first[priority] + 1
+            if avail <= 0:
+                priority += 1
+                continue
+            take = min(removes - served, avail)
+            segments.append(
+                (priority, first[priority], first[priority] + take - 1)
+            )
+            first[priority] += take
+            served += take
+        out: list[tuple] = [(value, tuple(segments))]
+        value += removes
+
+        for priority in range(n_classes):
+            count = runs[priority + 1] if len(runs) > priority + 1 else 0
+            lo = last[priority] + 1
+            hi = last[priority] + count
+            last[priority] += count
+            out.append((lo, hi, value))
+            value += count
+        self.counter = value
+        for priority in range(n_classes):
+            if first[priority] > last[priority] + 1:
+                raise AssertionError(
+                    f"heap anchor invariant broken at class {priority}: "
+                    f"first={first[priority]} last={last[priority]}"
+                )
+        return out
+
+    def export(self) -> tuple:
+        return (
+            tuple(self.first),
+            tuple(self.last),
+            self.counter,
+            self.epoch,
+            self.members,
+        )
+
+    @classmethod
+    def restore(cls, state: tuple) -> "HeapAnchorState":
+        first, last, counter, epoch, members = state
+        return cls(len(first), first, last, counter, epoch, members)

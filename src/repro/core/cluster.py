@@ -30,9 +30,9 @@ a live TCP deployment.
 from __future__ import annotations
 
 from repro.core.actions import A_JOIN_RT
-from repro.core.protocol import ClusterContext, QueueNode
+from repro.core.protocol import ClusterContext
 from repro.core.requests import BOTTOM, INSERT, REMOVE, OpRecord
-from repro.core.stack import StackNode
+from repro.core.structures import get_structure
 from repro.overlay.ldb import (
     LEFT,
     MIDDLE,
@@ -49,7 +49,7 @@ from repro.sim.sync_runner import SyncRunner
 from repro.util.hashing import label_of
 from repro.util.rng import RngStreams
 
-__all__ = ["SkackCluster", "SkueueCluster", "spawn_nodes"]
+__all__ = ["SkackCluster", "SkeapCluster", "SkueueCluster", "spawn_nodes"]
 
 
 def spawn_nodes(ctx, topology, node_class, pids=None) -> list:
@@ -92,10 +92,9 @@ def spawn_nodes(ctx, topology, node_class, pids=None) -> list:
 class SkueueCluster:
     """A distributed queue over ``n_processes`` simulated processes."""
 
-    node_class = QueueNode
-    insert_name = "enqueue"
-    remove_name = "dequeue"
-    empty_name = "dequeue_empty"
+    #: Registry name of the structure this cluster serves; the node class
+    #: and the metric vocabulary follow from it (repro.core.structures).
+    structure = "queue"
 
     def __init__(
         self,
@@ -106,9 +105,12 @@ class SkueueCluster:
         shuffle_delivery: bool = True,
         store_samples: bool = False,
         salt: str | None = None,
+        n_priorities: int = 4,
     ) -> None:
         if n_processes < 1:
             raise ValueError("need at least one process")
+        spec = get_structure(self.structure)
+        self.node_class = spec.node_class
         self.rng = RngStreams(seed)
         metrics = Metrics(store_samples=store_samples)
         if runner == "sync":
@@ -125,9 +127,10 @@ class SkueueCluster:
             self.runtime,
             salt=self.salt,
             route_steps=route_steps_for(len(self.topology)),
-            insert_name=self.insert_name,
-            remove_name=self.remove_name,
-            empty_name=self.empty_name,
+            insert_name=spec.insert_name,
+            remove_name=spec.remove_name,
+            empty_name=spec.empty_name,
+            n_priorities=n_priorities,
             on_update_over=self._on_update_over,
         )
         spawn_nodes(self.ctx, self.topology, self.node_class)
@@ -179,23 +182,38 @@ class SkueueCluster:
         """Issue DEQUEUE() at process ``pid``; returns a request id."""
         return self._inject(pid, REMOVE, None)
 
-    def submit(self, pid: int, kind: int, item: object = None) -> int:
+    def submit(
+        self, pid: int, kind: int, item: object = None, priority: int = 0
+    ) -> int:
         """Issue one operation by kind (INSERT/REMOVE); returns a request id.
 
         The generic entry point shared with the :mod:`repro.api` session
         layer; :meth:`enqueue`/:meth:`dequeue` are name-sugar over it.
+        ``priority`` is the Skeap class of a heap INSERT and must be 0
+        on every other structure.
         """
-        return self._inject(pid, kind, item)
+        return self._inject(pid, kind, item, priority)
 
-    def _inject(self, pid: int, kind: int, item: object) -> int:
+    def _check_priority(self, kind: int, priority: int) -> None:
+        from repro.core.structures import check_priority
+
+        check_priority(self.structure, kind, priority, self.ctx.n_priorities)
+
+    def _inject(
+        self, pid: int, kind: int, item: object, priority: int = 0
+    ) -> int:
         if pid in self.leaving_pids:
             raise ValueError(f"process {pid} is leaving and takes no requests")
+        self._check_priority(kind, priority)
         node = self.runtime.actors.get(vid_of(pid, MIDDLE))
         if node is None:
             raise ValueError(f"process {pid} is not in the system")
         idx = self._op_counts.get(pid, 0)
         self._op_counts[pid] = idx + 1
-        rec = OpRecord(len(self.ctx.records), pid, idx, kind, item, self.runtime.now)
+        rec = OpRecord(
+            len(self.ctx.records), pid, idx, kind, item, self.runtime.now,
+            priority=priority,
+        )
         self.ctx.records.append(rec)
         node.local_op(rec)
         return rec.req_id
@@ -338,10 +356,7 @@ class SkueueCluster:
 class SkackCluster(SkueueCluster):
     """A distributed stack (Skack, Section VI) over simulated processes."""
 
-    node_class = StackNode
-    insert_name = "push"
-    remove_name = "pop"
-    empty_name = "pop_empty"
+    structure = "stack"
 
     def push(self, pid: int, item: object = None) -> int:
         """Issue PUSH(item) at process ``pid``; returns a request id."""
@@ -350,3 +365,26 @@ class SkackCluster(SkueueCluster):
     def pop(self, pid: int) -> int:
         """Issue POP() at process ``pid``; returns a request id."""
         return self._inject(pid, REMOVE, None)
+
+
+class SkeapCluster(SkueueCluster):
+    """A distributed priority queue (Skeap) over simulated processes.
+
+    ``n_priorities`` fixes the constant number of priority classes;
+    every INSERT names one and DELETE-MIN always serves the lowest
+    non-empty class (FIFO within a class).
+    """
+
+    structure = "heap"
+
+    def insert(self, pid: int, item: object = None, priority: int = 0) -> int:
+        """Issue INSERT(item, priority) at process ``pid``."""
+        return self._inject(pid, INSERT, item, priority)
+
+    def delete_min(self, pid: int) -> int:
+        """Issue DELETE-MIN() at process ``pid``; returns a request id."""
+        return self._inject(pid, REMOVE, None)
+
+    @property
+    def n_priorities(self) -> int:
+        return self.ctx.n_priorities

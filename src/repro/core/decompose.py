@@ -22,7 +22,7 @@ value construction assumes.
 
 from __future__ import annotations
 
-__all__ = ["QueueDecomposer", "StackDecomposer"]
+__all__ = ["HeapDecomposer", "QueueDecomposer", "StackDecomposer"]
 
 
 class QueueDecomposer:
@@ -88,3 +88,58 @@ class StackDecomposer:
         if d[0] > d[1] + 1:
             raise AssertionError("push interval over-consumed")
         return (sub_pop, sub_push)
+
+
+class HeapDecomposer:
+    """Splits heap assignments: per-priority remove segments + insert runs.
+
+    The remove cursor walks the anchor's ``(priority, lo, hi)`` segments
+    in order, handing each sub-batch its removals from the front —
+    sub-batch shares therefore inherit the "lowest class first"
+    discipline, and a share may straddle a class boundary (it then gets
+    several segments).  Removals past the last segment are the ⊥ tail.
+    Insert runs are plain queue intervals, one cursor per class.
+    """
+
+    __slots__ = ("rem_value", "segments", "ins_curs")
+
+    def __init__(self, assignments) -> None:
+        value_start, segments = assignments[0]
+        self.rem_value = value_start
+        self.segments = [[p, lo, hi] for (p, lo, hi) in segments]
+        self.ins_curs = [[lo, hi, value] for (lo, hi, value) in assignments[1:]]
+
+    def take(self, runs) -> tuple:
+        """Consume one sub-batch's share; missing runs contribute nothing.
+
+        Returns the same shape the anchor emits, so a node can construct
+        its own decomposer from the share it is served.
+        """
+        if not runs:
+            return ()
+        removes = runs[0]
+        segments = self.segments
+        share: list[tuple[int, int, int]] = []
+        need = removes
+        while need and segments:
+            priority, lo, hi = segments[0]
+            take = min(need, hi - lo + 1)
+            share.append((priority, lo, lo + take - 1))
+            need -= take
+            if lo + take > hi:
+                segments.pop(0)
+            else:
+                segments[0][1] = lo + take
+        out: list[tuple] = [(self.rem_value, tuple(share))]
+        self.rem_value += removes
+        for i, cur in enumerate(self.ins_curs):
+            count = runs[i + 1] if len(runs) > i + 1 else 0
+            sub = (cur[0], cur[0] + count - 1, cur[2])
+            cur[0] += count
+            if cur[0] > cur[1] + 1:
+                raise AssertionError(
+                    f"insert interval of class {i} over-consumed"
+                )
+            cur[2] += count
+            out.append(sub)
+        return tuple(out)

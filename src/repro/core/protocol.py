@@ -23,7 +23,8 @@ faithful reading of Algorithm 1's round accounting.
 
 Membership (JOIN/LEAVE, Section IV) lives in
 :mod:`repro.core.membership`; the stack variant (Section VI) in
-:mod:`repro.core.stack`.
+:mod:`repro.core.stack`; the Skeap priority-queue variant in
+:mod:`repro.core.heap`.
 """
 
 from __future__ import annotations
@@ -68,6 +69,7 @@ class ClusterContext:
         "insert_name",
         "remove_name",
         "empty_name",
+        "n_priorities",
         "on_update_over",
     )
 
@@ -79,6 +81,7 @@ class ClusterContext:
         insert_name: str = "enqueue",
         remove_name: str = "dequeue",
         empty_name: str = "dequeue_empty",
+        n_priorities: int = 4,
         on_update_over: Callable[[int, int], None] | None = None,
     ) -> None:
         self.runtime = runtime
@@ -89,6 +92,7 @@ class ClusterContext:
         self.insert_name = insert_name
         self.remove_name = remove_name
         self.empty_name = empty_name
+        self.n_priorities = n_priorities  # Skeap class count (heap clusters)
         self.on_update_over = on_update_over
 
 

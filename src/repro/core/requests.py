@@ -100,10 +100,20 @@ class _Bottom:
 BOTTOM = _Bottom()
 
 
-def kind_name(kind: int, stack: bool = False) -> str:
-    if kind == INSERT:
-        return "push" if stack else "enqueue"
-    return "pop" if stack else "dequeue"
+#: Operation names per structure, indexed by (INSERT, REMOVE).
+_KIND_NAMES = {
+    "queue": ("enqueue", "dequeue"),
+    "stack": ("push", "pop"),
+    "heap": ("insert", "delete_min"),
+}
+
+
+def kind_name(kind: int, stack: bool = False, structure: str | None = None) -> str:
+    """Human name of an operation kind; ``structure`` wins over the
+    legacy ``stack`` flag."""
+    if structure is None:
+        structure = "stack" if stack else "queue"
+    return _KIND_NAMES.get(structure, _KIND_NAMES["queue"])[kind]
 
 
 class OpRecord:
@@ -116,6 +126,7 @@ class OpRecord:
         "kind",
         "item",
         "gen",
+        "priority",
         "value",
         "result",
         "completed",
@@ -130,6 +141,7 @@ class OpRecord:
         kind: int,
         item: object,
         gen: float,
+        priority: int = 0,
     ) -> None:
         self.req_id = req_id
         self.pid = pid
@@ -137,6 +149,7 @@ class OpRecord:
         self.kind = kind
         self.item = item
         self.gen = gen  # generation time (rounds / virtual time)
+        self.priority = priority  # Skeap class of an INSERT (0 elsewhere)
         self.value = None  # anchor's virtual-counter rank (Section V)
         self.result = None  # dequeued element, BOTTOM, or None for inserts
         self.completed = False

@@ -1,0 +1,151 @@
+"""The structure registry: one place that knows queue, stack and heap.
+
+Every layer that used to special-case the ``("queue", "stack")`` pair —
+the session factory in :mod:`repro.api`, the simulator clusters, the TCP
+:class:`~repro.net.server.NodeHost`, the launcher CLI — looks the
+structure up here instead.  Adding a structure is one
+:func:`register` call: the spec names the protocol node class, the
+metric names, the Definition-1 checker, and (as lazily resolved dotted
+references, to keep this module import-cycle-free) the simulator cluster
+facade and the session class of the public API.
+
+Validation errors everywhere quote :func:`structure_names`, so a typo'd
+``structure=`` argument tells the user exactly what is available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from importlib import import_module
+from typing import Callable
+
+from repro.core.heap import HeapNode
+from repro.core.protocol import QueueNode
+from repro.core.requests import INSERT
+from repro.core.stack import StackNode
+from repro.verify.seqcons import (
+    check_heap_history,
+    check_queue_history,
+    check_stack_history,
+)
+
+__all__ = [
+    "REGISTRY",
+    "StructureSpec",
+    "check_priority",
+    "get_structure",
+    "register",
+    "structure_names",
+]
+
+
+def check_priority(
+    structure: str, kind: int, priority: int, n_priorities: int | None = None
+) -> None:
+    """Shared submission-side validation of an operation's priority.
+
+    One rule for every surface (session, simulator cluster, TCP client),
+    so the backends cannot drift: only heap INSERTs carry a priority,
+    and it must fall in ``[0, n_priorities)`` when the class count is
+    known (``None``: not learned yet, bound checked downstream).
+    """
+    if structure != "heap":
+        if priority:
+            raise ValueError(f"structure {structure!r} takes no priorities")
+        return
+    if kind != INSERT:
+        if priority:
+            raise ValueError("only heap INSERTs take a priority")
+        return
+    if priority < 0 or (n_priorities is not None and priority >= n_priorities):
+        raise ValueError(f"priority {priority} outside [0, {n_priorities})")
+
+
+def _resolve(ref: str):
+    """Import ``"pkg.module:attr"`` lazily (avoids core -> api cycles)."""
+    module_name, _, attr = ref.partition(":")
+    return getattr(import_module(module_name), attr)
+
+
+@dataclass(frozen=True, slots=True)
+class StructureSpec:
+    """Everything the stack of layers needs to serve one structure."""
+
+    name: str
+    node_class: type  # the protocol node (QueueNode subclass)
+    insert_name: str  # metric names, also the session method vocabulary
+    remove_name: str
+    empty_name: str
+    check_history: Callable  # Definition-1 checker over an OpRecord list
+    cluster_ref: str  # "module:Class" of the simulator facade
+    session_ref: str  # "module:Class" of the public-API session
+
+    @property
+    def cluster_class(self) -> type:
+        return _resolve(self.cluster_ref)
+
+    @property
+    def session_class(self) -> type:
+        return _resolve(self.session_ref)
+
+
+REGISTRY: dict[str, StructureSpec] = {}
+
+
+def register(spec: StructureSpec) -> StructureSpec:
+    """Add a structure; everything downstream picks it up by name."""
+    REGISTRY[spec.name] = spec
+    return spec
+
+
+def structure_names() -> list[str]:
+    return sorted(REGISTRY)
+
+
+def get_structure(name: str) -> StructureSpec:
+    """Look a structure up by name; unknown names list the valid ones."""
+    spec = REGISTRY.get(name)
+    if spec is None:
+        raise ValueError(
+            f"unknown structure {name!r} (expected one of "
+            f"{', '.join(repr(n) for n in structure_names())})"
+        )
+    return spec
+
+
+register(
+    StructureSpec(
+        name="queue",
+        node_class=QueueNode,
+        insert_name="enqueue",
+        remove_name="dequeue",
+        empty_name="dequeue_empty",
+        check_history=check_queue_history,
+        cluster_ref="repro.core.cluster:SkueueCluster",
+        session_ref="repro.api.session:QueueSession",
+    )
+)
+register(
+    StructureSpec(
+        name="stack",
+        node_class=StackNode,
+        insert_name="push",
+        remove_name="pop",
+        empty_name="pop_empty",
+        check_history=check_stack_history,
+        cluster_ref="repro.core.cluster:SkackCluster",
+        session_ref="repro.api.session:StackSession",
+    )
+)
+register(
+    StructureSpec(
+        name="heap",
+        node_class=HeapNode,
+        insert_name="insert",
+        remove_name="delete_min",
+        empty_name="delete_min_empty",
+        check_history=check_heap_history,
+        cluster_ref="repro.core.cluster:SkeapCluster",
+        session_ref="repro.api.session:HeapSession",
+    )
+)

@@ -6,18 +6,21 @@ PUT, so GETs *park* at the responsible node until the matching element
 arrives (Section III-F); channels never lose messages, so every parked
 GET is eventually answered (Lemma 13).
 
-Two flavours:
+Three flavours:
 
 * :class:`QueueStore` — a position is used exactly once, so a key maps to
   a single element and at most one GET can ever park per key.
 * :class:`StackStore` — stack positions are reused, so a key holds a set
   of elements distinguished by *ticket* (Section VI); a POP assigned
   ``(p, t)`` removes the element with the largest ticket ``<= t``.
+* :class:`HeapStore` — the Skeap heap stores under hashed ``(priority,
+  position)`` pairs; per-class position counters only grow, so the
+  queue's single-use key discipline carries over unchanged.
 """
 
 from __future__ import annotations
 
-__all__ = ["PARKED", "QueueStore", "StackStore", "key_in_range"]
+__all__ = ["PARKED", "HeapStore", "QueueStore", "StackStore", "key_in_range"]
 
 
 class _Parked:
@@ -104,6 +107,20 @@ class QueueStore:
     @property
     def occupancy(self) -> int:
         return len(self.items)
+
+
+class HeapStore(QueueStore):
+    """Element + parked-GET storage of one virtual node (heap flavour).
+
+    Keys are hashes of ``(priority, position)`` pairs (see
+    :func:`repro.util.hashing.heap_position_key`).  Because the Skeap
+    anchor's per-class ``first``/``last`` counters are monotone, every
+    pair is written and removed at most once — the queue store's
+    duplicate-PUT and double-park guards apply verbatim, and a GET that
+    outruns its PUT parks exactly as in Section III-F.
+    """
+
+    __slots__ = ()
 
 
 class StackStore:

@@ -51,8 +51,15 @@ def run_experiment(
     seed: int = 0,
     max_drain_rounds: int = 100_000,
     verify: bool = False,
+    structure: str | None = None,
+    n_priorities: int = 4,
 ) -> ExperimentResult:
     """Drive ``workload`` for ``rounds`` rounds, drain, and report.
+
+    ``structure`` names any registered structure (``"heap"`` takes
+    ``n_priorities``); the legacy ``stack`` flag remains as shorthand.
+    Workload rounds may yield ``(pid, kind)`` pairs or — for
+    priority-aware workloads — ``(pid, kind, priority)`` triples.
 
     With ``verify=True`` the full history is checked against Definition 1
     after the run (used by the integration tests; skipped in benchmarks
@@ -65,11 +72,12 @@ def run_experiment(
     """
     session = connect(
         "sync",
-        structure="stack" if stack else "queue",
+        structure=structure or ("stack" if stack else "queue"),
         n_processes=n_processes,
         seed=seed,
         max_rounds=max_drain_rounds,
         shuffle_delivery=False,
+        n_priorities=n_priorities,
     )
     with session:
         cluster = session.cluster
@@ -78,8 +86,8 @@ def run_experiment(
         # tax the wall-clock figures pytest-benchmark tracks
         backend = session.backend
         for _ in range(rounds):
-            for pid, kind in workload.requests_for_round():
-                backend.submit(pid, kind, None)
+            for pid, kind, *rest in workload.requests_for_round():
+                backend.submit(pid, kind, None, rest[0] if rest else 0)
             cluster.step()
         before_drain = cluster.runtime.round
         session.drain()

@@ -9,6 +9,12 @@ Two request-arrival models:
 * :class:`PerNodeWorkload` — "generate requests at nodes with constant
   probability p at each round" (Figure 4), which scales the offered load
   with the system size.
+
+For the Skeap heap, :class:`MixedPriorityWorkload` extends the
+fixed-rate model with a priority class drawn per INSERT — uniform by
+default, or weighted to skew traffic toward urgent classes.  Its
+requests are ``(pid, kind, priority)`` triples; the harness accepts both
+shapes.
 """
 
 from __future__ import annotations
@@ -17,7 +23,7 @@ import random
 
 from repro.core.requests import INSERT, REMOVE
 
-__all__ = ["FixedRateWorkload", "PerNodeWorkload"]
+__all__ = ["FixedRateWorkload", "MixedPriorityWorkload", "PerNodeWorkload"]
 
 
 class FixedRateWorkload:
@@ -45,6 +51,55 @@ class FixedRateWorkload:
             (rng.randrange(n), INSERT if rng.random() < p else REMOVE)
             for _ in range(self.requests_per_round)
         ]
+
+
+class MixedPriorityWorkload:
+    """Fixed-rate requests whose INSERTs carry a Skeap priority class.
+
+    ``weights`` (one non-negative number per class) skews the class
+    draw; ``None`` means uniform over ``n_priorities`` classes.
+    """
+
+    def __init__(
+        self,
+        n_processes: int,
+        insert_probability: float,
+        n_priorities: int = 4,
+        requests_per_round: int = 10,
+        weights: list[float] | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= insert_probability <= 1.0:
+            raise ValueError("insert probability must be in [0, 1]")
+        if n_priorities < 1:
+            raise ValueError("need at least one priority class")
+        if weights is not None and len(weights) != n_priorities:
+            raise ValueError(
+                f"got {len(weights)} weights for {n_priorities} classes"
+            )
+        self.n_processes = n_processes
+        self.insert_probability = insert_probability
+        self.n_priorities = n_priorities
+        self.requests_per_round = requests_per_round
+        self.weights = weights
+        self.rng = random.Random(f"mixed-priority-{seed}")
+
+    def _draw_priority(self) -> int:
+        if self.weights is None:
+            return self.rng.randrange(self.n_priorities)
+        return self.rng.choices(range(self.n_priorities), self.weights)[0]
+
+    def requests_for_round(self) -> list[tuple[int, int, int]]:
+        rng = self.rng
+        p = self.insert_probability
+        n = self.n_processes
+        out: list[tuple[int, int, int]] = []
+        for _ in range(self.requests_per_round):
+            if rng.random() < p:
+                out.append((rng.randrange(n), INSERT, self._draw_priority()))
+            else:
+                out.append((rng.randrange(n), REMOVE, 0))
+        return out
 
 
 class PerNodeWorkload:

@@ -107,6 +107,8 @@ class SkueueClient:
                 key: first[key]
                 for key in ("n_hosts", "n_processes", "structure")
             }
+            # legacy hosts predate the heap: default the class count
+            self.deployment_info["n_priorities"] = first.get("n_priorities", 4)
             self.id_slots = first.get("id_slots", self.n_hosts)
             if "map" in first:
                 self._apply_map_json(first["map"], force=True)
@@ -240,43 +242,70 @@ class SkueueClient:
         """Issue DEQUEUE() at process ``pid``; returns the req_id."""
         return await self._submit(pid, REMOVE, None)
 
+    async def insert(self, pid: int, item: object = None,
+                     priority: int = 0) -> int:
+        """Issue a heap INSERT(item, priority) at process ``pid``."""
+        return await self._submit(pid, INSERT, item, priority)
+
+    async def delete_min(self, pid: int) -> int:
+        """Issue a heap DELETE-MIN() at process ``pid``."""
+        return await self._submit(pid, REMOVE, None)
+
     def _next_req_id(self, host: int) -> int:
         seq = self._counters.get(host, 0)
         self._counters[host] = seq + 1
         return pack_req_id(self._nonces.get(host, 0), seq, host, self.id_slots)
 
-    def _queue_submit(self, pid: int, kind: int, item: object) -> int:
+    def _check_priority(self, kind: int, priority: int) -> None:
+        from repro.core.structures import check_priority
+
+        info = self.deployment_info  # empty before connect: queue rules
+        check_priority(info.get("structure", "queue"), kind, priority,
+                       info.get("n_priorities"))
+
+    def _queue_submit(self, pid: int, kind: int, item: object,
+                      priority: int = 0) -> int:
         """Frame one submission onto its host's writer (drain separately)."""
         host = self.host_for(pid)
         req_id = self._next_req_id(host)
         self._pending[req_id] = asyncio.get_running_loop().create_future()
-        self._pending_meta[req_id] = (pid, kind, item)
-        write_frame(
-            self._writers[host],
-            {"op": "submit", "req": req_id, "pid": pid, "kind": kind,
-             "item": encode_payload(item)},
-        )
+        self._pending_meta[req_id] = (pid, kind, item, priority)
+        frame = {"op": "submit", "req": req_id, "pid": pid, "kind": kind,
+                 "item": encode_payload(item)}
+        if priority:
+            frame["pri"] = priority
+        write_frame(self._writers[host], frame)
         return req_id
 
-    async def _submit(self, pid: int, kind: int, item: object) -> int:
+    async def _submit(self, pid: int, kind: int, item: object,
+                      priority: int = 0) -> int:
+        self._check_priority(kind, priority)
         host = self.host_for(pid)
         await self._ensure_host(host)
-        req_id = self._queue_submit(pid, kind, item)
+        req_id = self._queue_submit(pid, kind, item, priority)
         await self._writers[host].drain()
         return req_id
 
-    async def submit_many(self, ops: list[tuple[int, int, object]]) -> list[int]:
-        """Pipeline many ``(pid, kind, item)`` submissions.
+    async def submit_many(
+        self, ops: list[tuple[int, int, object, int] | tuple[int, int, object]]
+    ) -> list[int]:
+        """Pipeline many ``(pid, kind, item[, priority])`` submissions.
 
         All frames are written before any drain, so one call costs one
         flush per touched host instead of one per operation.  Submission
         order per pid is preserved (TCP is FIFO per connection and a
         host assigns per-pid indices in arrival order).
         """
-        hosts = {self.host_for(pid) for pid, _, _ in ops}
+        ops = [op if len(op) > 3 else (*op, 0) for op in ops]
+        for _pid, kind, _item, priority in ops:
+            self._check_priority(kind, priority)
+        hosts = {self.host_for(pid) for pid, _, _, _ in ops}
         for host in hosts:
             await self._ensure_host(host)
-        req_ids = [self._queue_submit(pid, kind, item) for pid, kind, item in ops]
+        req_ids = [
+            self._queue_submit(pid, kind, item, priority)
+            for pid, kind, item, priority in ops
+        ]
         for host in hosts:
             await self._writers[host].drain()
         return req_ids
@@ -299,7 +328,7 @@ class SkueueClient:
         future = self._pending.get(root)
         if meta is None or future is None or future.done():
             return
-        _pid, kind, item = meta
+        _pid, kind, item, priority = meta
         try:
             candidates = self.live_pids()
             if not candidates:
@@ -310,7 +339,7 @@ class SkueueClient:
             self._retry_rr += 1
             host = self.host_for(pid)
             await self._ensure_host(host)
-            replacement = self._queue_submit(pid, kind, item)
+            replacement = self._queue_submit(pid, kind, item, priority)
             self._redirects[replacement] = root
             self.rejected_resubmits += 1
             await self._writers[host].drain()

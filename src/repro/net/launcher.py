@@ -40,6 +40,7 @@ import threading
 import time
 from pathlib import Path
 
+from repro.core.structures import structure_names
 from repro.net.membership import ClusterMap
 from repro.net.server import HostConfig, run_host, run_joining_host
 from repro.net.transport import FrameReader, encode_frame
@@ -278,6 +279,7 @@ def launch_local(
     sweep_seconds: float = 0.25,
     ready_timeout: float = 30.0,
     id_slots: int = 0,
+    n_priorities: int = 4,
 ) -> NetDeployment:
     """Spawn, wire and return a local ``n_hosts``-process deployment.
 
@@ -315,6 +317,7 @@ def launch_local(
                 sweep_seconds=sweep_seconds,
                 epoch=epoch,
                 id_slots=id_slots,
+                n_priorities=n_priorities,
             )
             proc = subprocess.Popen(
                 [
@@ -361,6 +364,7 @@ def launch_local(
             "seed": seed,
             "structure": structure,
             "id_slots": id_slots,
+            "n_priorities": n_priorities,
         },
     )
 
@@ -371,24 +375,33 @@ def launch_local(
 async def _demo(deployment: NetDeployment, ops: int, seed: int) -> dict:
     import random
 
-    from repro.verify import check_queue_history
+    from repro.core.structures import get_structure
 
+    structure = deployment.config.get("structure", "queue")
+    spec = get_structure(structure)
+    n_priorities = deployment.config.get("n_priorities", 4)
     rng = random.Random(f"net-demo-{seed}")
     n_processes = deployment.config["n_processes"]
     async with deployment.client() as client:
-        enqueued = 0
+        inserted = 0
         for i in range(ops):
             pid = rng.randrange(n_processes)
-            if rng.random() < 0.55 or enqueued == 0:
-                await client.enqueue(pid, f"item-{i}")
-                enqueued += 1
+            if rng.random() < 0.55 or inserted == 0:
+                if structure == "heap":
+                    await client.insert(
+                        pid, f"item-{i}", priority=rng.randrange(n_priorities)
+                    )
+                else:
+                    await client.enqueue(pid, f"item-{i}")
+                inserted += 1
             else:
                 await client.dequeue(pid)
         await client.wait_all()
         records = await client.collect_records()
-        check_queue_history(records)
+        spec.check_history(records)
         completed = sum(1 for rec in records if rec.completed)
-        return {"ops": len(records), "completed": completed, "consistent": True}
+        return {"ops": len(records), "completed": completed, "consistent": True,
+                "structure": structure}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -418,6 +431,8 @@ def main(argv: list[str] | None = None) -> int:
     demo.add_argument("--processes", type=int, default=8)
     demo.add_argument("--ops", type=int, default=40)
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--structure", choices=structure_names(), default="queue",
+                      help="which distributed structure to deploy")
 
     args = parser.parse_args(argv)
     if args.command == "serve":
@@ -437,7 +452,10 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
     if args.command == "demo":
-        with launch_local(args.hosts, args.processes, seed=args.seed) as deployment:
+        with launch_local(
+            args.hosts, args.processes, seed=args.seed,
+            structure=args.structure,
+        ) as deployment:
             summary = asyncio.run(_demo(deployment, args.ops, args.seed))
         print(json.dumps(summary))
         return 0

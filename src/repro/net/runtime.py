@@ -298,7 +298,10 @@ class AdoptedRecord(OpRecord):
         self._result = None
         self._done = False
         self._notify = None  # muted while copying the donor's fields
-        super().__init__(rec.req_id, rec.pid, rec.idx, rec.kind, rec.item, rec.gen)
+        super().__init__(
+            rec.req_id, rec.pid, rec.idx, rec.kind, rec.item, rec.gen,
+            priority=getattr(rec, "priority", 0),
+        )
         self._value = rec.value
         self._result = rec.result
         self.local_match = rec.local_match

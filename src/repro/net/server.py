@@ -42,9 +42,9 @@ from dataclasses import dataclass, field
 
 from repro.core.actions import A_JOIN_RT
 from repro.core.cluster import spawn_nodes
-from repro.core.protocol import ClusterContext, QueueNode
+from repro.core.protocol import ClusterContext
 from repro.core.requests import OpRecord
-from repro.core.stack import StackNode
+from repro.core.structures import get_structure
 from repro.net.membership import ClusterMap
 from repro.net.runtime import NetOpRecord, NetRuntime, RecordTable
 from repro.net.transport import (
@@ -89,17 +89,20 @@ class HostConfig:
     timeout_lag: float = 0.004
     sweep_seconds: float = 0.25
     epoch: float = 0.0  # shared wall-clock origin for `now` (0: host start)
-    structure: str = "queue"  # "queue" (Skueue) or "stack" (Skack)
+    # any registered structure name: "queue" (Skueue), "stack" (Skack),
+    # "heap" (Skeap), ... — see repro.core.structures
+    structure: str = "queue"
     salt: str = field(default="")
     # fixed req_id origin-residue modulus; 0 means n_hosts (static legacy)
     id_slots: int = 0
+    # Skeap priority class count (ignored by queue/stack deployments)
+    n_priorities: int = 4
     # explicit pid set for hosts joining a live deployment (None: genesis
     # round-robin shard over range(n_processes))
     owned: list[int] | None = None
 
     def __post_init__(self) -> None:
-        if self.structure not in ("queue", "stack"):
-            raise ValueError(f"unknown structure {self.structure!r}")
+        get_structure(self.structure)  # unknown names raise, listing valid ones
         if not self.salt:
             self.salt = f"skueue-{self.seed}"
         if not self.id_slots:
@@ -134,6 +137,7 @@ class HostConfig:
             "structure": self.structure,
             "salt": self.salt,
             "id_slots": self.id_slots,
+            "n_priorities": self.n_priorities,
             "owned": self.owned,
         }
 
@@ -288,7 +292,8 @@ class NodeHost:
 
     def __init__(self, config: HostConfig) -> None:
         self.config = config
-        self.node_class = StackNode if config.structure == "stack" else QueueNode
+        self.spec = get_structure(config.structure)
+        self.node_class = self.spec.node_class
         self.runtime = NetRuntime(
             self._send_remote,
             Metrics(),
@@ -433,6 +438,10 @@ class NodeHost:
             self.runtime,
             salt=config.salt,
             route_steps=route_steps_for(len(self.topology)),
+            insert_name=self.spec.insert_name,
+            remove_name=self.spec.remove_name,
+            empty_name=self.spec.empty_name,
+            n_priorities=config.n_priorities,
             on_update_over=self._update_over,
         )
         self.ctx.records = self.records
@@ -455,6 +464,10 @@ class NodeHost:
             self.runtime,
             salt=config.salt,
             route_steps=route_steps_for(3 * max(1, len(cluster_map.pid_owner))),
+            insert_name=self.spec.insert_name,
+            remove_name=self.spec.remove_name,
+            empty_name=self.spec.empty_name,
+            n_priorities=config.n_priorities,
             on_update_over=self._update_over,
         )
         self.ctx.records = self.records
@@ -769,6 +782,7 @@ class NodeHost:
                     "structure": self.config.structure,
                     "nonce": nonce,
                     "id_slots": self.config.id_slots,
+                    "n_priorities": self.config.n_priorities,
                 }
                 if self.cluster is not None:
                     reply["map"] = self.cluster.to_json()
@@ -901,6 +915,7 @@ class NodeHost:
                     "structure": config.structure,
                     "salt": config.salt,
                     "id_slots": config.id_slots,
+                    "n_priorities": config.n_priorities,
                 },
                 "map": self.cluster.to_json(),
             }
@@ -1096,6 +1111,16 @@ class NodeHost:
             return
         pid = message["pid"]
         req_id = message["req"]
+        priority = int(message.get("pri", 0))
+        if not 0 <= priority < max(1, self.config.n_priorities):
+            # a buggy/foreign client slipped past the client-side check:
+            # refuse loudly rather than corrupt the anchor's class arrays
+            conn.send(
+                {"op": "error",
+                 "message": f"priority {priority} outside "
+                            f"[0, {self.config.n_priorities}) (req {req_id})"}
+            )
+            return
         owner = self._owner_of(pid)
         node = self.runtime.actors.get(vid_of(pid, MIDDLE))
         if owner != self.config.host_index or node is None:
@@ -1125,6 +1150,7 @@ class NodeHost:
             message["kind"],
             decode_payload(message["item"]),
             self.runtime.now,
+            priority=priority,
         )
         rec.on_completed = self._record_done
         self.records.add_local(rec)

@@ -151,6 +151,7 @@ def record_to_wire(rec: OpRecord) -> dict:
         "kind": rec.kind,
         "item": encode_payload(rec.item),
         "gen": rec.gen,
+        "pri": rec.priority,
         "value": rec.value,
         "result": encode_payload(rec.result),
         "completed": rec.completed,
@@ -166,6 +167,7 @@ def record_from_wire(data: dict) -> OpRecord:
         data["kind"],
         decode_payload(data["item"]),
         data["gen"],
+        priority=data.get("pri", 0),
     )
     rec.value = data["value"]
     rec.result = decode_payload(data["result"])

@@ -18,7 +18,7 @@ from __future__ import annotations
 import hashlib
 import struct
 
-__all__ = ["unit_hash", "label_of", "position_key", "bits_of"]
+__all__ = ["unit_hash", "label_of", "position_key", "heap_position_key", "bits_of"]
 
 _MANTISSA_BITS = 53
 _SCALE = float(2**_MANTISSA_BITS)
@@ -43,6 +43,16 @@ def label_of(process_id: int, salt: str = "") -> float:
 def position_key(position: int, salt: str = "") -> float:
     """DHT key ``k(p)`` for queue position ``p`` (Section II-B)."""
     return unit_hash(position, salt=f"pos:{salt}")
+
+
+def heap_position_key(priority: int, position: int, salt: str = "") -> float:
+    """DHT key for the heap slot ``(priority, position)`` (Skeap).
+
+    Skeap's per-priority position counters reuse position *numbers*
+    across classes, so the key hashes the pair — class 2 position 7 and
+    class 3 position 7 land at independent points of ``[0, 1)``.
+    """
+    return unit_hash((priority, position), salt=f"pos:{salt}")
 
 
 def bits_of(point: float, count: int) -> list[int]:

@@ -2,6 +2,7 @@
 
 from repro.verify.seqcons import (
     ConsistencyViolation,
+    check_heap_history,
     check_queue_history,
     check_stack_history,
     order_key,
@@ -10,6 +11,7 @@ from repro.verify.search import exists_valid_order
 
 __all__ = [
     "ConsistencyViolation",
+    "check_heap_history",
     "check_queue_history",
     "check_stack_history",
     "exists_valid_order",

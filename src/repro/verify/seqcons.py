@@ -8,10 +8,11 @@ The checker therefore:
 
 1. builds the candidate order from the recorded values,
 2. verifies property 4 (per-process program order) directly, and
-3. *replays* the order against a reference sequential queue/stack,
+3. *replays* the order against a reference sequential queue/stack/heap,
    comparing every removal's result — which is equivalent to properties
    1-3 combined with the uniqueness of elements (an element is returned
-   iff it was inserted earlier and not yet removed, in FIFO/LIFO order).
+   iff it was inserted earlier and not yet removed, in FIFO/LIFO order —
+   for the heap: lowest priority class first, FIFO within a class).
 
 Properties 1-3 are additionally checked one by one on the matching so a
 violation report names the exact clause that failed.
@@ -39,6 +40,7 @@ from repro.core.requests import BOTTOM, INSERT, REMOVE, OpRecord
 
 __all__ = [
     "ConsistencyViolation",
+    "check_heap_history",
     "check_queue_history",
     "check_stack_history",
     "order_key",
@@ -159,6 +161,61 @@ def check_queue_history(records: list[OpRecord]) -> None:
                         f"property 3 violated (FIFO): {rec!r} returned "
                         f"{rec.result!r}, expected {expected!r}"
                     )
+
+
+def check_heap_history(records: list[OpRecord]) -> None:
+    """Verify a heap history against (the priority reading of) Definition 1.
+
+    The reference structure is a sequential constant-priority queue: one
+    FIFO per class.  Replaying the witness order, every removal must
+    return the *oldest element of the lowest non-empty class* — which is
+    properties 2 and 3 for Skeap: ⊥ exactly on empty, minimum priority
+    first, FIFO within a class.
+    """
+    keys = _common_checks(records)
+    _check_matching(records, keys)
+    priority_of: dict[int, int] = {}
+    for rec in records:
+        if rec.kind == INSERT:
+            priority = rec.priority
+            if not isinstance(priority, int) or priority < 0:
+                raise ConsistencyViolation(
+                    f"{rec!r}: invalid priority {priority!r}"
+                )
+            priority_of[rec.req_id] = priority
+    order = sorted(records, key=lambda r: keys[r.req_id])
+    classes: dict[int, deque] = {}
+    for rec in order:
+        if rec.kind == INSERT:
+            classes.setdefault(rec.priority, deque()).append(rec.element)
+        else:
+            live = [p for p, fifo in classes.items() if fifo]
+            if not live:
+                if rec.result is not BOTTOM:
+                    raise ConsistencyViolation(
+                        f"property 2 violated: {rec!r} returned "
+                        f"{rec.result!r} from an empty heap"
+                    )
+                continue
+            lowest = min(live)
+            expected = classes[lowest].popleft()
+            if rec.result is BOTTOM:
+                raise ConsistencyViolation(
+                    f"property 2 violated: {rec!r} returned BOTTOM but "
+                    f"{expected!r} was stored at priority {lowest}"
+                )
+            if rec.result != expected:
+                got_priority = priority_of.get(rec.result[0])
+                if got_priority is not None and got_priority != lowest:
+                    raise ConsistencyViolation(
+                        f"property 3 violated (minimum priority): {rec!r} "
+                        f"returned {rec.result!r} of class {got_priority} "
+                        f"while class {lowest} held {expected!r}"
+                    )
+                raise ConsistencyViolation(
+                    f"property 3 violated (FIFO within class {lowest}): "
+                    f"{rec!r} returned {rec.result!r}, expected {expected!r}"
+                )
 
 
 def check_stack_history(records: list[OpRecord]) -> None:

@@ -1,0 +1,96 @@
+"""Heap sessions of the public API on the simulator backends.
+
+The acceptance scenario's sim half: the *same* mixed-priority workload
+helper (``tests/conftest.py``, ``run_priority_workload``) runs on sync
+and async backends here and on a real TCP deployment in
+``tests/net/test_api_tcp.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import BOTTOM
+from repro.api import connect
+from repro.api.session import HeapSession
+from tests.conftest import run_priority_workload
+
+
+@pytest.mark.parametrize("backend", ["sync", "async"])
+def test_priority_workload_runs_on_both_simulators(backend):
+    with connect(
+        backend, structure="heap", n_processes=8, seed=31, n_priorities=3
+    ) as session:
+        assert isinstance(session, HeapSession)
+        assert session.n_priorities == 3
+        handles, records = run_priority_workload(session, ops=40, seed=31)
+        assert len(records) == 40
+
+
+def test_insert_and_delete_min_handles():
+    with connect("sync", structure="heap", n_processes=6, seed=2) as heap:
+        low = heap.insert("later", priority=3, pid=0)
+        high = heap.insert("now", priority=0, pid=1)
+        heap.drain()
+        assert low.result() is True and high.result() is True
+        assert "priority=3" in repr(low)
+        first = heap.delete_min(pid=2)
+        assert first.result() == "now"
+        second = heap.delete_min(pid=3)
+        assert second.result() == "later"
+        assert heap.delete_min(pid=4).result() is BOTTOM
+        heap.verify()
+
+
+def test_submit_batch_with_priorities_preserves_program_order():
+    with connect(
+        "sync", structure="heap", n_processes=4, seed=5, n_priorities=4
+    ) as heap:
+        # same pid throughout: FIFO within each class is pinned
+        handles = heap.submit_batch(
+            [("insert", f"low-{i}", 1, 2) for i in range(3)]
+            + [("insert", f"high-{i}", 1, 0) for i in range(3)]
+        )
+        heap.drain()
+        assert all(handle.result() is True for handle in handles)
+        got = [heap.delete_min(pid=1).result() for _ in range(6)]
+        assert got == ["high-0", "high-1", "high-2", "low-0", "low-1", "low-2"]
+        heap.verify()
+
+
+def test_handles_awaitable_on_heap_sessions():
+    with connect("sync", structure="heap", n_processes=4, seed=7) as heap:
+
+        async def go():
+            put = heap.insert("via-await", priority=1, pid=0)
+            got = heap.delete_min(pid=0)
+            assert (await put) is True
+            return await got
+
+        assert asyncio.run(go()) == "via-await"
+
+
+def test_priority_validation_at_the_session_surface():
+    with connect(
+        "sync", structure="heap", n_processes=4, seed=8, n_priorities=2
+    ) as heap:
+        with pytest.raises(ValueError):
+            heap.insert("x", priority=2)
+        with pytest.raises(ValueError):
+            heap.insert("x", priority=-1)
+        with pytest.raises(ValueError):
+            heap.submit_batch([("insert", "x", 0, 9)])
+        # removals never take a priority — identical rule on every
+        # backend (repro.core.structures.check_priority)
+        with pytest.raises(ValueError):
+            heap.submit("delete_min", priority=1)
+    with connect("sync", structure="queue", n_processes=4, seed=8) as queue:
+        with pytest.raises(ValueError):
+            queue.submit("enqueue", "x", priority=1)
+
+
+def test_structure_registry_drives_connect_errors():
+    with pytest.raises(ValueError, match="'heap', 'queue', 'stack'"):
+        connect("sync", structure="treap")

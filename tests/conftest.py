@@ -6,8 +6,8 @@ import random
 
 import pytest
 
-from repro.core.cluster import SkackCluster, SkueueCluster
-from repro.verify import check_queue_history, check_stack_history
+from repro.core.cluster import SkackCluster, SkeapCluster, SkueueCluster
+from repro.core.structures import get_structure
 
 
 def drive_random(
@@ -75,12 +75,52 @@ def run_uniform_workload(session, ops: int = 40, seed: int = 0):
     return handles, records
 
 
+def run_priority_workload(session, ops: int = 40, seed: int = 0,
+                          n_priorities: int = 3):
+    """One mixed-priority heap workload for *every* backend.
+
+    The acceptance scenario of the Skeap PR: inserts spread over
+    priority classes, interleaved delete-mins, a pipelined batch tail, a
+    drain, and the Definition-1 priority check over the collected
+    history — run unmodified against sync, async and tcp sessions.
+    Returns ``(handles, records)``.
+    """
+    rng = random.Random(f"priority-{seed}")
+    handles = []
+    inserted = 0
+    for i in range(ops // 2):
+        if rng.random() < 0.6 or inserted == 0:
+            handles.append(
+                session.insert(f"job-{i}", priority=rng.randrange(n_priorities))
+            )
+            inserted += 1
+        else:
+            handles.append(session.delete_min())
+    # second half as one pipelined batch
+    batch = []
+    for i in range(ops // 2, ops):
+        if rng.random() < 0.6:
+            batch.append(
+                ("insert", f"job-{i}", None, rng.randrange(n_priorities))
+            )
+            inserted += 1
+        else:
+            batch.append(("delete_min",))
+    handles.extend(session.submit_batch(batch))
+    session.drain()
+    assert all(handle.done() for handle in handles)
+    for handle in handles:
+        result = handle.result()
+        assert result is not None
+        assert session.result_of(handle.req_id) == result
+    records = session.verify()
+    assert len(records) >= len(handles)
+    return handles, records
+
+
 def verify(cluster) -> None:
     """Check the full history against Definition 1."""
-    if isinstance(cluster, SkackCluster):
-        check_stack_history(cluster.records)
-    else:
-        check_queue_history(cluster.records)
+    get_structure(cluster.structure).check_history(cluster.records)
 
 
 def assert_topology_invariants(cluster) -> None:
@@ -108,4 +148,10 @@ def small_queue():
 @pytest.fixture
 def small_stack():
     with SkackCluster(n_processes=8, seed=42) as cluster:
+        yield cluster
+
+
+@pytest.fixture
+def small_heap():
+    with SkeapCluster(n_processes=8, seed=42, n_priorities=3) as cluster:
         yield cluster

@@ -15,7 +15,7 @@ import pytest
 from repro import BOTTOM
 from repro.api import connect
 from repro.net.launcher import launch_local
-from tests.conftest import run_uniform_workload
+from tests.conftest import run_priority_workload, run_uniform_workload
 
 pytestmark = pytest.mark.net
 
@@ -27,6 +27,19 @@ def test_uniform_workload_runs_unmodified_on_every_backend():
             handles, records = run_uniform_workload(session, ops=40, seed=21)
             histories[backend] = len(records)
     # same script, same op count, three execution substrates
+    assert histories["sync"] == histories["async"] == histories["tcp"] == 40
+
+
+def test_priority_workload_runs_unmodified_on_every_backend():
+    # the Skeap acceptance scenario: one mixed-priority script, three
+    # execution substrates, each history priority-verified
+    histories = {}
+    for backend in ("sync", "async", "tcp"):
+        with connect(
+            backend, structure="heap", n_processes=8, seed=22, n_priorities=3
+        ) as session:
+            handles, records = run_priority_workload(session, ops=40, seed=22)
+            histories[backend] = len(records)
     assert histories["sync"] == histories["async"] == histories["tcp"] == 40
 
 
@@ -76,6 +89,28 @@ def test_stack_structure_over_tcp():
         # deployment is rejected during the handshake
         with pytest.raises(ValueError):
             connect("tcp", structure="queue", deployment=stack.backend.deployment)
+
+
+def test_heap_structure_over_tcp():
+    with connect("tcp", structure="heap", n_processes=4, seed=7,
+                 n_hosts=2, n_priorities=3) as heap:
+        heap.insert("bulk", priority=2, pid=0)
+        heap.insert("urgent", priority=0, pid=0)
+        heap.drain()
+        first = heap.delete_min(pid=1)
+        assert first.result() == "urgent"
+        second = heap.delete_min(pid=2)
+        assert second.result() == "bulk"
+        assert heap.delete_min(pid=3).result() is BOTTOM
+        records = heap.verify()
+        assert len(records) == 5
+        # priorities survive the collect round-trip
+        assert {rec.priority for rec in records if rec.kind == 0} == {0, 2}
+
+        # a structure-mismatched session attaching to the same
+        # deployment is rejected during the handshake
+        with pytest.raises(ValueError):
+            connect("tcp", structure="queue", deployment=heap.backend.deployment)
 
 
 def test_partial_host_map_is_reconciled_at_connect():

@@ -31,7 +31,7 @@ import pytest
 from repro.api import connect
 from repro.net.client import SkueueClient
 from repro.net.launcher import launch_local
-from repro.verify import check_queue_history
+from repro.verify import check_heap_history, check_queue_history
 
 pytestmark = pytest.mark.net
 
@@ -125,6 +125,81 @@ def test_host_leave_under_load_keeps_history_complete():
     # pids of the drained host appear in the merged history
     assert {rec.pid for rec in records} & {1, 4}
     check_queue_history(records)
+
+
+async def _drive_heap_load(
+    client: SkueueClient,
+    stop: asyncio.Event,
+    tag: str,
+    n_priorities: int = 3,
+    max_ops: int = 5000,
+):
+    """Mixed-priority heap ops over the live pid set until told to stop."""
+    rng = random.Random(tag)
+    submitted = 0
+    inserted = 0
+    while not stop.is_set() and submitted < max_ops:
+        pids = client.live_pids()
+        pid = pids[rng.randrange(len(pids))]
+        if rng.random() < 0.6 or inserted == 0:
+            await client.insert(
+                pid, f"{tag}-item-{submitted}",
+                priority=rng.randrange(n_priorities),
+            )
+            inserted += 1
+        else:
+            await client.delete_min(pid)
+        submitted += 1
+        await asyncio.sleep(0.002)
+    return submitted
+
+
+def test_heap_join_and_drain_under_load():
+    """The Skeap churn acceptance case: a host joins *and* a host drains
+    while mixed-priority traffic flows; the merged history — collected
+    after the drained host's OS process is gone — passes the extended
+    seqcons verifier."""
+    with launch_local(
+        2, 4, seed=45, id_slots=16, structure="heap", n_priorities=3
+    ) as deployment:
+
+        async def scenario():
+            async with SkueueClient(deployment.host_map) as client:
+                stop = asyncio.Event()
+                load = asyncio.create_task(
+                    _drive_heap_load(client, stop, "heap-churn-45")
+                )
+                loop = asyncio.get_running_loop()
+                new_index = await loop.run_in_executor(
+                    None, lambda: deployment.add_host(2)
+                )
+                # traffic spreads onto the joined host's fresh pids, then
+                # host 1 drains back out under the same load
+                await asyncio.sleep(0.5)
+                await loop.run_in_executor(
+                    None, lambda: deployment.remove_host(1, timeout=120.0)
+                )
+                stop.set()
+                submitted = await load
+                await client.wait_all(timeout=120.0)
+                records = await client.collect_records()
+                return new_index, submitted, records
+
+        new_index, submitted, records = asyncio.run(scenario())
+        cluster = deployment.cluster_map()
+
+    assert new_index == 2
+    assert 1 not in cluster.hosts
+    assert all(owner != 1 for owner in cluster.pid_owner.values())
+    assert len(records) == submitted
+    assert all(rec.completed for rec in records)
+    # inserts kept their classes across the wire and the churn
+    assert {rec.priority for rec in records if rec.kind == 0} == {0, 1, 2}
+    # pids of both the joined and the drained host saw traffic
+    pids_seen = {rec.pid for rec in records}
+    assert {pid for pid, owner in cluster.pid_owner.items() if owner == 2} & pids_seen
+    assert {1, 3} & pids_seen  # genesis pids of the drained host
+    check_heap_history(records)
 
 
 def test_churn_under_load_three_sessions_two_joins_two_leaves():

@@ -1,0 +1,127 @@
+"""Property-based tests: Skeap batch shape and interval arithmetic.
+
+The load-bearing invariant is the anchor/decomposer pairing: however a
+combined batch is split into sub-batches (own requests first, then
+children in combination order), the per-sub-batch shares must partition
+the anchor's assignment *exactly* — every ``(priority, position)`` slot
+handed out once, every value rank handed out once, removals drained
+lowest-class-first both globally and within each share.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.anchor import HeapAnchorState
+from repro.core.batch import combine_runs
+from repro.core.decompose import HeapDecomposer
+
+# a heap batch for <= 4 priority classes: [removes, ins_0, ..., ins_3]
+heap_runs = st.lists(
+    st.integers(min_value=0, max_value=12), min_size=5, max_size=5
+)
+# several waves of several sub-batches each
+sub_batches = st.lists(heap_runs, min_size=1, max_size=6)
+waves = st.lists(sub_batches, min_size=1, max_size=4)
+
+
+def _positions(segments) -> list[tuple[int, int]]:
+    return [
+        (priority, position)
+        for priority, lo, hi in segments
+        for position in range(lo, hi + 1)
+    ]
+
+
+@given(waves)
+def test_decomposition_partitions_the_anchor_assignment(waves):
+    state = HeapAnchorState(4)
+    stored: dict[int, int] = {p: 0 for p in range(4)}  # reference sizes
+    for subs in waves:
+        combined: list[int] = []
+        for runs in subs:
+            combine_runs(combined, runs)
+        value_before = state.counter
+        assigns = state.assign(combined)
+        (_rem_value, segments), *ins_assigns = assigns
+
+        # the anchor serves min(removes, stored) removals, lowest class
+        # first, and never reuses a position
+        removes = combined[0]
+        served = _positions(segments)
+        assert len(served) == min(removes, sum(stored.values()))
+        assert served == sorted(served)  # ascending (priority, position)
+        drained = dict(stored)
+        for priority, _pos in served:
+            assert all(drained[q] == 0 for q in range(priority)), (
+                "a higher class served while a lower one held elements"
+            )
+            drained[priority] -= 1
+            assert drained[priority] >= 0
+
+        # value ranks cover exactly the combined batch, run by run
+        assert state.counter - value_before == sum(combined)
+
+        # the decomposer hands every sub-batch its exact share
+        decomposer = HeapDecomposer(assigns)
+        all_served: list[tuple[int, int]] = []
+        value_ranks: list[int] = []
+        for runs in subs:
+            share = decomposer.take(runs)
+            if not runs:
+                assert share == ()
+                continue
+            (share_value, share_segments), *share_ins = share
+            share_positions = _positions(share_segments)
+            assert len(share_positions) <= runs[0]
+            all_served.extend(share_positions)
+            value_ranks.extend(range(share_value, share_value + runs[0]))
+            for priority, (lo, hi, value) in enumerate(share_ins):
+                count = runs[priority + 1]
+                assert hi - lo + 1 == count
+                value_ranks.extend(range(value, value + count))
+
+        # shares partition the wave: same positions, same order, and the
+        # value ranks tile [value_before, state.counter) with no overlap
+        assert all_served == served
+        assert sorted(value_ranks) == list(
+            range(value_before, state.counter)
+        )
+
+        for priority in range(4):
+            stored[priority] = drained[priority] + combined[priority + 1]
+        assert {
+            p: state.class_size(p) for p in range(4)
+        } == stored
+
+
+@given(sub_batches)
+def test_share_segments_respect_class_order(subs):
+    state = HeapAnchorState(4)
+    state.assign([0, 5, 5, 5, 5])  # preload every class
+    combined: list[int] = []
+    for runs in subs:
+        combine_runs(combined, runs)
+    decomposer = HeapDecomposer(state.assign(combined))
+    previous_end: tuple[int, int] | None = None
+    for runs in subs:
+        share = decomposer.take(runs)
+        if not runs:
+            continue
+        positions = _positions(share[0][1])
+        assert positions == sorted(positions)
+        if positions:
+            if previous_end is not None:
+                # consecutive shares consume the remove run in order
+                assert positions[0] > previous_end
+            previous_end = positions[-1]
+
+
+@given(heap_runs)
+def test_single_share_reproduces_the_whole_assignment(runs):
+    state = HeapAnchorState(4)
+    state.assign([0, 3, 0, 2, 1])
+    assigns = state.assign(list(runs))
+    share = HeapDecomposer(assigns).take(runs)
+    assert share == tuple(assigns)
