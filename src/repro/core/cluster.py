@@ -235,6 +235,36 @@ class SkueueCluster:
         return rec.result[1]  # unwrap the (req_id, item) element tag
 
     # -- membership (Section IV) ------------------------------------------------------
+    def can_join(self, pid: int) -> bool:
+        """Would :meth:`join` accept ``pid`` right now?
+
+        The deterministic guard scripted churn (the schedule fuzzer's
+        churn scripts, ``tests/conftest.drive_random``) uses to skip
+        impossible events instead of racing an exception.
+        """
+        return (
+            pid not in self.live_pids
+            and pid not in self.joining_pids
+            and vid_of(pid, MIDDLE) not in self.runtime.actors
+        )
+
+    def can_leave(self, pid: int, margin: int = 1) -> bool:
+        """Would :meth:`leave` accept ``pid``, keeping ``margin`` extra
+        live processes beyond the facade's own refuse-to-empty floor?"""
+        return (
+            pid in self.live_pids
+            and pid not in self.leaving_pids
+            and len(self.live_pids) - len(self.leaving_pids) > 1 + margin
+        )
+
+    def can_submit(self, pid: int) -> bool:
+        """Would :meth:`submit` accept an operation at ``pid`` right now?
+        (Not leaving, and its middle virtual node is locally present.)"""
+        return (
+            pid not in self.leaving_pids
+            and vid_of(pid, MIDDLE) in self.runtime.actors
+        )
+
     def join(self, new_pid: int | None = None, via_pid: int | None = None) -> int:
         """A new process joins via an existing one; returns its pid."""
         if new_pid is None:

@@ -176,13 +176,29 @@ class MembershipMixin:
         self.pending_joins += 1
         self.wake_me()
 
+    def _drain_pre_grant_buffer(self) -> None:
+        """Replay messages buffered while no responsible node was known.
+
+        Re-entering :meth:`handle` routes them through whatever path the
+        node's *current* state selects: via the responsible node right
+        after the first grant, or the ordinary cycle/De Bruijn walk once
+        the node is integrated.
+        """
+        if self.pre_grant_buffer:
+            buffered, self.pre_grant_buffer = self.pre_grant_buffer, []
+            for action, buffered_payload in buffered:
+                self.handle(action, buffered_payload)
+
     def _on_join_grant(self, payload: tuple) -> None:
         resp_vid, end_label, items, parked = payload
         if not self.joining:
-            # a duplicate grant (re-routed JOIN raced the original) landing
-            # after integration: the data slice still belongs to us, but
-            # the relay registration must not be resurrected
+            # a grant landing after integration — a re-routed duplicate,
+            # or the original grant straggling behind the splice (the
+            # asynchronous model bounds no delay): the data slice still
+            # belongs to us, but the relay registration must not be
+            # resurrected.  Anything still buffered routes normally now.
             self._absorb_state(items, parked)
+            self._drain_pre_grant_buffer()
             return
         first_grant = self.resp_vid is None
         if first_grant:
@@ -192,10 +208,8 @@ class MembershipMixin:
                 self.relay_parent = resp_vid
                 self.wake_me()
         self._absorb_state(items, parked)
-        if first_grant and self.pre_grant_buffer:
-            buffered, self.pre_grant_buffer = self.pre_grant_buffer, []
-            for action, buffered_payload in buffered:
-                self.handle(action, buffered_payload)
+        if first_grant:
+            self._drain_pre_grant_buffer()
 
     def _on_slice_req(self, payload: tuple) -> None:
         new_vid, new_label, end_label = payload
@@ -634,6 +648,10 @@ class MembershipMixin:
         if requeue and self.inflight:
             self._requeue_inflight()
         if was_joining:
+            # routed messages buffered while ungranted must not outlive
+            # the join: if the grant lost the race against the splice
+            # (async delays are unbounded), this is their last exit
+            self._drain_pre_grant_buffer()
             self.wake_me()
 
     def _requeue_inflight(self) -> None:

@@ -35,7 +35,8 @@ def default_rounds() -> int:
 
 
 def figure2(
-    sizes=None, probabilities=PROBABILITIES, rounds=None, rate=10, seed=0
+    sizes=None, probabilities=PROBABILITIES, rounds=None, rate=10, seed=0,
+    max_drain_rounds=600_000,
 ) -> list[dict]:
     """Figure 2: avg rounds/request on the queue, n sweep × enqueue prob."""
     sizes = sizes or default_sizes()
@@ -44,7 +45,8 @@ def figure2(
     for n in sizes:
         for p in probabilities:
             workload = FixedRateWorkload(n, p, requests_per_round=rate, seed=seed)
-            result = run_experiment(workload, n, rounds, stack=False, seed=seed)
+            result = run_experiment(workload, n, rounds, stack=False, seed=seed,
+                                    max_drain_rounds=max_drain_rounds)
             row = result.row()
             row["figure"] = "fig2"
             out.append(row)
@@ -52,7 +54,8 @@ def figure2(
 
 
 def figure3(
-    sizes=None, probabilities=PROBABILITIES, rounds=None, rate=10, seed=0
+    sizes=None, probabilities=PROBABILITIES, rounds=None, rate=10, seed=0,
+    max_drain_rounds=600_000,
 ) -> list[dict]:
     """Figure 3: avg rounds/request on the stack, n sweep × push prob."""
     sizes = sizes or default_sizes()
@@ -61,7 +64,8 @@ def figure3(
     for n in sizes:
         for p in probabilities:
             workload = FixedRateWorkload(n, p, requests_per_round=rate, seed=seed)
-            result = run_experiment(workload, n, rounds, stack=True, seed=seed)
+            result = run_experiment(workload, n, rounds, stack=True, seed=seed,
+                                    max_drain_rounds=max_drain_rounds)
             row = result.row()
             row["figure"] = "fig3"
             out.append(row)

@@ -72,6 +72,9 @@ class NetRuntime:
         self.round_seconds = round_seconds
         self.timeout_lag = timeout_lag
         self.sweep_seconds = sweep_seconds
+        # contract attribute; never consulted — wall-clock scheduling
+        # over real sockets cannot be recorded or replayed
+        self.schedule_hint = None
         self.actors: dict[int, object] = {}
         self._timeout_pending: set[int] = set()
         self._forwards: dict[int, int] = {}

@@ -53,6 +53,8 @@ class AsyncRunner:
         # periodic whole-system TIMEOUT sweep (see SyncRunner.safety_tick)
         self.safety_tick = safety_tick
         self.time = 0.0
+        #: optional scheduling override (see repro.sim.process.ScheduleHint)
+        self.schedule_hint = None
         self.actors: dict[int, Actor] = {}
         self._heap: list[tuple[float, int, int, int, int, tuple]] = []
         self._seq = itertools.count()
@@ -67,7 +69,12 @@ class AsyncRunner:
         return self.time
 
     def send(self, dest: int, action: int, payload: tuple) -> None:
-        delay = self.delay_policy(0, dest, self._delay_rng)
+        if self.schedule_hint is not None:
+            delay = self.schedule_hint.delay(
+                0, dest, self._delay_rng, self.delay_policy
+            )
+        else:
+            delay = self.delay_policy(0, dest, self._delay_rng)
         if delay <= 0:
             raise ValueError("message delays must be strictly positive")
         heapq.heappush(

@@ -29,7 +29,40 @@ from typing import TYPE_CHECKING, Iterable, Mapping, Protocol, runtime_checkable
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.metrics import Metrics
 
-__all__ = ["Actor", "Runtime", "bounce_forwarded_batch"]
+__all__ = ["Actor", "Runtime", "ScheduleHint", "bounce_forwarded_batch"]
+
+
+@runtime_checkable
+class ScheduleHint(Protocol):
+    """Override of an engine's nondeterministic scheduling choices.
+
+    Engines consult ``runtime.schedule_hint`` (``None`` by default) at
+    every point where they would otherwise draw from their seeded RNG:
+
+    * the :class:`~repro.sim.sync_runner.SyncRunner` asks
+      :meth:`deliveries` for the delivery order of each round's inbox
+      instead of shuffling it;
+    * the :class:`~repro.sim.async_runner.AsyncRunner` asks
+      :meth:`delay` for every message delay instead of sampling the
+      delay policy (its event-heap tiebreak — the monotone sequence
+      counter — is already deterministic, so delays are the engine's
+      only source of nondeterminism).
+
+    The two implementations in :mod:`repro.testing.schedule` make a run
+    reproducible *independently of RNG state*: a ``ScheduleRecorder``
+    draws exactly as the engine would and writes the choices down, a
+    ``ScheduleReplayer`` plays a recorded trace back bit-identically.
+    The TCP runtime accepts the attribute for contract uniformity but
+    never consults it (wall-clock scheduling cannot be replayed).
+    """
+
+    def deliveries(self, round_no: int, inbox: list, rng) -> list:
+        """Delivery order for one synchronous round's inbox."""
+        ...
+
+    def delay(self, src: int, dest: int, rng, policy) -> float:
+        """Delay for the next asynchronous message send."""
+        ...
 
 
 def bounce_forwarded_batch(runtime: "Runtime", action: int, payload: tuple) -> bool:
@@ -79,6 +112,10 @@ class Runtime(Protocol):
     """
 
     metrics: "Metrics"
+
+    #: Optional scheduling override (trace recording/replay); engines
+    #: with no RNG-driven choices may simply keep it ``None``.
+    schedule_hint: "ScheduleHint | None"
 
     @property
     def now(self) -> float:

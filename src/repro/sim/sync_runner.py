@@ -54,6 +54,8 @@ class SyncRunner:
         # readiness conditions that depend on *other* actors' state
         self.safety_tick = safety_tick
         self.round = 0
+        #: optional scheduling override (see repro.sim.process.ScheduleHint)
+        self.schedule_hint = None
         self.actors: dict[int, Actor] = {}
         self._inbox_next: list[tuple[int, int, tuple]] = []
         self._timeout_now: set[int] = set()
@@ -107,7 +109,12 @@ class SyncRunner:
         self.round += 1
         inbox, self._inbox_next = self._inbox_next, []
         if self.shuffle_delivery and len(inbox) > 1:
-            self._delivery_rng.shuffle(inbox)
+            if self.schedule_hint is not None:
+                inbox = self.schedule_hint.deliveries(
+                    self.round, inbox, self._delivery_rng
+                )
+            else:
+                self._delivery_rng.shuffle(inbox)
         actors = self.actors
         resolve_needed = bool(self._forwards)
         for dest, action, payload in inbox:
@@ -128,7 +135,11 @@ class SyncRunner:
             self._timeout_now.add(actor_id)
         if self.safety_tick and self.round % self.safety_tick == 0:
             self._timeout_now.update(actors.keys())
-        todo, self._timeout_now = self._timeout_now, set()
+        # sorted: int-set iteration order is an implementation detail of
+        # the running interpreter, and TIMEOUT order decides how waves
+        # batch — canonicalise it so a seeded run (and a recorded
+        # schedule trace) reproduces bit-identically on every Python
+        todo, self._timeout_now = sorted(self._timeout_now), set()
         for actor_id in todo:
             actor = actors.get(actor_id)
             if actor is not None:

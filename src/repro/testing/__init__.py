@@ -1,0 +1,44 @@
+"""Deterministic simulation testing: scenarios, schedules, shrinking.
+
+The paper's sequential-consistency claim is quantified over *every*
+asynchronous schedule; the hand-written suite exercises a few dozen.
+This package manufactures adversarial executions on demand and hands
+back minimal reproducers when one fails:
+
+* :class:`~repro.testing.scenario.Scenario` — one fully explicit test
+  case (structure × runner × processes × delay policy × op script ×
+  churn script × client aborts) expanded deterministically from a
+  64-bit seed;
+* :mod:`~repro.testing.schedule` — ``ScheduleRecorder`` /
+  ``ScheduleReplayer`` hooking the engines' ``schedule_hint`` so any
+  recorded run replays bit-identically;
+* :mod:`~repro.testing.shrink` — greedy delta debugging over the op and
+  churn scripts of a failing scenario;
+* :mod:`~repro.testing.traces` — the JSON failure-trace artifact
+  (scenario + schedule + violation + history digest) and its replayer;
+* :mod:`~repro.testing.fuzz` — the ``skueue-fuzz`` CLI: sweep seeds,
+  shrink failures, write artifacts under ``fuzz-failures/``.
+"""
+
+from repro.testing.scenario import Scenario, ScenarioResult, run_scenario
+from repro.testing.schedule import (
+    ScheduleRecorder,
+    ScheduleReplayer,
+    ScheduleTrace,
+)
+from repro.testing.shrink import shrink_scenario
+from repro.testing.traces import FailureTrace, load_trace, replay_trace, save_trace
+
+__all__ = [
+    "FailureTrace",
+    "Scenario",
+    "ScenarioResult",
+    "ScheduleRecorder",
+    "ScheduleReplayer",
+    "ScheduleTrace",
+    "load_trace",
+    "replay_trace",
+    "run_scenario",
+    "save_trace",
+    "shrink_scenario",
+]

@@ -1,0 +1,236 @@
+"""``skueue-fuzz``: sweep seeds, shrink failures, write artifacts.
+
+Each seed expands to one :class:`~repro.testing.scenario.Scenario` per
+selected (structure, runner) combination and is executed end to end.  A
+failing seed is delta-debugged down to a minimal reproducer, re-run
+under a schedule recorder, and written as a JSON
+:class:`~repro.testing.traces.FailureTrace` under ``--out``
+(``fuzz-failures/`` by default) — CI uploads that directory as the
+artifact of a failed fuzz job; ``skueue-fuzz replay <artifact>``
+reproduces one locally (see docs/TESTING.md).
+
+Seeds are independent, so the sweep parallelises over OS processes with
+``--workers N`` (stdlib ``multiprocessing``; 1 = in-process, which is
+what a deliberately-broken-checkout test uses so monkeypatches apply).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.testing.scenario import RUNNERS, STRUCTURES, Scenario, run_scenario
+from repro.testing.shrink import shrink_scenario
+from repro.testing.traces import load_trace, record_failure, replay_trace, save_trace
+
+__all__ = ["FuzzOutcome", "fuzz_one", "fuzz_sweep", "main"]
+
+
+@dataclass
+class FuzzOutcome:
+    """What one (seed, structure, runner) cell produced."""
+
+    seed: int
+    structure: str
+    runner: str
+    failed: bool
+    clause: str | None = None
+    kind: str | None = None
+    trace_path: str | None = None
+    shrunk_ops: int | None = None
+    #: failure matches a documented open finding (see known_signatures)
+    known: bool = False
+
+
+def known_signatures(known_dir: str | Path) -> set[tuple[str, str]]:
+    """``(kind, clause)`` signatures of documented open findings.
+
+    Loaded from the traces under ``known_dir`` (normally
+    ``tests/traces/open/``).  Deliberately coarse: while a failure
+    *family* is open, every new seed that lands in it reproduces the
+    same kind/clause, and the sweep should triage it as known rather
+    than gate on it — families are tracked by their checked-in traces,
+    new families (different kind or clause) still fail the sweep.
+    """
+    signatures: set[tuple[str, str]] = set()
+    for path in sorted(Path(known_dir).glob("*.json")):
+        violation = load_trace(path).violation
+        signatures.add((violation.kind, violation.clause))
+    return signatures
+
+
+def fuzz_one(
+    seed: int,
+    structure: str,
+    runner: str,
+    out_dir: str | Path | None = "fuzz-failures",
+    shrink: bool = True,
+    max_probes: int = 400,
+) -> FuzzOutcome:
+    """Run one cell; on failure shrink, record, and write the artifact."""
+    scenario = Scenario.from_seed(seed, structure=structure, runner=runner)
+    result = run_scenario(scenario)
+    if not result.failed:
+        return FuzzOutcome(seed, scenario.structure, scenario.runner, False)
+    if shrink:
+        shrunk = shrink_scenario(
+            scenario, result.violation, max_probes=max_probes
+        )
+        minimal, clause = shrunk.scenario, shrunk.violation.clause
+    else:
+        minimal, clause = scenario, result.violation.clause
+    trace, _ = record_failure(minimal)
+    trace_path = None
+    if out_dir is not None:
+        name = f"trace-{trace.scenario.structure}-{trace.scenario.runner}-{seed}.json"
+        trace_path = str(save_trace(trace, Path(out_dir) / name))
+    return FuzzOutcome(
+        seed,
+        scenario.structure,
+        scenario.runner,
+        True,
+        clause=clause,
+        kind=trace.violation.kind,
+        trace_path=trace_path,
+        shrunk_ops=len(minimal.ops),
+    )
+
+
+def _cell(args: tuple) -> FuzzOutcome:
+    return fuzz_one(*args)
+
+
+def fuzz_sweep(
+    seeds,
+    structures,
+    runners,
+    out_dir: str | Path | None = "fuzz-failures",
+    shrink: bool = True,
+    workers: int = 1,
+    progress=None,
+) -> list[FuzzOutcome]:
+    """Run the full sweep; returns one outcome per executed cell."""
+    cells = [
+        (seed, structure, runner, out_dir, shrink)
+        for seed in seeds
+        for structure in structures
+        for runner in runners
+    ]
+    outcomes: list[FuzzOutcome] = []
+    if workers <= 1:
+        for cell in cells:
+            outcomes.append(_cell(cell))
+            if progress:
+                progress(outcomes[-1])
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for outcome in pool.map(_cell, cells, chunksize=4):
+                outcomes.append(outcome)
+                if progress:
+                    progress(outcome)
+    return outcomes
+
+
+def _parse_axis(value: str, valid: tuple, name: str) -> tuple:
+    if value == "all":
+        return valid
+    if value not in valid:
+        raise SystemExit(
+            f"unknown {name} {value!r} (expected one of {', '.join(valid)}, or 'all')"
+        )
+    return (value,)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="skueue-fuzz",
+        description="deterministic schedule fuzzer for the Skueue protocols",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="sweep seeds (the default command)")
+    run_p.add_argument("--seeds", type=int, default=100,
+                       help="number of seeds to sweep (default 100)")
+    run_p.add_argument("--start-seed", type=int, default=0,
+                       help="first seed of the sweep (default 0)")
+    run_p.add_argument("--structure", default="all",
+                       help="queue | stack | heap | all (default all)")
+    run_p.add_argument("--runner", default="all",
+                       help="sync | async | all (default all)")
+    run_p.add_argument("--out", default="fuzz-failures",
+                       help="artifact directory (default fuzz-failures/)")
+    run_p.add_argument("--workers", type=int, default=1,
+                       help="parallel worker processes (default 1)")
+    run_p.add_argument("--no-shrink", action="store_true",
+                       help="write unshrunk failing scenarios")
+    run_p.add_argument("--known-dir", default=None,
+                       help="directory of documented open-finding traces "
+                            "(e.g. tests/traces/open/): failures matching "
+                            "their (kind, clause) signatures are reported "
+                            "but do not fail the sweep")
+
+    replay_p = sub.add_parser("replay", help="replay a failure-trace artifact")
+    replay_p.add_argument("trace", help="path to a trace-*.json artifact")
+
+    # bare `skueue-fuzz --seeds N ...` means `run`: options live on the
+    # subparser only, so they cannot be registered (and then silently
+    # re-defaulted) twice
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] not in ("run", "replay", "-h", "--help"):
+        argv.insert(0, "run")
+    args = parser.parse_args(argv)
+
+    if args.command == "replay":
+        trace = load_trace(args.trace)
+        report = replay_trace(trace)
+        print(json.dumps({
+            "reproduced": report.reproduced,
+            "violation": trace.violation.to_json(),
+            "detail": report.explain(),
+        }, indent=1))
+        return 0 if report.reproduced else 1
+
+    structures = _parse_axis(args.structure, STRUCTURES, "structure")
+    runners = _parse_axis(args.runner, RUNNERS, "runner")
+    seeds = range(args.start_seed, args.start_seed + args.seeds)
+    known = known_signatures(args.known_dir) if args.known_dir else set()
+
+    def progress(outcome: FuzzOutcome) -> None:
+        if outcome.failed:
+            if (outcome.kind, outcome.clause) in known:
+                outcome.known = True
+            tag = "KNOWN" if outcome.known else "FAIL"
+            print(
+                f"{tag} seed={outcome.seed} {outcome.structure}/{outcome.runner} "
+                f"clause={outcome.clause} shrunk_to={outcome.shrunk_ops} ops "
+                f"-> {outcome.trace_path}",
+                flush=True,
+            )
+
+    outcomes = fuzz_sweep(
+        seeds,
+        structures,
+        runners,
+        out_dir=args.out,
+        shrink=not args.no_shrink,
+        workers=args.workers,
+        progress=progress,
+    )
+    new = [o for o in outcomes if o.failed and not o.known]
+    known_hits = [o for o in outcomes if o.failed and o.known]
+    print(
+        f"skueue-fuzz: {len(outcomes)} scenarios "
+        f"({len(seeds)} seeds x {len(structures)} structures x "
+        f"{len(runners)} runners), {len(new)} failing"
+        + (f", {len(known_hits)} known-open" if known_hits else ""),
+        flush=True,
+    )
+    return 1 if new else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI
+    sys.exit(main())

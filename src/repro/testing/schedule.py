@@ -1,0 +1,118 @@
+"""Recording and replaying engine schedules (the ``schedule_hint`` hooks).
+
+Both simulators are deterministic *given their seed*, but that
+determinism is fragile: it couples a run to the exact RNG consumption
+pattern of the code that produced it, so a refactor that draws one extra
+random number silently changes every historical schedule.  The recorder
+/replayer pair decouples reproduction from RNG state by writing down the
+engine's actual choices:
+
+* **sync** — the delivery permutation of every shuffled round (the only
+  nondeterminism of :class:`~repro.sim.sync_runner.SyncRunner`);
+* **async** — the delay of every message send, in send order (the
+  event-heap tiebreak of :class:`~repro.sim.async_runner.AsyncRunner`
+  is a monotone counter and therefore already deterministic).
+
+A :class:`ScheduleRecorder` behaves *identically* to the engine's
+un-hooked path — it draws from the same RNG stream in the same order —
+so recording is non-invasive: a recorded run equals the plain run.  A
+:class:`ScheduleReplayer` replays the trace bit-identically and falls
+back to the live RNG once the trace is exhausted (which happens only
+when the replayed scenario diverges from the recorded one, e.g. while
+the shrinker probes mutations).
+"""
+
+from __future__ import annotations
+
+__all__ = ["ScheduleRecorder", "ScheduleReplayer", "ScheduleTrace"]
+
+
+class ScheduleTrace:
+    """The recorded nondeterminism of one simulated run, JSON-portable."""
+
+    __slots__ = ("sync_orders", "async_delays")
+
+    def __init__(
+        self,
+        sync_orders: dict[int, list[int]] | None = None,
+        async_delays: list[float] | None = None,
+    ) -> None:
+        #: round number -> delivery permutation (indices into the inbox)
+        self.sync_orders: dict[int, list[int]] = sync_orders or {}
+        #: per-send message delays, in send order
+        self.async_delays: list[float] = async_delays or []
+
+    def __len__(self) -> int:
+        return len(self.sync_orders) + len(self.async_delays)
+
+    def to_json(self) -> dict:
+        return {
+            # JSON object keys are strings; round numbers round-trip below
+            "sync_orders": {str(r): p for r, p in self.sync_orders.items()},
+            "async_delays": list(self.async_delays),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ScheduleTrace":
+        return cls(
+            sync_orders={
+                int(r): list(p) for r, p in data.get("sync_orders", {}).items()
+            },
+            async_delays=list(data.get("async_delays", [])),
+        )
+
+
+class ScheduleRecorder:
+    """``schedule_hint`` that makes the engine's own choices and writes
+    them down.  Draws from the engine RNG exactly as the un-hooked code
+    path would, so attaching a recorder never changes the run."""
+
+    def __init__(self) -> None:
+        self.trace = ScheduleTrace()
+
+    # -- sync ----------------------------------------------------------------
+    def deliveries(self, round_no: int, inbox: list, rng) -> list:
+        order = list(range(len(inbox)))
+        rng.shuffle(order)
+        self.trace.sync_orders[round_no] = list(order)
+        return [inbox[i] for i in order]
+
+    # -- async ---------------------------------------------------------------
+    def delay(self, src: int, dest: int, rng, policy) -> float:
+        value = policy(src, dest, rng)
+        self.trace.async_delays.append(value)
+        return value
+
+
+class ScheduleReplayer:
+    """``schedule_hint`` that plays a :class:`ScheduleTrace` back.
+
+    ``exhausted`` counts decisions requested beyond the trace — zero
+    after a faithful replay; nonzero means the scenario diverged from
+    the recorded one (the replayer then falls back to the live RNG so
+    the run still finishes deterministically).
+    """
+
+    def __init__(self, trace: ScheduleTrace) -> None:
+        self.trace = trace
+        self._delay_cursor = 0
+        self.exhausted = 0
+
+    # -- sync ----------------------------------------------------------------
+    def deliveries(self, round_no: int, inbox: list, rng) -> list:
+        order = self.trace.sync_orders.get(round_no)
+        if order is None or len(order) != len(inbox):
+            self.exhausted += 1
+            order = list(range(len(inbox)))
+            rng.shuffle(order)
+        return [inbox[i] for i in order]
+
+    # -- async ---------------------------------------------------------------
+    def delay(self, src: int, dest: int, rng, policy) -> float:
+        delays = self.trace.async_delays
+        if self._delay_cursor < len(delays):
+            value = delays[self._delay_cursor]
+            self._delay_cursor += 1
+            return value
+        self.exhausted += 1
+        return policy(src, dest, rng)

@@ -1,0 +1,130 @@
+"""Greedy delta debugging over failing scenarios.
+
+Given a scenario whose execution the checker rejects, find a (locally)
+minimal one that still fails.  Classic ddmin over the *op script* —
+remove chunks at halving granularity, keep any reduction that preserves
+the failure — followed by greedy single-event passes over the churn
+script and the abort faults, iterated to a fixed point.
+
+"Preserves the failure" defaults to
+:meth:`~repro.verify.violations.Violation.same_failure` (same kind +
+clause), which keeps the shrinker from wandering onto an unrelated bug
+mid-shrink; pass ``same_failure=False`` to accept any violation.
+
+Every probe is a fresh deterministic run of the mutated scenario (same
+seed, engine re-seeded), so the search itself is reproducible; the cost
+is one simulation per probe, bounded by ``max_probes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.testing.scenario import Scenario, ScenarioResult, run_scenario
+from repro.verify.violations import Violation
+
+__all__ = ["ShrinkResult", "shrink_scenario"]
+
+
+@dataclass
+class ShrinkResult:
+    """The minimal scenario found, plus how the search went."""
+
+    scenario: Scenario
+    violation: Violation
+    probes: int
+    initial_ops: int
+    #: True when the probe budget ran out before reaching a fixed point
+    truncated: bool = False
+
+
+def shrink_scenario(
+    scenario: Scenario,
+    violation: Violation | None = None,
+    same_failure: bool = True,
+    max_probes: int = 400,
+) -> ShrinkResult:
+    """Minimise ``scenario``'s op/churn/abort scripts while it still fails.
+
+    ``violation`` is the failure observed on the unshrunk scenario; when
+    omitted the scenario is run once first (and must fail).
+    """
+    if violation is None:
+        first = run_scenario(scenario)
+        if not first.failed:
+            raise ValueError("scenario does not fail; nothing to shrink")
+        violation = first.violation
+
+    probes = 0
+    truncated = False
+
+    def still_fails(candidate: Scenario) -> ScenarioResult | None:
+        nonlocal probes
+        probes += 1
+        result = run_scenario(candidate)
+        if not result.failed:
+            return None
+        if same_failure and not violation.same_failure(result.violation):
+            return None
+        return result
+
+    current = scenario
+    current_violation = violation
+    changed = True
+    while changed and not truncated:
+        changed = False
+
+        # -- ddmin over the op script ------------------------------------
+        ops = list(current.ops)
+        chunk = max(1, len(ops) // 2)
+        while chunk >= 1:
+            index = 0
+            while index < len(ops):
+                if probes >= max_probes:
+                    truncated = True
+                    break
+                candidate_ops = ops[:index] + ops[index + chunk:]
+                result = still_fails(
+                    current.with_(ops=tuple(candidate_ops))
+                )
+                if result is not None:
+                    ops = candidate_ops
+                    current = result.scenario
+                    current_violation = result.violation
+                    changed = True
+                    # do not advance: the chunk now at `index` is new
+                else:
+                    index += chunk
+            if truncated:
+                break
+            chunk //= 2
+
+        # -- greedy removal of churn events and aborts -------------------
+        for attr in ("churn", "aborts"):
+            events = list(getattr(current, attr))
+            index = 0
+            while index < len(events):
+                if probes >= max_probes:
+                    truncated = True
+                    break
+                candidate = current.with_(
+                    **{attr: tuple(events[:index] + events[index + 1:])}
+                )
+                result = still_fails(candidate)
+                if result is not None:
+                    events.pop(index)
+                    current = result.scenario
+                    current_violation = result.violation
+                    changed = True
+                else:
+                    index += 1
+            if truncated:
+                break
+
+    return ShrinkResult(
+        scenario=current,
+        violation=current_violation,
+        probes=probes,
+        initial_ops=len(scenario.ops),
+        truncated=truncated,
+    )

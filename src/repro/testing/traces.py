@@ -1,0 +1,158 @@
+"""Failure-trace artifacts: record, save, load, replay.
+
+A :class:`FailureTrace` is everything needed to reproduce one fuzz
+failure bit-identically, as a single JSON file:
+
+* the (usually shrunk) :class:`~repro.testing.scenario.Scenario`,
+* the :class:`~repro.testing.schedule.ScheduleTrace` recorded while the
+  failure was (re)produced,
+* the structured :class:`~repro.verify.violations.Violation`,
+* the canonical serialised history and its SHA-256 digest.
+
+:func:`replay_trace` re-runs the scenario under a
+:class:`~repro.testing.schedule.ScheduleReplayer` and reports whether
+the execution reproduced the recorded history byte-for-byte and failed
+with the same violation — the regression-corpus check under
+``tests/traces/``, and the first thing to run on a CI fuzz artifact
+(see docs/TESTING.md).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.testing.scenario import (
+    Scenario,
+    ScenarioResult,
+    history_digest,
+    run_scenario,
+    serialize_history,
+)
+from repro.testing.schedule import ScheduleRecorder, ScheduleReplayer, ScheduleTrace
+from repro.verify.violations import Violation
+
+__all__ = [
+    "FailureTrace",
+    "load_trace",
+    "record_failure",
+    "replay_trace",
+    "save_trace",
+]
+
+TRACE_FORMAT_VERSION = 1
+
+
+@dataclass
+class FailureTrace:
+    """One reproducible failure, ready to be shipped as an artifact."""
+
+    scenario: Scenario
+    schedule: ScheduleTrace
+    violation: Violation
+    history: list[list]
+    digest: str
+
+    def to_json(self) -> dict:
+        return {
+            "version": TRACE_FORMAT_VERSION,
+            "scenario": self.scenario.to_json(),
+            "schedule": self.schedule.to_json(),
+            "violation": self.violation.to_json(),
+            "history": self.history,
+            "digest": self.digest,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FailureTrace":
+        version = data.get("version")
+        if version != TRACE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {version!r} "
+                f"(this build reads {TRACE_FORMAT_VERSION})"
+            )
+        return cls(
+            scenario=Scenario.from_json(data["scenario"]),
+            schedule=ScheduleTrace.from_json(data["schedule"]),
+            violation=Violation.from_json(data["violation"]),
+            history=[list(row) for row in data["history"]],
+            digest=data["digest"],
+        )
+
+
+def record_failure(scenario: Scenario) -> tuple[FailureTrace, ScenarioResult]:
+    """Run a known-failing scenario under a recorder and package the trace.
+
+    Raises ``ValueError`` if the scenario unexpectedly passes (recording
+    is non-invasive, so this means the caller's scenario never failed).
+    """
+    recorder = ScheduleRecorder()
+    result = run_scenario(scenario, schedule_hint=recorder)
+    if not result.failed:
+        raise ValueError("scenario did not fail under recording")
+    trace = FailureTrace(
+        scenario=scenario,
+        schedule=recorder.trace,
+        violation=result.violation,
+        history=serialize_history(result.records),
+        digest=history_digest(result.records),
+    )
+    return trace, result
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of replaying a stored trace."""
+
+    reproduced: bool
+    same_history: bool
+    same_violation: bool
+    divergences: int
+    result: ScenarioResult
+
+    def explain(self) -> str:
+        if self.reproduced:
+            return "replay reproduced the recorded failure bit-identically"
+        parts = []
+        if not self.same_history:
+            parts.append("history diverged from the recording")
+        if not self.same_violation:
+            got = self.result.violation
+            parts.append(
+                "violation changed: got "
+                + (f"{got.kind}/{got.clause}" if got else "a passing run")
+            )
+        if self.divergences:
+            parts.append(f"{self.divergences} schedule decisions fell off-trace")
+        return "; ".join(parts)
+
+
+def replay_trace(trace: FailureTrace) -> ReplayReport:
+    """Re-run a stored trace; check history digest + violation match."""
+    replayer = ScheduleReplayer(trace.schedule)
+    result = run_scenario(trace.scenario, schedule_hint=replayer)
+    same_history = history_digest(result.records) == trace.digest
+    same_violation = trace.violation.same_failure(result.violation)
+    return ReplayReport(
+        reproduced=same_history and same_violation,
+        same_history=same_history,
+        same_violation=same_violation,
+        divergences=replayer.exhausted,
+        result=result,
+    )
+
+
+# -- file IO -----------------------------------------------------------------
+
+
+def save_trace(trace: FailureTrace, path: str | Path) -> Path:
+    """Write the artifact (creating parent directories); returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trace.to_json(), indent=1, sort_keys=True))
+    return path
+
+
+def load_trace(path: str | Path) -> FailureTrace:
+    return FailureTrace.from_json(json.loads(Path(path).read_text()))

@@ -8,9 +8,12 @@ from repro.verify.seqcons import (
     order_key,
 )
 from repro.verify.search import exists_valid_order
+from repro.verify.violations import Violation, capture_violation
 
 __all__ = [
     "ConsistencyViolation",
+    "Violation",
+    "capture_violation",
     "check_heap_history",
     "check_queue_history",
     "check_stack_history",

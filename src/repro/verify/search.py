@@ -27,9 +27,19 @@ __all__ = ["exists_valid_order"]
 def exists_valid_order(
     records: list[OpRecord], discipline: str = "fifo", max_nodes: int = 2_000_000
 ) -> bool:
-    """Is there a total order satisfying Definition 1 for this history?"""
-    if discipline not in ("fifo", "lifo"):
-        raise ValueError("discipline must be 'fifo' or 'lifo'")
+    """Is there a total order satisfying Definition 1 for this history?
+
+    ``discipline`` selects the reference structure replayed at every
+    step: ``"fifo"`` (queue), ``"lifo"`` (stack), or ``"heap"`` — the
+    Skeap constant-priority queue, modelled as one reference FIFO per
+    priority class (a removal must return the oldest element of the
+    lowest non-empty class; ``record.priority`` supplies each INSERT's
+    class).  Used to cross-validate fuzz failures model-independently:
+    a history the witness checker rejects should admit *no* valid order
+    under the matching discipline.
+    """
+    if discipline not in ("fifo", "lifo", "heap"):
+        raise ValueError("discipline must be 'fifo', 'lifo', or 'heap'")
     by_pid: dict[int, list[OpRecord]] = {}
     for rec in records:
         by_pid.setdefault(rec.pid, []).append(rec)
@@ -60,7 +70,10 @@ def exists_valid_order(
                 continue
             rec = lane[at]
             if rec.kind == INSERT:
-                new_structure = structure + (rec.element,)
+                if discipline == "heap":
+                    new_structure = structure + ((rec.priority, rec.element),)
+                else:
+                    new_structure = structure + (rec.element,)
             else:
                 if rec.result is BOTTOM:
                     if structure:
@@ -73,10 +86,21 @@ def exists_valid_order(
                         if structure[0] != rec.result:
                             continue
                         new_structure = structure[1:]
-                    else:
+                    elif discipline == "lifo":
                         if structure[-1] != rec.result:
                             continue
                         new_structure = structure[:-1]
+                    else:  # heap: oldest element of the lowest class
+                        lowest = min(entry[0] for entry in structure)
+                        at_min = next(
+                            i for i, entry in enumerate(structure)
+                            if entry[0] == lowest
+                        )
+                        if structure[at_min][1] != rec.result:
+                            continue
+                        new_structure = (
+                            structure[:at_min] + structure[at_min + 1:]
+                        )
             cursor[lane_index] += 1
             if step(cursor, new_structure, done + 1):
                 return True

@@ -37,6 +37,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.core.requests import BOTTOM, INSERT, REMOVE, OpRecord
+from repro.verify.violations import ConsistencyViolation, Violation
 
 __all__ = [
     "ConsistencyViolation",
@@ -47,8 +48,18 @@ __all__ = [
 ]
 
 
-class ConsistencyViolation(AssertionError):
-    """Raised when a history fails Definition 1; the message names the clause."""
+def _fail(clause: str, message: str, *records: OpRecord) -> None:
+    """Raise a :class:`ConsistencyViolation` carrying the structured
+    :class:`~repro.verify.violations.Violation` (kind/clause/req_ids)."""
+    raise ConsistencyViolation(
+        message,
+        Violation(
+            kind="consistency",
+            clause=clause,
+            message=message,
+            req_ids=tuple(rec.req_id for rec in records),
+        ),
+    )
 
 
 def order_key(records: list[OpRecord]) -> dict[int, tuple[int, int, int]]:
@@ -67,8 +78,10 @@ def order_key(records: list[OpRecord]) -> dict[int, tuple[int, int, int]]:
                 keys[rec.req_id] = (major, pid, minor)
             else:
                 if rec.value is None:
-                    raise ConsistencyViolation(
-                        f"{rec!r}: no value assigned (request incomplete?)"
+                    _fail(
+                        "no-value",
+                        f"{rec!r}: no value assigned (request incomplete?)",
+                        rec,
                     )
                 major = rec.value
                 minor = 0
@@ -79,27 +92,29 @@ def order_key(records: list[OpRecord]) -> dict[int, tuple[int, int, int]]:
 def _common_checks(records: list[OpRecord]) -> dict[int, tuple[int, int]]:
     for rec in records:
         if not rec.completed:
-            raise ConsistencyViolation(f"{rec!r}: never completed")
+            _fail("incomplete", f"{rec!r}: never completed", rec)
     # per-process indices must be contiguous from 0
     by_pid: dict[int, set[int]] = {}
     for rec in records:
         by_pid.setdefault(rec.pid, set()).add(rec.idx)
     for pid, idxs in by_pid.items():
         if idxs != set(range(len(idxs))):
-            raise ConsistencyViolation(f"process {pid}: operation indices have gaps")
+            _fail("index-gap", f"process {pid}: operation indices have gaps")
     keys = order_key(records)
     # global uniqueness of keys
     if len(set(keys.values())) != len(keys):
-        raise ConsistencyViolation("order keys are not unique")
+        _fail("duplicate-keys", "order keys are not unique")
     # property 4: program order per process
     last: dict[int, tuple[tuple[int, int], int]] = {}
     for rec in sorted(records, key=lambda r: (r.pid, r.idx)):
         key = keys[rec.req_id]
         prev = last.get(rec.pid)
         if prev is not None and key <= prev[0]:
-            raise ConsistencyViolation(
+            _fail(
+                "property 4",
                 f"property 4 violated at process {rec.pid}: "
-                f"op #{prev[1]} has key {prev[0]} but op #{rec.idx} has {key}"
+                f"op #{prev[1]} has key {prev[0]} but op #{rec.idx} has {key}",
+                rec,
             )
         last[rec.pid] = (key, rec.idx)
     return keys
@@ -114,21 +129,26 @@ def _check_matching(records: list[OpRecord], keys) -> None:
             enq_req_id, _item = rec.result
             enq = inserts.get(enq_req_id)
             if enq is None:
-                raise ConsistencyViolation(
-                    f"{rec!r} returned an element that was never inserted"
+                _fail(
+                    "unknown-element",
+                    f"{rec!r} returned an element that was never inserted",
+                    rec,
                 )
             matched.append((enq, rec))
     # an element is removed at most once
     seen: set[int] = set()
     for enq, rem in matched:
         if enq.req_id in seen:
-            raise ConsistencyViolation(f"{enq!r} was returned by two removals")
+            _fail("double-return", f"{enq!r} was returned by two removals", enq)
         seen.add(enq.req_id)
     # property 1: insert before its removal
     for enq, rem in matched:
         if not keys[enq.req_id] < keys[rem.req_id]:
-            raise ConsistencyViolation(
-                f"property 1 violated: {rem!r} precedes its insert {enq!r}"
+            _fail(
+                "property 1",
+                f"property 1 violated: {rem!r} precedes its insert {enq!r}",
+                enq,
+                rem,
             )
 
 
@@ -145,21 +165,27 @@ def check_queue_history(records: list[OpRecord]) -> None:
         else:
             if not fifo:
                 if rec.result is not BOTTOM:
-                    raise ConsistencyViolation(
+                    _fail(
+                        "property 2",
                         f"property 2 violated: {rec!r} returned "
-                        f"{rec.result!r} from an empty queue"
+                        f"{rec.result!r} from an empty queue",
+                        rec,
                     )
             else:
                 expected = fifo.popleft()
                 if rec.result is BOTTOM:
-                    raise ConsistencyViolation(
+                    _fail(
+                        "property 2",
                         f"property 2 violated: {rec!r} returned BOTTOM but "
-                        f"{expected!r} was in the queue"
+                        f"{expected!r} was in the queue",
+                        rec,
                     )
                 if rec.result != expected:
-                    raise ConsistencyViolation(
+                    _fail(
+                        "property 3",
                         f"property 3 violated (FIFO): {rec!r} returned "
-                        f"{rec.result!r}, expected {expected!r}"
+                        f"{rec.result!r}, expected {expected!r}",
+                        rec,
                     )
 
 
@@ -179,8 +205,10 @@ def check_heap_history(records: list[OpRecord]) -> None:
         if rec.kind == INSERT:
             priority = rec.priority
             if not isinstance(priority, int) or priority < 0:
-                raise ConsistencyViolation(
-                    f"{rec!r}: invalid priority {priority!r}"
+                _fail(
+                    "invalid-priority",
+                    f"{rec!r}: invalid priority {priority!r}",
+                    rec,
                 )
             priority_of[rec.req_id] = priority
     order = sorted(records, key=lambda r: keys[r.req_id])
@@ -192,29 +220,37 @@ def check_heap_history(records: list[OpRecord]) -> None:
             live = [p for p, fifo in classes.items() if fifo]
             if not live:
                 if rec.result is not BOTTOM:
-                    raise ConsistencyViolation(
+                    _fail(
+                        "property 2",
                         f"property 2 violated: {rec!r} returned "
-                        f"{rec.result!r} from an empty heap"
+                        f"{rec.result!r} from an empty heap",
+                        rec,
                     )
                 continue
             lowest = min(live)
             expected = classes[lowest].popleft()
             if rec.result is BOTTOM:
-                raise ConsistencyViolation(
+                _fail(
+                    "property 2",
                     f"property 2 violated: {rec!r} returned BOTTOM but "
-                    f"{expected!r} was stored at priority {lowest}"
+                    f"{expected!r} was stored at priority {lowest}",
+                    rec,
                 )
             if rec.result != expected:
                 got_priority = priority_of.get(rec.result[0])
                 if got_priority is not None and got_priority != lowest:
-                    raise ConsistencyViolation(
+                    _fail(
+                        "property 3",
                         f"property 3 violated (minimum priority): {rec!r} "
                         f"returned {rec.result!r} of class {got_priority} "
-                        f"while class {lowest} held {expected!r}"
+                        f"while class {lowest} held {expected!r}",
+                        rec,
                     )
-                raise ConsistencyViolation(
+                _fail(
+                    "property 3",
                     f"property 3 violated (FIFO within class {lowest}): "
-                    f"{rec!r} returned {rec.result!r}, expected {expected!r}"
+                    f"{rec!r} returned {rec.result!r}, expected {expected!r}",
+                    rec,
                 )
 
 
@@ -230,19 +266,25 @@ def check_stack_history(records: list[OpRecord]) -> None:
         else:
             if not lifo:
                 if rec.result is not BOTTOM:
-                    raise ConsistencyViolation(
+                    _fail(
+                        "property 2",
                         f"property 2 violated: {rec!r} returned "
-                        f"{rec.result!r} from an empty stack"
+                        f"{rec.result!r} from an empty stack",
+                        rec,
                     )
             else:
                 expected = lifo.pop()
                 if rec.result is BOTTOM:
-                    raise ConsistencyViolation(
+                    _fail(
+                        "property 2",
                         f"property 2 violated: {rec!r} returned BOTTOM but "
-                        f"{expected!r} was on the stack"
+                        f"{expected!r} was on the stack",
+                        rec,
                     )
                 if rec.result != expected:
-                    raise ConsistencyViolation(
+                    _fail(
+                        "property 3",
                         f"property 3 violated (LIFO): {rec!r} returned "
-                        f"{rec.result!r}, expected {expected!r}"
+                        f"{rec.result!r}, expected {expected!r}",
+                        rec,
                     )

@@ -1,0 +1,97 @@
+"""Machine-readable violation objects.
+
+The checkers in :mod:`repro.verify.seqcons` historically raised bare
+:class:`AssertionError` subclasses whose only payload was the message
+string.  The schedule fuzzer (:mod:`repro.testing`) needs to *compare*
+failures — "does the shrunk scenario still fail, and with the same
+clause?" — and to serialise them into trace artifacts, so every raise
+now carries a structured :class:`Violation`:
+
+* ``kind`` — the failure family: ``"consistency"`` (Definition 1
+  rejected the history), ``"liveness"`` (the run never settled within
+  its budget), or ``"crash"`` (the protocol raised);
+* ``clause`` — the specific rule: ``"property 1"`` .. ``"property 4"``
+  for Definition 1, or a checker-internal precondition such as
+  ``"incomplete"`` or ``"duplicate-keys"``;
+* ``req_ids`` — the records the checker named, for shrinking heuristics
+  and artifact readability.
+
+:class:`ConsistencyViolation` (still an ``AssertionError`` so existing
+``pytest.raises`` call sites keep working) exposes the structured object
+as its ``violation`` attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ConsistencyViolation", "Violation", "capture_violation"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One structured verdict about a failed execution."""
+
+    kind: str  # "consistency" | "liveness" | "crash"
+    clause: str  # e.g. "property 3", "incomplete", "stalled"
+    message: str
+    structure: str | None = None
+    req_ids: tuple[int, ...] = field(default_factory=tuple)
+
+    def same_failure(self, other: "Violation | None") -> bool:
+        """Same kind of failure (ignoring ids/wording) — the shrinker's
+        notion of "the bug is still there"."""
+        return (
+            other is not None
+            and self.kind == other.kind
+            and self.clause == other.clause
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "clause": self.clause,
+            "message": self.message,
+            "structure": self.structure,
+            "req_ids": list(self.req_ids),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Violation":
+        return cls(
+            kind=data["kind"],
+            clause=data["clause"],
+            message=data["message"],
+            structure=data.get("structure"),
+            req_ids=tuple(data.get("req_ids", ())),
+        )
+
+
+class ConsistencyViolation(AssertionError):
+    """Raised when a history fails Definition 1; the message names the
+    clause and ``violation`` carries the structured verdict."""
+
+    def __init__(self, message: str, violation: Violation | None = None) -> None:
+        super().__init__(message)
+        self.violation = violation or Violation(
+            kind="consistency", clause="unspecified", message=message
+        )
+
+
+def capture_violation(check, records, structure: str | None = None) -> Violation | None:
+    """Run ``check(records)``; return its :class:`Violation` instead of
+    raising, or ``None`` when the history verifies."""
+    try:
+        check(records)
+    except ConsistencyViolation as exc:
+        violation = exc.violation
+        if structure is not None and violation.structure is None:
+            violation = Violation(
+                kind=violation.kind,
+                clause=violation.clause,
+                message=violation.message,
+                structure=structure,
+                req_ids=violation.req_ids,
+            )
+        return violation
+    return None

@@ -26,14 +26,17 @@ def drive_random(
             cluster.join()
         if leave_probability and rng.random() < leave_probability:
             candidates = sorted(cluster.live_pids - cluster.leaving_pids)
-            if len(candidates) > 3:
-                cluster.leave(rng.choice(candidates))
+            if candidates:
+                pid = rng.choice(candidates)
+                if cluster.can_leave(pid, margin=2):
+                    cluster.leave(pid)
         if rng.random() < op_probability:
             pid = rng.choice(sorted(cluster.live_pids - cluster.leaving_pids))
-            if rng.random() < insert_probability:
-                cluster._inject(pid, 0, f"item-{r}")
-            else:
-                cluster._inject(pid, 1, None)
+            if cluster.can_submit(pid):
+                if rng.random() < insert_probability:
+                    cluster._inject(pid, 0, f"item-{r}")
+                else:
+                    cluster._inject(pid, 1, None)
         cluster.step()
     return rng
 

@@ -1,0 +1,119 @@
+"""The ``skueue-fuzz`` CLI: sweeps, artifacts, exit codes, replay."""
+
+import json
+
+import pytest
+
+from repro.core.anchor import HeapAnchorState
+from repro.testing.fuzz import fuzz_one, fuzz_sweep, main
+from repro.testing.traces import load_trace
+
+from tests.testing.test_shrink import _broken_heap_assign
+
+
+class TestSweep:
+    def test_healthy_sweep_is_clean(self, tmp_path):
+        outcomes = fuzz_sweep(
+            range(6), ("queue",), ("sync", "async"), out_dir=tmp_path
+        )
+        assert len(outcomes) == 12
+        assert not any(outcome.failed for outcome in outcomes)
+        assert list(tmp_path.iterdir()) == []  # no artifacts when clean
+
+    def test_failing_cell_writes_a_shrunk_artifact(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(HeapAnchorState, "assign", _broken_heap_assign)
+        outcome = None
+        for seed in range(40):
+            outcome = fuzz_one(seed, "heap", "sync", out_dir=tmp_path)
+            if outcome.failed:
+                break
+        assert outcome is not None and outcome.failed
+        assert outcome.clause is not None
+        assert outcome.shrunk_ops is not None and outcome.shrunk_ops <= 15
+        trace = load_trace(outcome.trace_path)
+        assert trace.scenario.structure == "heap"
+        assert trace.violation.clause == outcome.clause
+
+
+class TestMain:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        code = main([
+            "--seeds", "3", "--structure", "queue", "--runner", "sync",
+            "--out", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 failing" in out
+
+    def test_run_subcommand_is_the_default(self, tmp_path):
+        assert main([
+            "run", "--seeds", "2", "--structure", "stack", "--runner", "sync",
+            "--out", str(tmp_path),
+        ]) == 0
+
+    def test_failing_run_exits_nonzero_and_replay_reproduces(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setattr(HeapAnchorState, "assign", _broken_heap_assign)
+        code = main([
+            "--seeds", "10", "--structure", "heap", "--runner", "sync",
+            "--out", str(tmp_path),
+        ])
+        assert code == 1
+        artifacts = sorted(tmp_path.glob("trace-*.json"))
+        assert artifacts
+        capsys.readouterr()
+        # the replay subcommand reproduces the artifact (still mutated)
+        assert main(["replay", str(artifacts[0])]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["reproduced"] is True
+
+    def test_replay_flags_a_vanished_bug(self, tmp_path, capsys, monkeypatch):
+        with monkeypatch.context() as patched:
+            patched.setattr(HeapAnchorState, "assign", _broken_heap_assign)
+            code = main([
+                "--seeds", "10", "--structure", "heap", "--runner", "sync",
+                "--out", str(tmp_path),
+            ])
+            assert code == 1
+        artifact = sorted(tmp_path.glob("trace-*.json"))[0]
+        capsys.readouterr()
+        # mutation gone (healthy checkout): the trace no longer reproduces
+        assert main(["replay", str(artifact)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["reproduced"] is False
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--structure", "deque"])
+
+    def test_known_dir_triages_documented_families(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """Failures matching an open finding's (kind, clause) signature
+        are reported as KNOWN and do not fail the sweep."""
+        monkeypatch.setattr(HeapAnchorState, "assign", _broken_heap_assign)
+        out = tmp_path / "artifacts"
+        # without a known-dir the mutation fails the sweep...
+        assert main(["--seeds", "10", "--structure", "heap",
+                     "--runner", "sync", "--out", str(out)]) == 1
+        capsys.readouterr()
+        # ...with a known-dir holding a matching signature it is triaged
+        known = tmp_path / "known"
+        known.mkdir()
+        artifact = sorted(out.glob("trace-*.json"))[0]
+        artifact.rename(known / artifact.name)
+        assert main(["--seeds", "10", "--structure", "heap",
+                     "--runner", "sync", "--out", str(out),
+                     "--known-dir", str(known)]) == 0
+        stdout = capsys.readouterr().out
+        assert "KNOWN seed=" in stdout
+        assert "known-open" in stdout
+
+
+@pytest.mark.slow
+def test_parallel_workers_match_in_process_results(tmp_path):
+    serial = fuzz_sweep(range(4), ("queue",), ("sync",), out_dir=None)
+    parallel = fuzz_sweep(range(4), ("queue",), ("sync",), out_dir=None,
+                          workers=2)
+    assert [o.__dict__ for o in serial] == [o.__dict__ for o in parallel]

@@ -1,0 +1,48 @@
+"""Open fuzzer findings: known liveness bugs, pinned but not yet fixed.
+
+``tests/traces/open/`` holds traces the fuzzer recorded for bugs that
+are **still open** (all liveness stalls in the membership/wave machinery
+under adversarial schedules; found by the 1000-seed sweep that also
+surfaced — and this PR fixed — the join-grant straggler):
+
+* ``stall-wave-partition-after-leave`` — heap/sync: after a leave
+  splice, most of the tree stays ``inflight`` on a pre-splice wave
+  whose SERVEs never arrive, while the anchor's residual chain cycles
+  empty waves;
+* ``stall-leave-never-quiesces`` — stack/async: every request
+  completes (``pending=0``) but a departing process never finishes the
+  LEAVE choreography, so the cluster never settles;
+* ``stall-stack-skew-delays`` — stack/async under adversarial skew
+  delays, same non-quiescence family.
+
+This test asserts each open trace **still reproduces** its stall — so
+the reproducers cannot rot silently.  When a fix lands, the assertion
+flips and fails with instructions: move the trace to ``tests/traces/``
+(the regression corpus), where it guards the fix forever after.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.testing import load_trace, run_scenario
+
+OPEN_DIR = Path(__file__).resolve().parents[1] / "traces" / "open"
+OPEN_PATHS = sorted(OPEN_DIR.glob("*.json"))
+
+
+def test_open_findings_exist():
+    assert OPEN_PATHS, f"no open findings under {OPEN_DIR} — delete this module"
+
+
+@pytest.mark.parametrize("path", OPEN_PATHS, ids=lambda p: p.stem)
+def test_open_stall_still_reproduces(path):
+    trace = load_trace(path)
+    assert trace.violation.kind == "liveness"
+    result = run_scenario(trace.scenario)
+    assert result.failed and result.violation.kind == "liveness", (
+        f"{path.name}: this open finding no longer reproduces — the bug "
+        f"appears fixed. Promote the trace: `git mv tests/traces/open/"
+        f"{path.name} tests/traces/` so the regression corpus "
+        f"(test_trace_corpus.py) guards the fix from now on."
+    )

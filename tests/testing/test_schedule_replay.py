@@ -1,0 +1,92 @@
+"""The replay guarantee: any recorded schedule replays bit-identically.
+
+The property quantifies over seeds (hence scenarios: structure, runner,
+delay policy, op/churn/abort scripts all derive from the seed):
+
+* recording is non-invasive — a run under a ``ScheduleRecorder`` equals
+  the plain run byte-for-byte;
+* replaying the recorded trace reproduces the identical history
+  byte-for-byte, with zero off-trace decisions.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.testing import (
+    Scenario,
+    ScheduleRecorder,
+    ScheduleReplayer,
+    ScheduleTrace,
+    run_scenario,
+)
+from repro.testing.scenario import serialize_history
+
+
+def _record_and_replay(scenario):
+    recorder = ScheduleRecorder()
+    recorded = run_scenario(scenario, schedule_hint=recorder)
+    replayer = ScheduleReplayer(recorder.trace)
+    replayed = run_scenario(scenario, schedule_hint=replayer)
+    return recorded, replayed, recorder, replayer
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**64 - 1))
+def test_sync_schedules_replay_byte_for_byte(seed):
+    scenario = Scenario.from_seed(seed, runner="sync")
+    recorded, replayed, recorder, replayer = _record_and_replay(scenario)
+    assert serialize_history(recorded.records) == serialize_history(
+        replayed.records
+    )
+    assert replayer.exhausted == 0
+    # recording changed nothing
+    plain = run_scenario(scenario)
+    assert serialize_history(plain.records) == serialize_history(
+        recorded.records
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**64 - 1))
+def test_async_schedules_replay_byte_for_byte(seed):
+    scenario = Scenario.from_seed(seed, runner="async")
+    recorded, replayed, recorder, replayer = _record_and_replay(scenario)
+    assert serialize_history(recorded.records) == serialize_history(
+        replayed.records
+    )
+    assert replayer.exhausted == 0
+    assert len(recorder.trace.async_delays) > 0
+    plain = run_scenario(scenario)
+    assert serialize_history(plain.records) == serialize_history(
+        recorded.records
+    )
+
+
+def test_trace_json_round_trip():
+    scenario = Scenario.from_seed(9, runner="async")
+    recorder = ScheduleRecorder()
+    run_scenario(scenario, schedule_hint=recorder)
+    trace = recorder.trace
+    restored = ScheduleTrace.from_json(trace.to_json())
+    assert restored.sync_orders == trace.sync_orders
+    assert restored.async_delays == trace.async_delays
+
+    scenario_sync = Scenario.from_seed(9, runner="sync")
+    recorder_sync = ScheduleRecorder()
+    run_scenario(scenario_sync, schedule_hint=recorder_sync)
+    restored_sync = ScheduleTrace.from_json(recorder_sync.trace.to_json())
+    assert restored_sync.sync_orders == recorder_sync.trace.sync_orders
+
+
+def test_replayer_falls_back_deterministically_off_trace():
+    """A diverged replay (shrunk scenario, stale trace) still finishes,
+    counting its off-trace decisions instead of crashing."""
+    scenario = Scenario.from_seed(4, runner="async")
+    recorder = ScheduleRecorder()
+    run_scenario(scenario, schedule_hint=recorder)
+    # halve the trace: the replayed run must draw the rest live
+    trace = recorder.trace
+    trace.async_delays = trace.async_delays[: len(trace.async_delays) // 2]
+    replayer = ScheduleReplayer(trace)
+    result = run_scenario(scenario, schedule_hint=replayer)
+    assert not result.failed
+    assert replayer.exhausted > 0

@@ -74,7 +74,8 @@ class TestFrameCatalog:
 
 @pytest.mark.parametrize(
     "document",
-    ["README.md", "DESIGN.md", "ROADMAP.md", "docs/PROTOCOL.md"],
+    ["README.md", "DESIGN.md", "ROADMAP.md", "docs/PROTOCOL.md",
+     "docs/TESTING.md"],
 )
 def test_internal_links_resolve(document: str):
     path = REPO_ROOT / document

@@ -11,8 +11,9 @@ from repro.verify import (
 )
 
 
-def op(req_id, pid, idx, kind, item=None, value=None, result=None, local=False):
-    rec = OpRecord(req_id, pid, idx, kind, item, 0.0)
+def op(req_id, pid, idx, kind, item=None, value=None, result=None, local=False,
+       priority=0):
+    rec = OpRecord(req_id, pid, idx, kind, item, 0.0, priority=priority)
     rec.value = value
     rec.result = result
     rec.completed = True
@@ -164,4 +165,119 @@ class TestSearchChecker:
 
     def test_rejects_unknown_discipline(self):
         with pytest.raises(ValueError):
-            exists_valid_order([], "heap")
+            exists_valid_order([], "lru")
+
+
+class TestHeapSearchChecker:
+    """The "heap" discipline: per-class reference FIFOs (min class first)."""
+
+    def test_agrees_on_valid_history(self):
+        records = [
+            op(0, 0, 0, INSERT, "low", value=1, priority=0),
+            op(1, 0, 1, INSERT, "high", value=2, priority=2),
+            op(2, 1, 0, REMOVE, value=3, result=(0, "low")),
+            op(3, 1, 1, REMOVE, value=4, result=(1, "high")),
+        ]
+        assert exists_valid_order(records, "heap")
+
+    def test_rejects_wrong_class_first(self):
+        # both inserts precede both removals on one process each, so no
+        # interleaving lets the class-2 element come out first
+        records = [
+            op(0, 0, 0, INSERT, "low", value=1, priority=0),
+            op(1, 0, 1, INSERT, "high", value=2, priority=2),
+            op(2, 0, 2, REMOVE, value=3, result=(1, "high")),
+            op(3, 0, 3, REMOVE, value=4, result=(0, "low")),
+        ]
+        assert not exists_valid_order(records, "heap")
+
+    def test_fifo_within_class(self):
+        good = [
+            op(0, 0, 0, INSERT, "a", value=1, priority=1),
+            op(1, 0, 1, INSERT, "b", value=2, priority=1),
+            op(2, 0, 2, REMOVE, value=3, result=(0, "a")),
+        ]
+        assert exists_valid_order(good, "heap")
+        bad = [
+            op(0, 0, 0, INSERT, "a", value=1, priority=1),
+            op(1, 0, 1, INSERT, "b", value=2, priority=1),
+            op(2, 0, 2, REMOVE, value=3, result=(1, "b")),
+        ]
+        assert not exists_valid_order(bad, "heap")
+
+    def test_rejects_impossible_bottom(self):
+        records = [
+            op(0, 0, 0, INSERT, "a", value=1, priority=1),
+            op(1, 0, 1, REMOVE, value=2, result=BOTTOM),
+        ]
+        assert not exists_valid_order(records, "heap")
+
+    def test_finds_order_the_witness_missed(self):
+        # concurrent processes: the remove may run before the insert
+        records = [
+            op(0, 0, 0, INSERT, "a", value=1, priority=1),
+            op(1, 1, 0, REMOVE, value=2, result=BOTTOM),
+        ]
+        assert exists_valid_order(records, "heap")
+
+    def test_concurrent_classes_allow_either_removal_order(self):
+        # inserts on separate processes are unordered: a schedule exists
+        # where the class-1 element is alone in the heap when removed
+        records = [
+            op(0, 0, 0, INSERT, "low", value=1, priority=0),
+            op(1, 1, 0, INSERT, "high", value=2, priority=1),
+            op(2, 2, 0, REMOVE, value=3, result=(1, "high")),
+            op(3, 2, 1, REMOVE, value=4, result=(0, "low")),
+        ]
+        assert exists_valid_order(records, "heap")
+
+    def test_cross_validates_the_witness_checker(self):
+        # a history check_heap_history rejects admits no valid order either
+        from repro.verify import ConsistencyViolation, check_heap_history
+
+        records = [
+            op(0, 0, 0, INSERT, "low", value=1, priority=0),
+            op(1, 0, 1, INSERT, "high", value=2, priority=2),
+            op(2, 0, 2, REMOVE, value=3, result=(1, "high")),
+            op(3, 0, 3, REMOVE, value=4, result=(0, "low")),
+        ]
+        with pytest.raises(ConsistencyViolation, match="property 3"):
+            check_heap_history(records)
+        assert not exists_valid_order(records, "heap")
+
+
+class TestViolationObjects:
+    """Every checker raise carries a machine-readable Violation."""
+
+    def test_clause_and_req_ids_attached(self):
+        from repro.verify.violations import capture_violation
+
+        enq = op(0, 0, 0, INSERT, "a", value=1)
+        deq = op(1, 1, 0, REMOVE, value=2, result=BOTTOM)
+        violation = capture_violation(
+            check_queue_history, [enq, deq], structure="queue"
+        )
+        assert violation is not None
+        assert violation.kind == "consistency"
+        assert violation.clause == "property 2"
+        assert violation.structure == "queue"
+        assert 1 in violation.req_ids
+
+    def test_passing_history_returns_none(self):
+        from repro.verify.violations import capture_violation
+
+        enq = op(0, 0, 0, INSERT, "a", value=1)
+        deq = op(1, 1, 0, REMOVE, value=2, result=(0, "a"))
+        assert capture_violation(check_queue_history, [enq, deq]) is None
+
+    def test_same_failure_and_json_round_trip(self):
+        from repro.verify.violations import Violation
+
+        v1 = Violation("consistency", "property 3", "msg", "queue", (4, 5))
+        v2 = Violation.from_json(v1.to_json())
+        assert v1 == v2
+        assert v1.same_failure(v2)
+        assert not v1.same_failure(
+            Violation("consistency", "property 2", "other")
+        )
+        assert not v1.same_failure(None)
