@@ -25,7 +25,13 @@ from pathlib import Path
 
 from repro.testing.scenario import RUNNERS, STRUCTURES, Scenario, run_scenario
 from repro.testing.shrink import shrink_scenario
-from repro.testing.traces import load_trace, record_failure, replay_trace, save_trace
+from repro.testing.traces import (
+    load_trace,
+    record_failure,
+    replay_trace,
+    save_trace,
+    slim_liveness_trace,
+)
 
 __all__ = ["FuzzOutcome", "fuzz_one", "fuzz_sweep", "main"]
 
@@ -87,7 +93,7 @@ def fuzz_one(
     trace_path = None
     if out_dir is not None:
         name = f"trace-{trace.scenario.structure}-{trace.scenario.runner}-{seed}.json"
-        trace_path = str(save_trace(trace, Path(out_dir) / name))
+        trace_path = str(save_trace(slim_liveness_trace(trace), Path(out_dir) / name))
     return FuzzOutcome(
         seed,
         scenario.structure,

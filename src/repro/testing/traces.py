@@ -143,6 +143,33 @@ def replay_trace(trace: FailureTrace) -> ReplayReport:
     )
 
 
+#: schedule-prefix caps applied to liveness traces (see slim_liveness_trace)
+_SLIM_SYNC_ROUNDS = 512
+_SLIM_ASYNC_DELAYS = 2048
+
+
+def slim_liveness_trace(trace: FailureTrace) -> FailureTrace:
+    """Drop the schedule tail of a stalled run's trace (in place).
+
+    A liveness trace records one decision per event up to the settle
+    budget — tens of thousands — but the schedule only *matters* up to
+    the point the system wedged; past it the recording is the safety
+    sweep spinning.  Keep a generous prefix (the replayer falls back to
+    the live seeded RNG beyond it, still deterministically), which cuts
+    artifacts from ~700 KB to a few KB without losing the reproducer.
+    Consistency/crash traces are returned untouched: their runs
+    complete, so the full schedule is the bit-identical evidence.
+    """
+    if trace.violation.kind == "liveness":
+        schedule = trace.schedule
+        schedule.sync_orders = {
+            r: order for r, order in schedule.sync_orders.items()
+            if r <= _SLIM_SYNC_ROUNDS
+        }
+        schedule.async_delays = schedule.async_delays[:_SLIM_ASYNC_DELAYS]
+    return trace
+
+
 # -- file IO -----------------------------------------------------------------
 
 
