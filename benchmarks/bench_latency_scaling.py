@@ -11,6 +11,7 @@ from repro.experiments.figures import full_scale
 from repro.experiments.harness import run_experiment
 from repro.experiments.tables import render_table
 from repro.experiments.workload import FixedRateWorkload
+from repro.sim.profile import EngineProfile
 
 
 def _latency_sweep():
@@ -40,6 +41,44 @@ def test_latency_scales_logarithmically(benchmark):
         f"x{size_growth} nodes grew latency x{latency_growth:.2f}"
     )
     benchmark.extra_info["rows"] = rows
+
+
+def test_waves_do_not_ride_the_safety_sweep(benchmark):
+    """Wave pacing must come from pushed wakes, not the TIMEOUT sweep.
+
+    Before the event-driven redesign, disabling the sweep
+    (``safety_tick=0``) stalled the pipeline: waves only advanced when
+    the periodic whole-system sweep happened to re-check a waiting node,
+    so per-request latency was a multiple of the sweep period (the fig2
+    queue point at n=1000 sat at ~1488 avg rounds).  Now readiness is
+    pushed, so the no-sweep run must match the default run closely; a
+    regression to sweep-paced waves shows up as a large ratio (~sweep
+    period per wave hop) long before it trips the absolute anchor.
+    """
+
+    def compare():
+        out = {}
+        for name, profile in (
+            ("default", None),
+            ("no_sweep", EngineProfile(safety_tick=0)),
+        ):
+            workload = FixedRateWorkload(800, 0.5, requests_per_round=10, seed=9)
+            result = run_experiment(workload, 800, rounds=120, seed=9,
+                                    profile=profile)
+            out[name] = result.mean_rounds_per_request
+        return out
+
+    avg = run_once(benchmark, compare)
+    ratio = avg["no_sweep"] / avg["default"]
+    print(f"\nn=800 avg rounds: default={avg['default']:.1f} "
+          f"no_sweep={avg['no_sweep']:.1f} (ratio {ratio:.2f})")
+    # calibrated: both sit at ~194 avg rounds; sweep-paced waves would
+    # push the no-sweep run past 1000 (and the old engine never finished)
+    assert ratio < 1.25, f"no-sweep run degraded x{ratio:.2f} vs default"
+    assert avg["no_sweep"] < 500, (
+        f"no-sweep avg {avg['no_sweep']:.1f} looks sweep-paced"
+    )
+    benchmark.extra_info["avg_rounds"] = avg
 
 
 def test_burst_flush(benchmark):

@@ -21,11 +21,14 @@ workloads never mention pids at all.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
+from dataclasses import dataclass
+
 from repro.core.requests import INSERT, REMOVE, OpRecord
 from repro.core.structures import get_structure
 from repro.api.handles import OpHandle
 
-__all__ = ["HeapSession", "QueueSession", "Session", "StackSession"]
+__all__ = ["HeapSession", "Op", "QueueSession", "Session", "StackSession"]
 
 _INSERT_NAMES = frozenset({"enqueue", "push", "insert"})
 _REMOVE_NAMES = frozenset({"dequeue", "pop", "remove", "delete_min"})
@@ -44,15 +47,54 @@ def _parse_kind(op) -> int:
     raise ValueError(f"unknown operation {op!r}")
 
 
+@dataclass(frozen=True)
+class Op:
+    """One explicit batch operation for :meth:`Session.submit_batch`.
+
+    Unlike the positional tuple shapes, every field is named — there is
+    no insert-vs-remove positional ambiguity (a tuple's second element
+    is the *item* for inserts but the *pid* for removals).  ``kind``
+    accepts the ``INSERT``/``REMOVE`` ints or any name alias
+    (``"enqueue"``, ``"push"``, ``"pop"``, ``"delete_min"``, ...).
+    """
+
+    kind: int | str
+    item: object = None
+    pid: int | None = None
+    priority: int = 0
+
+
+_OP_FIELDS = frozenset({"kind", "item", "pid", "priority"})
+
+
 def _parse_op(spec) -> tuple[int, object, int | None, int]:
     """One batch element -> ``(kind, item, pid_or_None, priority)``.
 
-    Accepted shapes: ``("enqueue", item)``, ``("enqueue", item, pid)``,
-    ``("insert", item, pid, priority)`` (heap sessions; ``pid`` may be
-    ``None`` for round-robin), ``("dequeue",)``, ``("dequeue", pid)``
-    (removals carry no item, so their second element is the pid) — names
-    may be any alias accepted by :func:`_parse_kind`.
+    Accepted shapes:
+
+    * :class:`Op` instances and dicts with the same named fields
+      (``{"kind": "enqueue", "item": "a"}``) — unambiguous, preferred;
+    * positional tuples — ``("enqueue", item)``, ``("enqueue", item,
+      pid)``, ``("insert", item, pid, priority)`` (heap sessions;
+      ``pid`` may be ``None`` for round-robin), ``("dequeue",)``,
+      ``("dequeue", pid)`` (removals carry no item, so their second
+      element is the pid) — names may be any alias accepted by
+      :func:`_parse_kind`.
     """
+    if isinstance(spec, Op) or isinstance(spec, Mapping):
+        if isinstance(spec, Mapping):
+            unknown = set(spec) - _OP_FIELDS
+            if unknown:
+                raise ValueError(
+                    f"op spec {spec!r} has unknown fields {sorted(unknown)}"
+                )
+            if "kind" not in spec:
+                raise ValueError(f"op spec {spec!r} is missing 'kind'")
+            spec = Op(**spec)
+        kind = _parse_kind(spec.kind)
+        if kind != INSERT and spec.item is not None:
+            raise ValueError(f"removal spec {spec!r} must not carry an item")
+        return kind, spec.item, spec.pid, spec.priority
     name, *rest = spec
     kind = _parse_kind(name)
     priority = 0

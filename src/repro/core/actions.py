@@ -43,4 +43,8 @@ A_RESP_XFER = 27  # splice: remaining grant chain moves to the new pred
 A_NEW_RESP = 28  # tells a replacement who its responsible node is now
 A_CHASE = 29  # find a marooned batch up the wave and bounce it back
 
+# -- event-driven waves (Runtime.wake + deadlock probe) ------------------------
+A_WAKE = 30  # remote form of Runtime.wake: receiver runs wake_me()
+A_NUDGE = 31  # patience probe: (origin_vid, token) walks the wait graph
+
 __all__ = [name for name in list(globals()) if name.startswith("A_")]

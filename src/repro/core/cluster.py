@@ -45,6 +45,7 @@ from repro.overlay.ldb import (
 from repro.overlay.routing import route_steps_for
 from repro.sim.async_runner import AsyncRunner
 from repro.sim.metrics import Metrics
+from repro.sim.profile import EngineProfile
 from repro.sim.sync_runner import SyncRunner
 from repro.util.hashing import label_of
 from repro.util.rng import RngStreams
@@ -102,10 +103,13 @@ class SkueueCluster:
         seed: int = 0,
         runner: str = "sync",
         delay_policy=None,
-        shuffle_delivery: bool = True,
+        shuffle_delivery: bool | None = None,
         store_samples: bool = False,
         salt: str | None = None,
         n_priorities: int = 4,
+        profile: EngineProfile | None = None,
+        safety_tick: float | None = None,
+        timeout_lag: float | None = None,
     ) -> None:
         if n_processes < 1:
             raise ValueError("need at least one process")
@@ -113,12 +117,30 @@ class SkueueCluster:
         self.node_class = spec.node_class
         self.rng = RngStreams(seed)
         metrics = Metrics(store_samples=store_samples)
+        # ``shuffle_delivery``/``safety_tick``/``timeout_lag`` are the
+        # deprecated loose aliases of the profile fields (see
+        # EngineProfile.merge); a passed profile is the preferred spelling
+        self.profile = EngineProfile.merge(
+            profile,
+            safety_tick=safety_tick,
+            timeout_lag=timeout_lag,
+            shuffle_delivery=shuffle_delivery,
+        )
         if runner == "sync":
             self.runtime = SyncRunner(
-                self.rng, metrics, shuffle_delivery=shuffle_delivery
+                self.rng,
+                metrics,
+                shuffle_delivery=self.profile.shuffle_delivery,
+                safety_tick=self.profile.safety_tick,
             )
         elif runner == "async":
-            self.runtime = AsyncRunner(self.rng, metrics, delay_policy=delay_policy)
+            self.runtime = AsyncRunner(
+                self.rng,
+                metrics,
+                delay_policy=delay_policy,
+                timeout_lag=self.profile.timeout_lag,
+                safety_tick=self.profile.safety_tick,
+            )
         else:
             raise ValueError(f"unknown runner {runner!r}")
         self.salt = salt if salt is not None else f"skueue-{seed}"

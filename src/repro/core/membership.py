@@ -566,6 +566,10 @@ class MembershipMixin:
             self.departed = True
             self._flush_deferred_joins()
             self.runtime.remove_actor(self.aid, forward_to=self.resp_vid)
+            # a parent waiting on this zombie's batch only notices the
+            # removal when its child set is re-evaluated — push that
+            # re-check instead of leaving it to a (possibly absent) sweep
+            self._wake_stale_parents(None)
 
     # -- splice ----------------------------------------------------------------------
     def _splice_segment(self, metas: list[tuple]) -> None:
@@ -652,7 +656,15 @@ class MembershipMixin:
             # the join: if the grant lost the race against the splice
             # (async delays are unbounded), this is their last exit
             self._drain_pre_grant_buffer()
-            self.wake_me()
+        # the splice changed who this node's neighbours (and hence wave
+        # parents/children) are: re-check readiness here and push a
+        # re-check at both neighbours, whose child sets just changed too
+        self.wake_me()
+        runtime = self.ctx.runtime
+        if pred_vid is not None and pred_vid >= 0:
+            runtime.wake(pred_vid)
+        if succ_vid is not None and succ_vid >= 0:
+            runtime.wake(succ_vid)
 
     def _requeue_inflight(self) -> None:
         """Un-send a relay batch that never reached the anchor.
@@ -686,6 +698,10 @@ class MembershipMixin:
         pred_vid, pred_label = payload
         self.pred_vid = pred_vid
         self.pred_label = pred_label
+        # new predecessor == possibly a new aggregation parent/child pair
+        self.wake_me()
+        if pred_vid is not None and pred_vid >= 0:
+            self.ctx.runtime.wake(pred_vid)
 
     # -- acknowledgement wave over the old tree -----------------------------------------
     def _on_ack_up(self, payload: tuple) -> None:
@@ -729,6 +745,7 @@ class MembershipMixin:
                 self.departed = True
                 self._flush_deferred_joins()
                 self.runtime.remove_actor(self.aid, forward_to=self.resp_vid)
+                self._wake_stale_parents(None)  # see _maybe_zombie_exit
 
     def _on_anchor_xfer(self, payload: tuple) -> None:
         state, epoch = payload

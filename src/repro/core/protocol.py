@@ -37,11 +37,13 @@ from repro.core.actions import (
     A_GET_REPLY,
     A_JOIN_RT,
     A_FIND_MIN,
+    A_NUDGE,
     A_PUT_ACK,
     A_REQUEUE,
     A_RT_GET,
     A_RT_PUT,
     A_SERVE,
+    A_WAKE,
 )
 from repro.core.anchor import QueueAnchorState
 from repro.core.batch import Batch, combine_runs
@@ -157,18 +159,26 @@ class QueueNode(MembershipMixin, Actor):
         "metas",
         "leave_request_pending",
         "wait_since",
+        # event-driven patience (A_NUDGE deadlock probe)
+        "force_fire",
+        "nudge_seen",
+        "nudge_token",
+        "nudge_fence",
     )
 
     #: Rounds a node waits for an expected local child's batch before
-    #: firing without it.  The wait is a latency optimisation, not a
-    #: correctness requirement — a batch that arrives later is consumed
-    #: as an *extra*, exactly like batches of remote children (DESIGN.md,
-    #: "Local reads and the extras fallback").  Bounding it guarantees
-    #: liveness across membership splices, where the instantaneous
-    #: parent/child views of neighbouring nodes can briefly disagree and
-    #: form a wait cycle: some node times out, fires with what it has,
-    #: and the cycle dissolves.  Normal waves complete in O(log n) ≪ 48
-    #: rounds, so steady state never hits this bound.
+    #: *probing* for a wait cycle (it no longer blindly fires without the
+    #: stragglers — that desynchronised the pipeline: an abandoned child's
+    #: batch misses its wave, arrives as an extra one wave late, and the
+    #: skew compounds super-logarithmically under load).  After this many
+    #: rounds the waiter sends an ``A_NUDGE`` probe along its missing
+    #: child edges; the probe walks the wave-dependency graph and only if
+    #: it returns to its origin — a genuine cycle, which can only arise
+    #: from a membership splice briefly leaving neighbouring nodes with
+    #: disagreeing parent/child views — does the origin fire without the
+    #: stragglers to dissolve it.  Normal waves complete in O(log n) ≪ 48
+    #: rounds, so steady state never launches a probe; expiry is armed
+    #: with ``call_later`` (event-driven), not detected by a sweep.
     WAVE_PATIENCE = 48
 
     def __init__(
@@ -241,6 +251,11 @@ class QueueNode(MembershipMixin, Actor):
         self.metas: dict[int, tuple] = {}
         self.leave_request_pending = False
         self.wait_since = None  # when this node began waiting on children
+        self.force_fire = False  # a NUDGE probe confirmed a wait cycle
+        self.nudge_seen: set[tuple[int, int]] = set()  # forwarded probes
+        self.nudge_token = 0  # distinguishes this node's probe launches
+        self.nudge_fence = 0  # token value at the last fire: older probes
+        #                       were launched during a wait that is over
 
     # -- discipline hooks (overridden by the stack) ---------------------------
     def _new_anchor_state(self):
@@ -279,6 +294,10 @@ class QueueNode(MembershipMixin, Actor):
             self._on_get_reply(payload)
         elif action == A_PUT_ACK:
             self._on_put_ack(payload)
+        elif action == A_WAKE:
+            self.wake_me()  # remote form of Runtime.wake
+        elif action == A_NUDGE:
+            self._on_nudge(payload)
         else:
             self._handle_membership(action, payload)
 
@@ -376,17 +395,27 @@ class QueueNode(MembershipMixin, Actor):
         children = self._aggregation_children()
         batches = self.child_batches
         if any(child not in batches for child in children):
-            # waiting is bounded (see WAVE_PATIENCE): a membership splice
-            # can briefly leave neighbouring nodes with disagreeing
-            # parent/child views, where everyone waits on a batch lodged
-            # elsewhere as an unconsumed extra — fire without the
-            # stragglers and let their batches ride a later wave
-            now = self.ctx.runtime.now
-            if self.wait_since is None:
-                self.wait_since = now
-            if now - self.wait_since < self.WAVE_PATIENCE:
+            if self.force_fire:
+                # a NUDGE probe returned to us: this node sits on a
+                # genuine wait cycle — fire without the stragglers and
+                # let their batches ride a later wave as extras
+                children = [c for c in children if c in batches]
+            else:
+                now = self.ctx.runtime.now
+                if self.wait_since is None:
+                    self.wait_since = now
+                    self.runtime.call_later(self.aid, self.WAVE_PATIENCE + 1)
+                elif now - self.wait_since > self.WAVE_PATIENCE:
+                    # patience expired: probe the missing edges for a wait
+                    # cycle instead of abandoning the stragglers outright
+                    self.nudge_token += 1
+                    probe = (self.vid, self.nudge_token)
+                    for child in children:
+                        if child not in batches:
+                            self.send(child, A_NUDGE, probe)
+                    self.wait_since = now  # re-probe cadence
+                    self.runtime.call_later(self.aid, self.WAVE_PATIENCE + 1)
                 return
-            children = [c for c in children if c in batches]
         self.wait_since = None
         # nodes whose same-process tree edge is broken parent themselves
         # here via the pred fallback; their already-arrived batches join
@@ -395,6 +424,81 @@ class QueueNode(MembershipMixin, Actor):
             known = set(children)
             children = children + [c for c in batches if c not in known]
         self._fire(children)
+
+    def _on_nudge(self, payload: tuple) -> None:
+        """Walk a patience probe along the wave-dependency graph.
+
+        The probe ``(origin, token)`` follows the edges a stuck waiter is
+        actually blocked on: missing child edges while waiting, the
+        ``sent_to`` edge while in flight (the batch is lodged in someone
+        else's wave).  If it comes back to its origin the wait graph has
+        a cycle, and the origin — a member of it — fires without the
+        stragglers, dissolving the cycle.  Every stuck node launches its
+        own probe, so any cycle is detected by its members regardless of
+        who else is waiting on it.  States with their own event-driven
+        exits (updating, joining) absorb the probe: they are making
+        progress, so there is no cycle through them.  A node stuck on the
+        stage-4 *barrier* is different: a parked GET can wait on a PUT
+        whose record is still buffered at an arbitrary node of the stuck
+        wave — possibly the origin itself — so the probe cannot follow
+        that edge and conservatively *confirms* instead (bounces back to
+        the origin), reproducing the effect of the old bounded-patience
+        abandonment exactly where it was load-bearing.
+        """
+        origin = payload[0]
+        if origin == self.vid:
+            # honour the confirmation only if the probe belongs to the
+            # wait we are *still* in: a probe launched before our last
+            # fire is about a wait that already resolved itself, and
+            # letting it through would leak a force-fire into the next
+            # wave (abandoning children that are merely pipelining)
+            if payload[1] > self.nudge_fence and not self.updating:
+                self.force_fire = True
+                self.wake_me()
+            return
+        key = (origin, payload[1])
+        if key in self.nudge_seen:
+            return  # already forwarded this probe during the current wait
+        self.nudge_seen.add(key)
+        if self.updating or self.joining:
+            return
+        if self.barrier:
+            self.send(origin, A_NUDGE, payload)
+            return
+        if self.inflight:
+            # our batch already reached sent_to's wave: the only edge we
+            # are blocked on is "sent_to's wave must complete".  If
+            # sent_to *is* the origin, the origin's dependency on us is
+            # already satisfied (our batch sits in its child_batches), so
+            # bouncing the probe back would confirm a phantom cycle.
+            if self.sent_to is not None and self.sent_to != origin:
+                self.send(self.sent_to, A_NUDGE, payload)
+            return
+        batches = self.child_batches
+        for child in self._aggregation_children():
+            if child not in batches:
+                self.send(child, A_NUDGE, payload)
+
+    def _wake_stale_parents(self, dest: int | None) -> None:
+        """Push a TIMEOUT at the *other* plausible parents of this node.
+
+        ``_aggregation_children`` stops expecting a child whose batch is
+        lodged in a different node's wave (``inflight and sent_to !=
+        self``) — but that exclusion is a local read of *this* node's
+        state, which the waiting parent cannot observe change.  Whenever
+        the batch goes somewhere (here: to ``dest``), wake the remaining
+        candidates from :meth:`_parent_vid`'s fallback chain so a parent
+        stuck waiting on us re-evaluates immediately instead of at the
+        next safety sweep (there may be none: ``safety_tick=0``).
+        """
+        runtime = self.ctx.runtime
+        kind = self.kind
+        candidates = [self.pred_vid]
+        if kind != LEFT:
+            candidates.append(self.pid * 3 + (LEFT if kind == MIDDLE else MIDDLE))
+        for vid in candidates:
+            if vid is not None and vid != dest and vid != self.vid:
+                runtime.wake(vid)
 
     def _snapshot_own(self) -> tuple[list[int], list[OpRecord]]:
         """Move the local buffer out for this wave (``v.W -> v.B``)."""
@@ -425,6 +529,12 @@ class QueueNode(MembershipMixin, Actor):
         self.plan = plan
         self.inflight_records = records
         self.inflight = True
+        # firing ends the wait this node may have been stuck in: any
+        # probe state belongs to that wait and must not leak into the
+        # next wave (the fence invalidates probes still walking the graph)
+        self.force_fire = False
+        self.nudge_seen.clear()
+        self.nudge_fence = self.nudge_token
 
         if self.is_anchor:
             state = self.anchor_state
@@ -448,6 +558,8 @@ class QueueNode(MembershipMixin, Actor):
                 dest, A_AGG, (self.vid, tuple(combined), joins, leaves, is_relay)
             )
             self.ctx.metrics.note_batch_len(len(combined))
+            if not self.joining:
+                self._wake_stale_parents(dest)
 
     def _parent_vid(self) -> int:
         """Aggregation parent: the leftmost neighbour (Section III-B).

@@ -44,6 +44,7 @@ from repro.core.structures import structure_names
 from repro.net.membership import ClusterMap
 from repro.net.server import HostConfig, run_host, run_joining_host
 from repro.net.transport import FrameReader, encode_frame
+from repro.sim.profile import EngineProfile
 
 __all__ = ["NetDeployment", "launch_local", "main"]
 
@@ -280,6 +281,7 @@ def launch_local(
     ready_timeout: float = 30.0,
     id_slots: int = 0,
     n_priorities: int = 4,
+    profile: "EngineProfile | None" = None,
 ) -> NetDeployment:
     """Spawn, wire and return a local ``n_hosts``-process deployment.
 
@@ -291,7 +293,18 @@ def launch_local(
     many host indices the deployment can ever hand out; the default
     (``n_hosts``) reproduces the static id scheme bit for bit, so pass
     something larger (e.g. 16) when hosts will join at runtime.
+
+    ``profile`` is the unified engine tuning surface (see
+    :class:`repro.sim.profile.EngineProfile`); its round-unit fields are
+    scaled by ``round_seconds`` into the wall-clock knobs this runtime
+    actually uses (``timeout_lag`` seconds, ``sweep_seconds`` — with
+    ``safety_tick=0`` disabling the sweep).  The loose
+    ``timeout_lag=``/``sweep_seconds=`` kwargs remain as deprecated
+    wall-clock aliases and are overridden by an explicit profile.
     """
+    if profile is not None:
+        timeout_lag = profile.timeout_lag * round_seconds
+        sweep_seconds = profile.safety_tick * round_seconds
     if n_hosts < 1:
         raise ValueError("need at least one host")
     if n_processes < n_hosts:
@@ -433,6 +446,12 @@ def main(argv: list[str] | None = None) -> int:
     demo.add_argument("--seed", type=int, default=0)
     demo.add_argument("--structure", choices=structure_names(), default="queue",
                       help="which distributed structure to deploy")
+    demo.add_argument("--safety-tick", type=float, default=None,
+                      help="rounds between safety sweeps (0 disables; "
+                           "EngineProfile units, scaled by the round length)")
+    demo.add_argument("--timeout-lag", type=float, default=None,
+                      help="TIMEOUT scheduling lag in rounds "
+                           "(EngineProfile units)")
 
     args = parser.parse_args(argv)
     if args.command == "serve":
@@ -452,9 +471,14 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
     if args.command == "demo":
+        profile = None
+        if args.safety_tick is not None or args.timeout_lag is not None:
+            profile = EngineProfile.merge(
+                None, safety_tick=args.safety_tick, timeout_lag=args.timeout_lag
+            )
         with launch_local(
             args.hosts, args.processes, seed=args.seed,
-            structure=args.structure,
+            structure=args.structure, profile=profile,
         ) as deployment:
             summary = asyncio.run(_demo(deployment, args.ops, args.seed))
         print(json.dumps(summary))

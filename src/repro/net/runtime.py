@@ -10,8 +10,11 @@ maps onto the event loop as follows:
 * ``request_timeout`` — the paper's event-driven TIMEOUT: scheduled after
   a small lag (deduplicated while pending), so TIMEOUT races realistically
   with message deliveries exactly as on :class:`AsyncRunner`;
-* a periodic *safety sweep* runs TIMEOUT on every local actor, bounding
-  the staleness of readiness conditions that depend on other actors;
+* ``wake`` — cross-actor readiness push: local targets get the ordinary
+  TIMEOUT path, remote targets an ``A_WAKE`` message over the peer link;
+* an optional periodic *safety sweep* (``sweep_seconds``, 0 disables)
+  re-runs TIMEOUT on every local actor as a belt-and-braces recheck —
+  not load-bearing since readiness became push-driven;
 * ``now`` — wall clock scaled to *round units* (one unit ≈ one nominal
   message delay, ``round_seconds``), so protocol constants expressed in
   rounds (retry cadences, grace periods) keep their meaning.
@@ -43,6 +46,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Iterable
 
+from repro.core.actions import A_WAKE
 from repro.core.requests import OpRecord
 from repro.sim.metrics import Metrics
 from repro.sim.process import bounce_forwarded_batch
@@ -125,6 +129,21 @@ class NetRuntime:
             return
         self._timeout_pending.add(actor_id)
         self._loop.call_later(self.timeout_lag, self._fire_timeout, actor_id)
+
+    def wake(self, actor_id: int) -> None:
+        """Cross-actor wake: a TIMEOUT for ``actor_id`` wherever it lives.
+
+        Locally this is the ordinary event-driven TIMEOUT path; for an
+        actor hosted by another OS process it ships an ``A_WAKE`` message
+        and the destination answers with ``wake_me()`` — the wake crosses
+        the wire exactly like any other protocol message."""
+        if self._closed:
+            return
+        resolved = self.resolve(actor_id)
+        if resolved in self.actors:
+            self.request_timeout(resolved)
+        else:
+            self.send_remote(resolved, A_WAKE, ())
 
     def call_later(self, actor_id: int, delay: float) -> None:
         self._loop.call_later(

@@ -92,6 +92,13 @@ class AsyncRunner:
             (self.time + self.timeout_lag, next(self._seq), _TIMEOUT, actor_id, 0, ()),
         )
 
+    def wake(self, actor_id: int) -> None:
+        """Cross-actor wake: a TIMEOUT event for ``actor_id`` after the
+        usual ``timeout_lag``, deduplicated with the actor's own pending
+        ``request_timeout``.  Draws nothing from the delay RNG, so waking
+        a peer never perturbs a recorded schedule."""
+        self.request_timeout(self.resolve(actor_id))
+
     def call_later(self, actor_id: int, delay: float) -> None:
         heapq.heappush(
             self._heap,

@@ -102,9 +102,17 @@ class Runtime(Protocol):
       engine optionally shuffles, the async engine draws random delays,
       TCP is FIFO per connection — all within the model);
     * ``request_timeout`` schedules a TIMEOUT for the actor *soon*
-      (next round / after a small lag); engines additionally run a
-      periodic safety sweep so readiness that depends on other actors'
-      state is re-checked eventually;
+      (next round / after a small lag);
+    * ``wake`` is the cross-actor form of ``request_timeout``: the actor
+      that just *changed* state pushes a TIMEOUT at the actor whose
+      readiness may depend on it, so no readiness condition has to wait
+      for polling.  For an actor hosted elsewhere (sharded TCP) the
+      engine ships an ``A_WAKE`` message and the receiver answers with
+      ``wake_me()``.  Engines may still run an optional safety sweep
+      (``safety_tick``/``sweep_seconds``) as a belt-and-braces recheck,
+      but since the wave engine became event-driven the sweep is *not*
+      load-bearing: ``safety_tick=0`` disables it and everything still
+      makes progress;
     * ``actors`` is the engine's **local** view: in the simulators it
       holds every actor, in a sharded TCP deployment only the shard
       hosted by this OS process.  Protocol code treats a missing entry
@@ -131,6 +139,11 @@ class Runtime(Protocol):
     def send(self, dest: int, action: int, payload: tuple) -> None: ...
 
     def request_timeout(self, actor_id: int) -> None: ...
+
+    def wake(self, actor_id: int) -> None:
+        """Cross-actor wake: schedule a TIMEOUT for ``actor_id``, wherever
+        it lives.  Draws no randomness on any engine (replay-safe)."""
+        ...
 
     def call_later(self, actor_id: int, delay: float) -> None: ...
 
@@ -172,6 +185,11 @@ class Actor:
     def wake_me(self) -> None:
         """Ask the engine to run :meth:`timeout` at the next opportunity."""
         self.runtime.request_timeout(self.aid)
+
+    def wake_peer(self, actor_id: int) -> None:
+        """Push a TIMEOUT at another actor whose readiness this actor's
+        state change may have unblocked (see :meth:`Runtime.wake`)."""
+        self.runtime.wake(actor_id)
 
     # -- to override ---------------------------------------------------------
     def handle(self, action: int, payload: tuple) -> None:  # pragma: no cover

@@ -43,16 +43,17 @@ class SyncRunner:
         rng: RngStreams | None = None,
         metrics: Metrics | None = None,
         shuffle_delivery: bool = True,
-        safety_tick: int = 64,
+        safety_tick: float = 64,
     ) -> None:
         self.rng = rng or RngStreams(0)
         self.metrics = metrics or Metrics()
         self.shuffle_delivery = shuffle_delivery
-        # every actor gets a TIMEOUT at least this often: the paper's
-        # model runs TIMEOUT every round; the event-driven fast path skips
-        # provably-idle actors, and this sweep bounds the staleness of
-        # readiness conditions that depend on *other* actors' state
-        self.safety_tick = safety_tick
+        # optional whole-system TIMEOUT sweep every this many rounds,
+        # 0 disables.  Readiness is pushed via ``wake``, so the sweep is
+        # a belt-and-braces recheck rather than the clock: the paper's
+        # per-round TIMEOUT semantics survive because an actor whose
+        # state did not change takes the same (no-op) branch anyway.
+        self.safety_tick = int(safety_tick)
         self.round = 0
         #: optional scheduling override (see repro.sim.process.ScheduleHint)
         self.schedule_hint = None
@@ -74,6 +75,13 @@ class SyncRunner:
 
     def request_timeout(self, actor_id: int) -> None:
         self._timeout_now.add(actor_id)
+
+    def wake(self, actor_id: int) -> None:
+        """Cross-actor wake: TIMEOUT for ``actor_id`` in the next round's
+        sorted TIMEOUT set — same mechanism as ``request_timeout``, named
+        separately because the *caller* is another actor pushing a
+        readiness change rather than the actor scheduling itself."""
+        self._timeout_now.add(self.resolve(actor_id))
 
     def call_later(self, actor_id: int, delay: float) -> None:
         heapq.heappush(self._timers, (self.round + max(1, int(delay)), actor_id))

@@ -122,6 +122,34 @@ class TestBatchAndDrain:
         with pytest.raises(ValueError):
             queue.submit("frobnicate")
 
+    def test_op_and_dict_specs(self, queue):
+        from repro import Op
+
+        put, rem, dput = queue.submit_batch(
+            [
+                Op("enqueue", item="a", pid=2),
+                Op("dequeue", pid=2),
+                {"kind": "enqueue", "item": "b"},
+            ]
+        )
+        queue.drain()
+        assert put.result() is True and put.pid == 2
+        assert rem.result() == "a"
+        assert dput.result() is True
+
+    def test_bad_op_and_dict_specs_rejected(self, queue):
+        from repro import Op
+
+        with pytest.raises(ValueError):
+            queue.submit_batch([{"kind": "enqueue", "color": "red"}])
+        with pytest.raises(ValueError):
+            queue.submit_batch([{"item": "kindless"}])
+        with pytest.raises(ValueError):
+            # removals carry no item: the named shape makes this checkable
+            queue.submit_batch([Op("dequeue", item="x")])
+        with pytest.raises(ValueError):
+            queue.submit_batch([Op("frobnicate")])
+
     def test_drain_completes_everything(self, queue):
         handles = [queue.enqueue(i) for i in range(10)]
         assert not all(h.done() for h in handles)

@@ -1,0 +1,74 @@
+"""Event-driven waves: the protocol runs with the safety sweep disabled.
+
+``EngineProfile(safety_tick=0)`` removes the periodic whole-system
+TIMEOUT sweep on every engine; readiness then travels exclusively over
+the pushed ``Runtime.wake`` edges (batch arrival, SERVE, neighbour
+splices, zombie exits, A_NUDGE probes) plus each node's own
+``wake_me``/``call_later``.  These tests pin the property the redesign
+is for: no workload may depend on the sweep as a clock.
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro import EngineProfile, SkueueCluster
+from tests.conftest import (
+    assert_topology_invariants,
+    drive_random,
+    run_priority_workload,
+    verify,
+)
+
+NO_SWEEP = EngineProfile(safety_tick=0)
+
+
+@pytest.mark.parametrize("backend", ["sync", "async"])
+@pytest.mark.parametrize("structure", ["queue", "stack"])
+def test_uniform_workload_with_sweep_disabled(backend, structure):
+    rng = random.Random(f"no-sweep-{structure}")
+    with repro.connect(
+        backend, structure=structure, n_processes=8, seed=11, profile=NO_SWEEP
+    ) as session:
+        handles = []
+        inserted = 0
+        for i in range(40):
+            if rng.random() < 0.6 or inserted == 0:
+                handles.append(session.submit("insert", f"item-{i}"))
+                inserted += 1
+            else:
+                handles.append(session.submit("remove"))
+        session.drain()
+        assert all(h.done() for h in handles)
+        session.verify()
+
+
+@pytest.mark.parametrize("backend", ["sync", "async"])
+def test_priority_workload_with_sweep_disabled(backend):
+    with repro.connect(
+        backend, structure="heap", n_processes=6, seed=5, n_priorities=3,
+        profile=NO_SWEEP,
+    ) as session:
+        run_priority_workload(session, ops=40, seed=5, n_priorities=3)
+
+
+@pytest.mark.parametrize("seed", range(2))
+def test_churn_with_sweep_disabled(seed):
+    """JOIN/LEAVE splices rely on the new membership wake edges."""
+    c = SkueueCluster(n_processes=6, seed=seed, profile=NO_SWEEP)
+    drive_random(
+        c, rounds=250, op_probability=0.3, seed=seed,
+        join_probability=0.02, leave_probability=0.015,
+    )
+    c.run_until_settled(60_000)
+    verify(c)
+    assert_topology_invariants(c)
+
+
+def test_profile_reaches_the_engine_and_aliases_still_win():
+    c = SkueueCluster(n_processes=4, seed=0, profile=NO_SWEEP)
+    assert c.runtime.safety_tick == 0
+    # the loose kwarg remains as a deprecated alias and overrides the profile
+    c2 = SkueueCluster(n_processes=4, seed=0, profile=NO_SWEEP, safety_tick=32)
+    assert c2.runtime.safety_tick == 32

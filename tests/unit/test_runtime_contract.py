@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.actions import A_WAKE
 from repro.net.runtime import NetOpRecord, NetRuntime, RecordTable
 from repro.sim.async_runner import AsyncRunner
 from repro.sim.metrics import Metrics
@@ -20,7 +21,7 @@ def test_every_engine_implements_the_contract(factory):
     engine = factory()
     assert isinstance(engine, Runtime)
     # the structural check plus the members isinstance() cannot see
-    for name in ("send", "request_timeout", "call_later", "resolve",
+    for name in ("send", "request_timeout", "call_later", "resolve", "wake",
                  "add_actor", "remove_actor", "kick", "close"):
         assert callable(getattr(engine, name)), name
     assert isinstance(engine.metrics, Metrics)
@@ -78,6 +79,88 @@ def test_net_runtime_delivers_locally_and_ships_remotely():
         runtime.close()
 
     asyncio.run(scenario())
+
+
+class TestWakeDiscipline:
+    """``Runtime.wake``: pushed cross-actor readiness, on every engine.
+
+    The contract pinned here: ``wake(actor_id)`` schedules a TIMEOUT for
+    the actor wherever it lives, follows forwarding addresses, draws no
+    randomness (so waking a peer never perturbs a recorded schedule),
+    deduplicates with a pending ``request_timeout``, and works with the
+    safety sweep disabled — the sweep is not the clock.
+    """
+
+    def test_sync_wake_runs_timeout_next_round_without_sweep(self):
+        engine = SyncRunner(safety_tick=0)
+        actor = _Recorder(7, engine)
+        engine.add_actor(actor)
+        engine.wake(7)
+        engine.step()
+        assert actor.timeouts == 1
+        engine.step()  # no wake, no sweep: nothing re-checks the actor
+        assert actor.timeouts == 1
+
+    def test_sync_wake_follows_forwarding_and_draws_no_randomness(self):
+        engine = SyncRunner(safety_tick=0)
+        departed, absorber = _Recorder(3, engine), _Recorder(5, engine)
+        engine.add_actor(departed)
+        engine.add_actor(absorber)
+        engine.remove_actor(3, forward_to=5)
+        state = engine._delivery_rng.getstate()
+        engine.wake(3)
+        assert engine._delivery_rng.getstate() == state
+        engine.step()
+        assert absorber.timeouts == 1
+        assert departed.timeouts == 0
+
+    def test_async_wake_deduplicates_and_draws_no_randomness(self):
+        engine = AsyncRunner(safety_tick=0)
+        actor = _Recorder(4, engine)
+        engine.add_actor(actor)
+        state = engine._delay_rng.getstate()
+        engine.wake(4)
+        engine.wake(4)             # deduplicated with the pending TIMEOUT
+        engine.request_timeout(4)  # ... and with the actor's own request
+        assert engine._delay_rng.getstate() == state
+        engine.run_for(10.0)
+        assert actor.timeouts == 1
+
+    def test_net_wake_ships_a_wake_action_for_remote_actors(self):
+        shipped = []
+        runtime = NetRuntime(
+            send_remote=lambda dest, action, payload: shipped.append(
+                (dest, action, payload)
+            )
+        )
+        runtime._forwards[5] = 99
+        runtime.wake(99)
+        runtime.wake(5)  # forwarded id resolves before shipping
+        assert shipped == [(99, A_WAKE, ()), (99, A_WAKE, ())]
+        runtime.close()
+        runtime.wake(99)  # closed: dropped, not shipped
+        assert len(shipped) == 2
+
+    def test_net_wake_drives_local_timeout_with_the_sweep_disabled(self):
+        import asyncio
+
+        runtime = NetRuntime(
+            send_remote=lambda dest, action, payload: None,
+            timeout_lag=0.001,
+            sweep_seconds=0,
+        )
+
+        async def scenario():
+            runtime.start(asyncio.get_running_loop())
+            local = _Recorder(3, runtime)
+            runtime.add_actor(local)
+            runtime.wake(3)
+            runtime.wake(3)  # deduplicated while pending
+            await asyncio.sleep(0.03)
+            assert local.timeouts == 1
+            runtime.close()
+
+        asyncio.run(scenario())
 
 
 def test_net_runtime_forwarding_addresses():
