@@ -141,7 +141,16 @@ class SkueueClient:
         try:
             write_frame(writer, {"op": "hello"})
             await writer.drain()
-            welcome = await future
+            # belt for the EOF-notification in _read_loop: a peer that
+            # accepted the connection but never answers (crashed between
+            # accept and reply) must look like a refused connect
+            try:
+                welcome = await asyncio.wait_for(future, 15.0)
+            except asyncio.TimeoutError as exc:
+                self._drop_host(index)
+                raise ConnectionError(
+                    f"host {index} at {address} never answered the hello"
+                ) from exc
         finally:
             self._welcome_futures.pop(index, None)
         if welcome.get("host", index) != index:
@@ -171,7 +180,15 @@ class SkueueClient:
             if "map" in welcome:
                 self._apply_map_json(welcome["map"])
 
+    def _fail_welcome(self, index: int) -> None:
+        future = self._welcome_futures.pop(index, None)
+        if future is not None and not future.done():
+            future.set_exception(
+                ConnectionError(f"host {index} closed before answering hello")
+            )
+
     def _drop_host(self, index: int) -> None:
+        self._fail_welcome(index)
         task = self._readers.pop(index, None)
         if task is not None:
             task.cancel()
@@ -330,19 +347,32 @@ class SkueueClient:
             return
         _pid, kind, item, priority = meta
         try:
-            candidates = self.live_pids()
-            if not candidates:
-                raise RuntimeError(
-                    f"request {root} rejected and no live pids remain"
-                )
-            pid = candidates[self._retry_rr % len(candidates)]
-            self._retry_rr += 1
-            host = self.host_for(pid)
-            await self._ensure_host(host)
-            replacement = self._queue_submit(pid, kind, item, priority)
-            self._redirects[replacement] = root
-            self.rejected_resubmits += 1
-            await self._writers[host].drain()
+            # A crashed host stays in our map until the rebuilt one is
+            # pushed, so connecting may fail for a while: keep cycling
+            # live pids until a host answers or the deadline passes.
+            for _attempt in range(80):
+                candidates = self.live_pids()
+                if not candidates:
+                    raise RuntimeError(
+                        f"request {root} rejected and no live pids remain"
+                    )
+                pid = candidates[self._retry_rr % len(candidates)]
+                self._retry_rr += 1
+                host = self.host_for(pid)
+                try:
+                    await self._ensure_host(host)
+                except (ConnectionError, OSError):
+                    self._drop_host(host)
+                    await asyncio.sleep(0.25)
+                    continue
+                replacement = self._queue_submit(pid, kind, item, priority)
+                self._redirects[replacement] = root
+                self.rejected_resubmits += 1
+                await self._writers[host].drain()
+                return
+            raise TimeoutError(
+                f"request {root} could not be resubmitted: no reachable host"
+            )
         except Exception as exc:
             if not future.done():
                 future.set_exception(exc)
@@ -525,6 +555,11 @@ class SkueueClient:
         while True:
             message = await read_frame(reader)
             if message is None:
+                # a host killed mid-handshake accepts the connection but
+                # never answers the hello: fail the waiter so the lock in
+                # _ensure_host is released instead of wedging every
+                # subsequent resubmission behind it
+                self._fail_welcome(index)
                 if not self._closed:
                     asyncio.get_running_loop().create_task(
                         self._recover_lost(index)

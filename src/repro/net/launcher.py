@@ -125,10 +125,13 @@ class NetDeployment:
     def __init__(
         self, processes: list[subprocess.Popen], host_map: dict[int, tuple[str, int]],
         config: dict,
+        proc_by_index: dict[int, subprocess.Popen] | None = None,
     ) -> None:
         self.processes = processes
         self.host_map = host_map
         self.config = config
+        # host_index -> OS process, for targeted crash injection
+        self.proc_by_index = dict(proc_by_index or {})
         self._closed = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -221,6 +224,7 @@ class NetDeployment:
             raise
         _drain_stdout(proc)
         self.processes.append(proc)
+        self.proc_by_index[index] = proc
         self.host_map[index] = ("127.0.0.1", port)
         if integrate_timeout is not None:
             self.wait_host_integrated(index, timeout=integrate_timeout)
@@ -266,6 +270,41 @@ class NetDeployment:
             if time.monotonic() > deadline:
                 raise TimeoutError(
                     f"host {index} still draining after {timeout}s"
+                )
+            time.sleep(0.2)
+
+    def kill_host(
+        self, index: int, wait_evicted: bool = True, timeout: float = 30.0
+    ) -> None:
+        """Crash-stop host ``index``: SIGKILL, no goodbye frame.
+
+        This is the fault-injection entry point for crash tests and
+        demos — the process dies mid-protocol with whatever requests,
+        store shards and (possibly) the anchor it held.  The survivors'
+        failure detectors notice the silence, the acting coordinator
+        evicts the corpse, and the cluster rebuilds from replicated
+        record facts (see DESIGN.md, "Crash-stop fault tolerance").
+        With ``wait_evicted`` the call blocks until the survivors'
+        cluster map no longer names the dead host.
+        """
+        proc = self.proc_by_index.get(index)
+        if proc is None:
+            raise KeyError(f"no tracked process for host {index}")
+        proc.kill()
+        proc.wait()
+        self.host_map.pop(index, None)
+        if not wait_evicted:
+            return
+        deadline = time.monotonic() + timeout
+        while True:
+            cluster = self.cluster_map()
+            if index not in cluster.hosts:
+                self._sync_map(cluster)
+                return
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"host {index} still in the cluster map {timeout}s "
+                    "after SIGKILL (no eviction)"
                 )
             time.sleep(0.2)
 
@@ -346,9 +385,11 @@ def launch_local(
             )
             processes.append(proc)
         deadline = time.monotonic() + ready_timeout
+        proc_by_index: dict[int, subprocess.Popen] = {}
         for proc in processes:
             index, port = _read_ready_line(proc, deadline)
             host_map[index] = ("127.0.0.1", port)
+            proc_by_index[index] = proc
             _drain_stdout(proc)
         if len(host_map) != n_hosts:
             raise RuntimeError(f"only {len(host_map)}/{n_hosts} hosts became ready")
@@ -379,6 +420,7 @@ def launch_local(
             "id_slots": id_slots,
             "n_priorities": n_priorities,
         },
+        proc_by_index=proc_by_index,
     )
 
 

@@ -56,6 +56,7 @@ class ClusterMap:
         "next_host",
         "id_slots",
         "n_genesis",
+        "recovery_epoch",
     )
 
     def __init__(
@@ -70,6 +71,7 @@ class ClusterMap:
         next_host: int = 0,
         id_slots: int = 0,
         n_genesis: int = 0,
+        recovery_epoch: int = 0,
     ) -> None:
         self.version = version
         self.hosts = dict(hosts or {})
@@ -81,6 +83,7 @@ class ClusterMap:
         self.next_host = next_host
         self.id_slots = id_slots
         self.n_genesis = n_genesis
+        self.recovery_epoch = recovery_epoch
 
     # -- construction ---------------------------------------------------------
     @classmethod
@@ -184,6 +187,42 @@ class ClusterMap:
         self.forwards.update(forwards)
         self.version += 1
 
+    def evict_host(self, host_index: int, adopter: int) -> None:
+        """Crash-evict a host that died without draining.
+
+        Unlike :meth:`retire_host` there is no handover to merge — the
+        host is gone.  Its pids disappear (dead-pid records are promoted
+        from replicas by the recovery choreography, see
+        ``repro.ops.recovery``), the adopter takes over the departed
+        chain for COMPLETE routing, and ``recovery_epoch`` bumps: every
+        data-plane frame carries the epoch it was sent under, and frames
+        from an older epoch are dropped — the generation fence that keeps
+        pre-crash stragglers from corrupting the rebuilt state.
+        """
+        if host_index not in self.hosts:
+            raise ValueError(f"host {host_index} is not live")
+        if adopter not in self.hosts or adopter == host_index:
+            raise ValueError(f"adopter {adopter} is not a live other host")
+        self.hosts.pop(host_index)
+        self.leaving.discard(host_index)
+        for pid in self.pids_of(host_index):
+            del self.pid_owner[pid]
+        self.departed[host_index] = adopter
+        self.version += 1
+        self.recovery_epoch += 1
+
+    def successors_of(self, host_index: int, k: int = 2) -> list[int]:
+        """The next ``k`` live host indices after ``host_index`` in the
+        cyclic index order — the replica holders of its records."""
+        ring = sorted(h for h in self.hosts if h != host_index)
+        if not ring:
+            return []
+        start = 0
+        while start < len(ring) and ring[start] < host_index:
+            start += 1
+        rotated = ring[start:] + ring[:start]
+        return rotated[:k]
+
     # -- wire form -------------------------------------------------------------
     def to_json(self) -> dict:
         return {
@@ -197,6 +236,7 @@ class ClusterMap:
             "next_host": self.next_host,
             "id_slots": self.id_slots,
             "n_genesis": self.n_genesis,
+            "recovery_epoch": self.recovery_epoch,
         }
 
     @classmethod
@@ -212,4 +252,5 @@ class ClusterMap:
             next_host=data["next_host"],
             id_slots=data["id_slots"],
             n_genesis=data.get("n_genesis", 0),
+            recovery_epoch=data.get("recovery_epoch", 0),
         )

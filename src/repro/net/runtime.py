@@ -109,6 +109,20 @@ class NetRuntime:
         self._timeout_pending.clear()
         self._forwards.clear()
 
+    def reset(self) -> None:
+        """Tear down every actor but keep the runtime serving.
+
+        Crash recovery rebuilds the whole shard from scratch (see
+        ``repro.ops.recovery``): the old actors, their pending TIMEOUTs
+        and the forwarding table all belong to the dead epoch.  Loop
+        binding and the sweep survive — ``spawn_nodes`` repopulates
+        ``actors`` and the host kicks them.  Callbacks already scheduled
+        for removed actors no-op harmlessly (the actor lookup misses).
+        """
+        self.actors.clear()
+        self._timeout_pending.clear()
+        self._forwards.clear()
+
     # -- runtime protocol ----------------------------------------------------
     @property
     def now(self) -> float:
@@ -247,14 +261,20 @@ class NetOpRecord(OpRecord):
 
     The protocol flips ``completed`` from deep inside a message handler;
     the host uses the callback to push a DONE frame to the submitting
-    client without polling.
+    client without polling.  ``on_valued`` fires when stage 3 assigns
+    the witness-order value — the host mirrors the value to the record's
+    replica holders at that moment, which is what lets crash recovery
+    replay the record's place in the witness order even though the value
+    was assigned on the host that died (see ``repro.ops.recovery``).
     """
 
-    __slots__ = ("_net_completed", "on_completed")
+    __slots__ = ("_net_completed", "_net_value", "on_completed", "on_valued")
 
     def __init__(self, *args, **kwargs) -> None:
         self._net_completed = False
+        self._net_value = None
         self.on_completed: Callable[[NetOpRecord], None] | None = None
+        self.on_valued: Callable[[NetOpRecord], None] | None = None
         super().__init__(*args, **kwargs)
 
     @property
@@ -267,6 +287,17 @@ class NetOpRecord(OpRecord):
         self._net_completed = value
         if value and not was and self.on_completed is not None:
             self.on_completed(self)
+
+    @property
+    def value(self):
+        return self._net_value
+
+    @value.setter
+    def value(self, value) -> None:
+        was = self._net_value
+        self._net_value = value
+        if value is not None and was is None and self.on_valued is not None:
+            self.on_valued(self)
 
 
 class _RemoteRecordStub:
@@ -458,3 +489,13 @@ class RecordTable:
 
     def values(self):
         return self.local.values()
+
+    def reset_proxies(self) -> None:
+        """Drop every stub and adopted proxy at a recovery epoch change.
+
+        Both kinds memoise one-shot ``_done`` latches; a stale latch
+        surviving into the rebuilt epoch would silently swallow the
+        completion notification of a re-run record.  Canonical local
+        records are untouched."""
+        self._adopted.clear()
+        self._stubs.clear()

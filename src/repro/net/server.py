@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import asyncio
 import errno
+import random
 import time
 import traceback
 from collections import deque
@@ -47,6 +48,9 @@ from repro.core.requests import OpRecord
 from repro.core.structures import get_structure
 from repro.net.membership import ClusterMap
 from repro.net.runtime import NetOpRecord, NetRuntime, RecordTable
+from repro.ops.detector import FailureDetector
+from repro.ops.health import build_health, build_status, start_ops_server
+from repro.ops.recovery import merge_records, plan_rebuild
 from repro.net.transport import (
     decode_payload,
     encode_frame,
@@ -66,7 +70,7 @@ from repro.overlay.ldb import (
 )
 from repro.overlay.routing import route_steps_for
 from repro.sim.metrics import Metrics
-from repro.util.hashing import label_of
+from repro.util.hashing import heap_position_key, label_of, position_key
 
 __all__ = ["HostConfig", "NodeHost"]
 
@@ -100,6 +104,18 @@ class HostConfig:
     # explicit pid set for hosts joining a live deployment (None: genesis
     # round-robin shard over range(n_processes))
     owned: list[int] | None = None
+    # -- crash-stop fault tolerance + ops plane (defaults keep old JSON
+    #    configs loading unchanged) ------------------------------------------
+    # HTTP ops listener port (0: ephemeral, announced via SKUEUE-OPS)
+    ops_port: int = 0
+    # liveness beacon period on every peer link
+    heartbeat_seconds: float = 0.25
+    # consecutive silent heartbeat windows before a peer is suspected
+    miss_threshold: int = 4
+    # uncorroborated suspicion age that still justifies eviction
+    confirm_seconds: float = 1.5
+    # completion replicas mirrored to this many ring successors
+    replication: int = 2
 
     def __post_init__(self) -> None:
         get_structure(self.structure)  # unknown names raise, listing valid ones
@@ -139,6 +155,11 @@ class HostConfig:
             "id_slots": self.id_slots,
             "n_priorities": self.n_priorities,
             "owned": self.owned,
+            "ops_port": self.ops_port,
+            "heartbeat_seconds": self.heartbeat_seconds,
+            "miss_threshold": self.miss_threshold,
+            "confirm_seconds": self.confirm_seconds,
+            "replication": self.replication,
         }
 
     @classmethod
@@ -221,6 +242,10 @@ class _PeerLink:
     territory for this runtime, not masked (see DESIGN.md).
     """
 
+    #: consecutive failed connect attempts before the link parks itself
+    #: (a crashed peer would otherwise be dialled forever; `send` re-arms)
+    MAX_ATTEMPTS = 40
+
     def __init__(self, address: tuple[str, int], src: int) -> None:
         self.address = address
         self.src = src
@@ -228,6 +253,10 @@ class _PeerLink:
         self.task: asyncio.Task | None = None
         self._seq = 0
         self._in_flight: dict | None = None
+        # reconnect bookkeeping, surfaced through the ops /health payload
+        self.attempts = 0
+        self.last_error: str | None = None
+        self.gave_up = False
 
     def start(self) -> None:
         self.task = asyncio.get_running_loop().create_task(self._run())
@@ -237,6 +266,21 @@ class _PeerLink:
         message["src"] = self.src
         message["seq"] = self._seq
         self.outbox.put_nowait(message)
+        if self.gave_up:
+            # fresh traffic re-arms a parked link (the peer may be back)
+            self.gave_up = False
+            self.attempts = 0
+            self.start()
+
+    def stats(self) -> dict:
+        """Link health for the ops plane."""
+        return {
+            "address": list(self.address),
+            "attempts": self.attempts,
+            "last_error": self.last_error,
+            "gave_up": self.gave_up,
+            "queued": self.outbox.qsize() + (0 if self._in_flight is None else 1),
+        }
 
     @property
     def idle(self) -> bool:
@@ -266,11 +310,22 @@ class _PeerLink:
         while True:
             try:
                 reader, writer = await asyncio.open_connection(*self.address)
-            except OSError:
-                await asyncio.sleep(backoff)
+            except OSError as exc:
+                self.attempts += 1
+                self.last_error = str(exc) or type(exc).__name__
+                if self.attempts >= self.MAX_ATTEMPTS:
+                    # bounded retry: park until `send` re-arms us — the
+                    # failure detector owns declaring the peer dead
+                    self.gave_up = True
+                    return
+                # jittered exponential backoff so a cluster-wide restart
+                # does not thundering-herd the returning peer
+                await asyncio.sleep(backoff * (0.5 + random.random()))
                 backoff = min(backoff * 2, 1.0)
                 continue
             backoff = 0.05
+            self.attempts = 0
+            self.last_error = None
             try:
                 while True:
                     if self._in_flight is None:
@@ -278,7 +333,8 @@ class _PeerLink:
                     writer.write(encode_frame(self._in_flight))
                     await writer.drain()
                     self._in_flight = None
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError) as exc:
+                self.last_error = str(exc) or type(exc).__name__
                 continue  # reconnect; the in-flight frame is resent,
                 #           deduped by (src, seq) at the receiver
 
@@ -352,6 +408,37 @@ class NodeHost:
         self._orphan_completes: dict[int, dict] = {}
         self._last_epoch = 0
         self._pushed_epoch = 0
+        # -- crash-stop fault tolerance (see DESIGN.md) ----------------------
+        self.detector = FailureDetector(
+            heartbeat_seconds=config.heartbeat_seconds,
+            miss_threshold=config.miss_threshold,
+            confirm_seconds=config.confirm_seconds,
+        )
+        self._heartbeat_task: asyncio.Task | None = None
+        # recovery state machine: True between an eviction and the rebuild
+        self._recovering = False
+        self._recover_gen = 0
+        # msg/complete/replica frames from hosts ahead of us in the
+        # recovery choreography, replayed once the rebuild is applied
+        self._recover_buffer: list[dict] = []
+        self._parked_submits: list[tuple[_Connection, dict]] = []
+        # record facts mirrored here by ring predecessors (wire dicts)
+        self.replica_store: dict[int, dict] = {}
+        self._replica_targets: list[int] = []
+        # completed records whose DONE push awaits the first replica ack
+        self._pending_done: dict[int, NetOpRecord] = {}
+        # acting-coordinator rebuild collection (host -> wire record dumps)
+        self._recover_dumps: dict[int, list] = {}
+        self._recover_epochs: dict[int, int] = {}
+        self._recover_resent = 0.0
+        self._evicting: set[int] = set()
+        # kept to re-push to hosts whose rebuild frame raced a link reset
+        self._last_rebuild_frame: dict | None = None
+        # -- ops plane --------------------------------------------------------
+        self.ops_server: asyncio.base_events.Server | None = None
+        self.ops_port: int | None = None
+        self.log_ring: deque[str] = deque(maxlen=200)
+        self.evictions: list[dict] = []
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> int:
@@ -379,6 +466,13 @@ class NodeHost:
                 self._accept, self.config.bind_host, 0
             )
         self.port = self.server.sockets[0].getsockname()[1]
+        try:
+            self.ops_server, self.ops_port = await start_ops_server(
+                self, self.config.bind_host, self.config.ops_port
+            )
+        except OSError as exc:
+            # the data plane works without the ops listener; note and go on
+            self.note_error("ops", f"ops listener failed to bind: {exc}")
         return self.port
 
     async def wait_stopped(self) -> None:
@@ -390,12 +484,15 @@ class NodeHost:
 
     async def _async_stop(self) -> None:
         await asyncio.sleep(0.05)  # let in-flight replies (`bye`) flush
-        for task in (self._drain_task, self._housekeeping_task):
+        for task in (self._drain_task, self._housekeeping_task,
+                     self._heartbeat_task):
             if task is not None:
                 task.cancel()
         self.runtime.close()
         if self.server is not None:
             self.server.close()
+        if self.ops_server is not None:
+            self.ops_server.close()
         tasks: list[asyncio.Task] = []
         for conn in list(self.connections):
             tasks.extend(conn.tasks)
@@ -496,6 +593,10 @@ class NodeHost:
         self._housekeeping_task = asyncio.get_running_loop().create_task(
             self._housekeeping()
         )
+        self._heartbeat_task = asyncio.get_running_loop().create_task(
+            self._heartbeat_loop()
+        )
+        self._sync_replica_targets()
         buffered, self._pre_wire = self._pre_wire, []
         for message in buffered:
             self._handle_peer_frame(message)
@@ -503,11 +604,17 @@ class NodeHost:
     def _sync_peer_links(self) -> None:
         """Reconcile outbound peer links with the current cluster map."""
         assert self.cluster is not None
+        now = time.monotonic()
         for index, address in self.cluster.hosts.items():
             if index != self.config.host_index and index not in self.peers:
                 link = _PeerLink((address[0], int(address[1])), self.config.host_index)
                 self.peers[index] = link
                 link.start()
+            if index != self.config.host_index:
+                self.detector.register(index, now)
+        for host in self.detector.watched():
+            if host not in self.cluster.hosts:
+                self.detector.forget(host)
         for index in [i for i in self.peers if i not in self.cluster.hosts]:
             link = self.peers.pop(index)
             link.close()
@@ -519,6 +626,10 @@ class NodeHost:
                 self._redispatch_peer_frame(frame)
 
     def _redispatch_peer_frame(self, message: dict) -> None:
+        if self._recovering:
+            # the link died because its host was crash-evicted: everything
+            # queued for it predates the rebuild and is superseded by it
+            return
         op = message.get("op")
         if op == "msg":
             self.runtime.deliver_remote(
@@ -547,6 +658,7 @@ class NodeHost:
         client pushes — and (for the coordinator's own mutations) the
         peer broadcast."""
         self._sync_peer_links()
+        self._sync_replica_targets()
         self.runtime.add_forwards(self.cluster.forwards)
         self._replay_unrouted()
         self._replay_orphan_completes()
@@ -565,7 +677,11 @@ class NodeHost:
         return self.config.owner_host(pid)
 
     def _send_remote(self, dest: int, action: int, payload: tuple) -> None:
-        if self._stopping:
+        if self._stopping or self._recovering:
+            # mid-recovery the wave engine is being torn down: a stale
+            # actor task's last send is pre-crash wave state the rebuild
+            # re-derives from records — and the fresh cluster map no
+            # longer matches the old topology's vid numbering
             return
         owner = self._owner_of(pid_of(dest))
         if owner == self.config.host_index:
@@ -581,9 +697,14 @@ class NodeHost:
             self._unrouted.append((time.monotonic(), dest, action, payload))
             return
         link.send(
-            {"op": "msg", "dest": dest, "action": action,
+            {"op": "msg", "dest": dest, "action": action, "gen": self._gen,
              "payload": encode_payload(payload)}
         )
+
+    @property
+    def _gen(self) -> int:
+        """The recovery generation every data-plane frame is fenced by."""
+        return self.cluster.recovery_epoch if self.cluster is not None else 0
 
     def _replay_unrouted(self) -> None:
         parked, self._unrouted = self._unrouted, []
@@ -592,7 +713,7 @@ class NodeHost:
             if owner is not None and owner in self.peers:
                 self.peers[owner].send(
                     {"op": "msg", "dest": dest, "action": action,
-                     "payload": encode_payload(payload)}
+                     "gen": self._gen, "payload": encode_payload(payload)}
                 )
             elif time.monotonic() - stamped_at > _UNROUTED_GRACE:
                 self.note_error(
@@ -611,6 +732,14 @@ class NodeHost:
             if self._unrouted:
                 self._replay_unrouted()
             self._publish_forwards()
+            if (
+                self._recovering
+                and time.monotonic() - self._recover_resent > 1.0
+            ):
+                # the acting coordinator may have changed (it crashed too)
+                # or our dump may have raced its link teardown: re-offer
+                self._recover_resent = time.monotonic()
+                self._send_recover_dump()
 
     def _publish_forwards(self) -> None:
         """Push newly created vid forwards to the coordinator *as nodes
@@ -703,6 +832,7 @@ class NodeHost:
             self._apply_complete(req_id, dict(fields))
             return
         frame = self._complete_frame(req_id, fields)
+        frame["gen"] = self._gen
         link = self.peers.get(target)
         if link is not None:
             link.send(frame)
@@ -750,6 +880,7 @@ class NodeHost:
                     return
                 src = message.get("src")
                 if src is not None:
+                    self.detector.heard_from(src, time.monotonic())
                     seq = message["seq"]
                     seen, order = self._peer_seen.setdefault(
                         src, (set(), deque())
@@ -815,6 +946,30 @@ class NodeHost:
                     )
             elif op == "retire":
                 self._handle_retire(conn, message)
+            elif op == "heartbeat":
+                self.detector.heard_from(int(message["host"]), time.monotonic())
+            elif op == "suspect":
+                reporter = int(message.get("by", -1))
+                if reporter >= 0:
+                    self.detector.heard_from(reporter, time.monotonic())
+                self.detector.corroborate(int(message["host"]), reporter)
+            elif op == "evict":
+                self._handle_evict(message)
+            elif op == "recover_dump":
+                self._handle_recover_dump(message)
+            elif op == "rebuild":
+                self._apply_rebuild(message)
+            elif op == "replica_put":
+                self._handle_replica_put(message)
+            elif op == "replica_ack":
+                rec = self._pending_done.get(int(message["req"]))
+                if rec is not None:
+                    self._push_done(rec)
+            elif op == "health":
+                if message.get("detail") == "status":
+                    conn.send({"op": "health", **build_status(self)})
+                else:
+                    conn.send({"op": "health", **build_health(self)})
             elif op == "collect":
                 records = [record_to_wire(rec) for rec in self.records.values()]
                 records.extend(
@@ -848,6 +1003,7 @@ class NodeHost:
                             self.cluster.version if self.cluster is not None else 0
                         ),
                         "update_epoch": self._last_epoch,
+                        "ops_port": self.ops_port,
                     }
                 )
             elif op == "shutdown":
@@ -859,6 +1015,16 @@ class NodeHost:
             self.note_error(f"frame {op!r}", traceback.format_exc())
 
     def _handle_peer_frame(self, message: dict) -> None:
+        # generation fence: data-plane frames from before a crash eviction
+        # must not leak into the rebuilt actors (their waves restarted
+        # from the merged record set); frames from a peer *ahead* of us in
+        # the recovery choreography are parked until our rebuild lands
+        gen = int(message.get("gen", 0))
+        if self._recovering or gen > self._gen:
+            self._recover_buffer.append(message)
+            return
+        if gen < self._gen:
+            return
         if message["op"] == "msg":
             self.runtime.deliver_remote(
                 message["dest"],
@@ -916,6 +1082,10 @@ class NodeHost:
                     "salt": config.salt,
                     "id_slots": config.id_slots,
                     "n_priorities": config.n_priorities,
+                    "heartbeat_seconds": config.heartbeat_seconds,
+                    "miss_threshold": config.miss_threshold,
+                    "confirm_seconds": config.confirm_seconds,
+                    "replication": config.replication,
                 },
                 "map": self.cluster.to_json(),
             }
@@ -1109,6 +1279,11 @@ class NodeHost:
         if not self.wired:
             conn.send({"op": "error", "message": "host not wired yet"})
             return
+        if self._recovering:
+            # mid-rebuild the actor table is empty; park rather than
+            # reject so clients ride through a crash without resharding
+            self._parked_submits.append((conn, message))
+            return
         pid = message["pid"]
         req_id = message["req"]
         priority = int(message.get("pri", 0))
@@ -1153,11 +1328,33 @@ class NodeHost:
             priority=priority,
         )
         rec.on_completed = self._record_done
+        rec.on_valued = self._record_valued
         self.records.add_local(rec)
         self._submitters[req_id] = conn
+        # mirror the submission before the wave starts: should this host
+        # die mid-protocol, the successors still hold the request fact
+        self._replicate(rec)
         node.local_op(rec)
 
+    def _record_valued(self, rec: NetOpRecord) -> None:
+        # stage 3 assigned the anchor value: replicate it immediately.
+        # Without this, a crash between valuation and completion would
+        # re-run an *ordered* op with a fresh value — and a later same-pid
+        # op that already completed could overtake it (property 4).
+        self._replicate(rec)
+
     def _record_done(self, rec: NetOpRecord) -> None:
+        if self._replica_targets:
+            # gate the client's DONE on the first replica ack: an
+            # acknowledged op is then guaranteed to survive any single
+            # host crash (k >= 1 live copies besides ours)
+            self._pending_done[rec.req_id] = rec
+            self._replicate(rec, ack=True)
+        else:
+            self._push_done(rec)
+
+    def _push_done(self, rec: NetOpRecord) -> None:
+        self._pending_done.pop(rec.req_id, None)
         conn = self._submitters.pop(rec.req_id, None)
         if conn is not None:
             conn.send(
@@ -1168,6 +1365,451 @@ class NodeHost:
                     "result": encode_payload(rec.result),
                 }
             )
+
+    # -- record replication --------------------------------------------------
+    def _sync_replica_targets(self) -> None:
+        """Recompute the ring successors that mirror this host's records."""
+        if self.cluster is None:
+            self._replica_targets = []
+            return
+        targets = self.cluster.successors_of(
+            self.config.host_index, self.config.replication
+        )
+        if targets != self._replica_targets:
+            self._replica_targets = targets
+            self._resync_replicas()
+
+    def _replicate(self, rec, ack: bool = False) -> None:
+        """Mirror one record's current facts to the replica successors.
+
+        Called at submit (the request exists), at valuation (the anchor
+        ordered it — see :meth:`_record_valued`) and at completion (with
+        ``ack=True``, which gates the client DONE on the first
+        ``replica_ack``)."""
+        if not self._replica_targets:
+            if ack:
+                self._push_done(rec)
+            return
+        frame = {
+            "op": "replica_put",
+            "gen": self._gen,
+            "origin": self.config.host_index,
+            "ack": ack,
+            "record": record_to_wire(rec),
+        }
+        for target in self._replica_targets:
+            link = self.peers.get(target)
+            if link is not None:
+                link.send(frame)
+
+    def _resync_replicas(self) -> None:
+        """Full-history snapshot to a changed successor set.
+
+        O(history) per membership change — acceptable at the deployment
+        sizes this runtime targets (see DESIGN.md); the alternative
+        (incremental per-successor watermarks) is not worth the state."""
+        if not self._replica_targets:
+            # nobody to wait for: release every gated DONE
+            for rec in list(self._pending_done.values()):
+                self._push_done(rec)
+            return
+        for rec in self.records.values():
+            self._replicate(rec, ack=rec.req_id in self._pending_done)
+        for rec in self.adopted_records.values():
+            self._replicate(rec)
+
+    def _handle_replica_put(self, message: dict) -> None:
+        if self._recovering:
+            # our store is about to be purged by the rebuild: park the
+            # fact so a new-generation replica cannot be wiped with it
+            self._recover_buffer.append(message)
+            return
+        if int(message.get("gen", 0)) != self._gen:
+            return  # pre-eviction replica: the rebuild superseded it
+        wire = message["record"]
+        req_id = wire["req_id"]
+        have = self.replica_store.get(req_id)
+        if have is None:
+            self.replica_store[req_id] = dict(wire)
+        else:
+            # monotone fact merge, mirroring repro.ops.recovery
+            if wire["completed"] and not have["completed"]:
+                have.update(wire)
+            else:
+                if have["value"] is None and wire["value"] is not None:
+                    have["value"] = wire["value"]
+                if have["result"] is None and wire["result"] is not None:
+                    have["result"] = wire["result"]
+                have["local_match"] = have["local_match"] or wire["local_match"]
+        if message.get("ack"):
+            link = self.peers.get(int(message["origin"]))
+            if link is not None:
+                link.send({"op": "replica_ack", "req": req_id})
+
+    # -- failure detection ---------------------------------------------------
+    async def _heartbeat_loop(self) -> None:
+        """Beacon + detector tick.  Beacons keep flowing *during* recovery
+        (silence there would breed false suspicions right after the
+        rebuild); only the eviction logic pauses."""
+        while not self._stopping:
+            await asyncio.sleep(self.config.heartbeat_seconds)
+            if self.cluster is None:
+                continue
+            frame = {"op": "heartbeat", "host": self.config.host_index}
+            for link in self.peers.values():
+                link.send(dict(frame))
+            if not self._recovering:
+                self._detector_tick()
+
+    def _acting_coordinator(self) -> int:
+        """The coordinator with suspects excluded — eviction must proceed
+        when the coordinator itself is the crashed host (re-election:
+        lowest live index)."""
+        suspects = set(self.detector.suspects())
+        live = [h for h in self.cluster.hosts if h not in suspects]
+        return min(live) if live else self.config.host_index
+
+    def _detector_tick(self) -> None:
+        now = time.monotonic()
+        for host in self.detector.observe(now):
+            self._note(f"suspecting host {host}: silent for "
+                       f"{self.detector.age_of(host, now):.2f}s")
+        suspects = [h for h in self.detector.suspects()
+                    if h in self.cluster.hosts]
+        if not suspects:
+            return
+        acting = self._acting_coordinator()
+        if acting != self.config.host_index:
+            link = self.peers.get(acting)
+            if link is not None:
+                for host in suspects:
+                    link.send({"op": "suspect", "host": host,
+                               "by": self.config.host_index})
+            return
+        n_live = len(self.cluster.hosts)
+        for host in suspects:
+            if host not in self._evicting and self.detector.should_evict(
+                host, now, n_live
+            ):
+                self._start_eviction(host)
+
+    # -- crash eviction + recovery -------------------------------------------
+    def _start_eviction(self, dead: int) -> None:
+        """Acting-coordinator side: mutate the map, broadcast, recover."""
+        if self.cluster is None or dead not in self.cluster.hosts:
+            return
+        self._evicting.add(dead)
+        successors = self.cluster.successors_of(dead, 1)
+        adopter = successors[0] if successors else self.config.host_index
+        self.cluster.evict_host(dead, adopter)
+        # a crash aborts any in-flight drain choreography wholesale; the
+        # operator re-issues `leave` once the cluster is stable again
+        self.cluster.leaving.clear()
+        self._note(
+            f"evicted host {dead} (adopter {adopter}, "
+            f"generation {self.cluster.recovery_epoch})"
+        )
+        self.evictions.append(
+            {"host": dead, "adopter": adopter,
+             "gen": self.cluster.recovery_epoch}
+        )
+        frame = {
+            "op": "evict",
+            "host": dead,
+            "gen": self.cluster.recovery_epoch,
+            "map": self.cluster.to_json(),
+        }
+        for index, link in self.peers.items():
+            if index != dead:
+                link.send(frame)
+        self._enter_recovery(self.cluster.recovery_epoch)
+
+    def _handle_evict(self, message: dict) -> None:
+        incoming = ClusterMap.from_json(message["map"])
+        if self.cluster is None or incoming.version <= self.cluster.version:
+            return
+        self.cluster = incoming
+        if self.config.host_index not in self.cluster.hosts:
+            # zombie fence: the cluster declared *us* dead — a false
+            # positive notwithstanding, rejoining would split-brain the
+            # anchor, so stop and let the operator re-join us fresh
+            self._note("evicted by the cluster; stopping")
+            self.stop()
+            return
+        self.evictions.append(
+            {"host": int(message.get("host", -1)),
+             "adopter": self.cluster.departed.get(int(message.get("host", -1))),
+             "gen": int(message["gen"])}
+        )
+        self._note(f"host {message.get('host')} evicted; entering recovery "
+                   f"generation {message['gen']}")
+        self._enter_recovery(int(message["gen"]))
+
+    def _enter_recovery(self, gen: int) -> None:
+        """Tear down the data plane and offer our facts for the rebuild."""
+        if self._recovering and self._recover_gen >= gen:
+            return
+        self._recovering = True
+        self._recover_gen = gen
+        self._recover_resent = time.monotonic()
+        self._sync_peer_links()          # drops the dead host's link
+        self.runtime.reset()             # every local actor is rebuilt
+        self.records.reset_proxies()     # stale one-shot done latches
+        self._unrouted.clear()
+        self._orphan_completes.clear()
+        self._send_recover_dump()
+
+    def _recover_dump_frame(self) -> dict:
+        records = [record_to_wire(rec) for rec in self.records.values()]
+        records.extend(
+            record_to_wire(rec) for rec in self.adopted_records.values()
+        )
+        records.extend(dict(wire) for wire in self.replica_store.values())
+        return {
+            "op": "recover_dump",
+            "gen": self._recover_gen,
+            "host": self.config.host_index,
+            "epoch": self._last_epoch,
+            "records": records,
+        }
+
+    def _send_recover_dump(self) -> None:
+        acting = self._acting_coordinator()
+        frame = self._recover_dump_frame()
+        if acting == self.config.host_index:
+            self._handle_recover_dump(frame)
+        else:
+            link = self.peers.get(acting)
+            if link is not None:
+                link.send(frame)
+
+    def _handle_recover_dump(self, message: dict) -> None:
+        gen = int(message.get("gen", 0))
+        host = int(message["host"])
+        if not self._recovering:
+            # we already rebuilt this generation: the sender's rebuild
+            # frame must have raced a link reset — push it again
+            if (
+                self._last_rebuild_frame is not None
+                and gen == self._gen
+                and host in self.peers
+            ):
+                self.peers[host].send(dict(self._last_rebuild_frame))
+            return
+        if gen != self._recover_gen:
+            return
+        self._recover_dumps[host] = message["records"]
+        self._recover_epochs[host] = int(message.get("epoch", 0))
+        if set(self.cluster.hosts).issubset(self._recover_dumps):
+            self._do_rebuild()
+
+    def _do_rebuild(self) -> None:
+        """Acting-coordinator side: merge every dump, plan, broadcast."""
+        dumps = [
+            [record_from_wire(data) for data in records]
+            for records in self._recover_dumps.values()
+        ]
+        self._recover_dumps = {}
+        epochs = self._recover_epochs
+        self._recover_epochs = {}
+        merged = merge_records(dumps)
+        epoch = max(epochs.values(), default=0) + 1
+        plan = plan_rebuild(
+            merged,
+            self.config.structure,
+            n_priorities=self.config.n_priorities,
+            epoch=epoch,
+            members=3 * len(self.cluster.pid_owner),
+        )
+        for err in plan.errors:
+            self.note_error("rebuild", err)
+        if plan.repairs:
+            self._note(f"rebuild repaired lost facts for reqs {plan.repairs}")
+        frame = {
+            "op": "rebuild",
+            "gen": self._recover_gen,
+            "map": self.cluster.to_json(),
+            "records": [record_to_wire(rec) for rec in merged.values()],
+            "anchor": encode_payload(plan.anchor),
+            "elements": encode_payload(plan.elements),
+            "reruns": list(plan.reruns),
+        }
+        self._last_rebuild_frame = frame
+        self._note(
+            f"rebuild planned: {len(merged)} records, "
+            f"{len(plan.elements)} live elements, {len(plan.reruns)} reruns, "
+            f"{len(plan.repairs)} repairs, {len(plan.errors)} errors"
+        )
+        for link in self.peers.values():
+            link.send(dict(frame))
+        self._apply_rebuild(frame)
+
+    def _apply_rebuild(self, message: dict) -> None:
+        """Every-host side: adopt the merged truth, respawn the shard.
+
+        The ordering below is load-bearing; see DESIGN.md ("Crash-stop
+        fault tolerance") for the why of each step."""
+        gen = int(message.get("gen", 0))
+        if not self._recovering and gen <= self._recover_gen:
+            return  # duplicate re-push of a rebuild we already applied
+        incoming = ClusterMap.from_json(message["map"])
+        if self.cluster is not None and incoming.version < self.cluster.version:
+            return  # stale rebuild of a superseded generation
+        self.cluster = incoming
+        if self.config.host_index not in self.cluster.hosts:
+            self._note("rebuild map does not name us; stopping")
+            self.stop()
+            return
+        if not self._recovering:
+            # the evict frame raced a link reset: catch up on its duties
+            self._recovering = True
+            self.runtime.reset()
+            self.records.reset_proxies()
+            self._unrouted.clear()
+            self._orphan_completes.clear()
+        self._recover_gen = gen
+        config = self.config
+        self._sync_peer_links()
+        # successors under the new map; the snapshot resync happens below,
+        # *after* the merged facts land, so it mirrors the rebuilt truth
+        self._replica_targets = self.cluster.successors_of(
+            config.host_index, config.replication
+        )
+        # respawn the shard over the surviving pid set
+        merged = [record_from_wire(data) for data in message["records"]]
+        anchor = decode_payload(message["anchor"])
+        elements = decode_payload(message["elements"])
+        reruns = set(message.get("reruns", ()))
+        pids = sorted(self.cluster.pid_owner)
+        self.topology = LdbTopology(pids, salt=config.salt)
+        self.ctx = ClusterContext(
+            self.runtime,
+            salt=config.salt,
+            route_steps=route_steps_for(len(self.topology)),
+            insert_name=self.spec.insert_name,
+            remove_name=self.spec.remove_name,
+            empty_name=self.spec.empty_name,
+            n_priorities=config.n_priorities,
+            on_update_over=self._update_over,
+        )
+        self.ctx.records = self.records
+        local_pids = self.cluster.pids_of(config.host_index)
+        self.joining_pids.clear()
+        nodes = spawn_nodes(
+            self.ctx, self.topology, self.node_class, pids=local_pids
+        )
+        for node in nodes:
+            if node.is_anchor and anchor:
+                node.anchor_state = node._new_anchor_state().restore(
+                    tuple(anchor)
+                )
+        self._preload_stores(elements)
+        # custody: records of evicted origins complete here from now on
+        for rec in merged:
+            origin = self.records.origin_of(rec.req_id)
+            target = self.cluster.complete_target(origin)
+            if (
+                origin != config.host_index
+                and target == config.host_index
+                and rec.req_id not in self.records.local
+            ):
+                self.adopted_records[rec.req_id] = rec
+        # fold merged facts into our own records; completions fire the
+        # (ack-gated) DONE push through the record's on_completed hook
+        for rec in merged:
+            mine = self.records.local.get(rec.req_id)
+            if mine is None:
+                continue
+            if rec.value is not None and mine.value is None:
+                mine.value = rec.value
+            if rec.result is not None and mine.result is None:
+                mine.result = rec.result
+            if rec.local_match:
+                mine.local_match = True
+            if rec.completed and not mine.completed:
+                mine.completed = True
+        # re-run the never-ordered tail: each record restarts at the host
+        # that will complete it (origin while live, custodian otherwise)
+        rerun_recs = sorted(
+            (rec for rec in merged if rec.req_id in reruns),
+            key=lambda rec: (rec.pid, rec.idx),
+        )
+        for rec in rerun_recs:
+            origin = self.records.origin_of(rec.req_id)
+            target = self.cluster.complete_target(origin)
+            if (target if target is not None else origin) != config.host_index:
+                continue
+            obj = self.records.local.get(rec.req_id)
+            if obj is None:
+                obj = self.adopted_records.get(rec.req_id, rec)
+            node = self.runtime.actors.get(vid_of(obj.pid, MIDDLE))
+            if node is None:
+                # the record's own pid died with its host: any integrated
+                # local middle node may sponsor the re-run
+                try:
+                    node = self._route_starter()
+                except RuntimeError:
+                    self.note_error(
+                        "rebuild", f"no node to re-run req {obj.req_id}"
+                    )
+                    continue
+            node.local_op(obj)
+        # replicas recorded before the crash described the old world
+        self.replica_store.clear()
+        self._recovering = False
+        self._evicting.clear()
+        now = time.monotonic()
+        for host in self.detector.suspects():
+            if host in self.cluster.hosts:
+                self.detector.clear(host, now)
+        self._resync_replicas()
+        # frames parked while the shard was down (fence re-checked now)
+        buffered, self._recover_buffer = self._recover_buffer, []
+        for frame in buffered:
+            if frame.get("op") == "replica_put":
+                self._handle_replica_put(frame)
+            else:
+                self._handle_peer_frame(frame)
+        map_json = self.cluster.to_json()
+        for conn in list(self.connections):
+            if conn.is_client:
+                conn.send({"op": "host_map", "map": map_json})
+        self.runtime.kick()
+        parked, self._parked_submits = self._parked_submits, []
+        for conn, sub in parked:
+            if conn in self.connections:
+                self._submit(conn, sub)
+        self._note(f"recovery generation {gen} complete; "
+                   f"{len(self.runtime.actors)} actors live")
+
+    def _preload_stores(self, elements) -> None:
+        """Seed the rebuilt DHT shard with the replayed live elements."""
+        salt = self.config.salt
+        structure = self.config.structure
+        for entry in elements:
+            if structure == "queue":
+                pos, element = entry
+                key = position_key(int(pos), salt)
+            elif structure == "stack":
+                pos, ticket, element = entry
+                key = position_key(int(pos), salt)
+            else:  # heap
+                priority, pos, element = entry
+                key = heap_position_key(int(priority), int(pos), salt)
+            node = self.runtime.actors.get(self.topology.owner_of(key))
+            if node is None:
+                continue  # another host's shard preloads it
+            if structure == "stack":
+                node.store.put(key, int(ticket), element)
+            else:
+                node.store.put(key, element)
+
+    def _note(self, text: str) -> None:
+        """Ops-plane log line: ring buffer (served by /status) + stdout."""
+        entry = (f"{time.strftime('%H:%M:%S')} host "
+                 f"{self.config.host_index}: {text}")
+        self.log_ring.append(entry)
+        print(f"[skueue-ops] {entry}", flush=True)
 
     # -- error surfacing -----------------------------------------------------
     def _actor_error(self, actor_id: int, exc: BaseException) -> None:
@@ -1190,6 +1832,10 @@ async def run_host(config: HostConfig, ready_prefix: str = "SKUEUE-READY") -> No
     host = NodeHost(config)
     port = await host.start()
     print(f"{ready_prefix} {config.host_index} {port}", flush=True)
+    if host.ops_port:
+        # announced *after* READY so launchers parsing only the READY
+        # line keep working; `skueue-ops` scrapes this one
+        print(f"SKUEUE-OPS {config.host_index} {host.ops_port}", flush=True)
     await host.wait_stopped()
 
 
@@ -1259,6 +1905,8 @@ async def run_joining_host(
     host = NodeHost(config)
     actual_port = await host.start()
     print(f"{ready_prefix} {config.host_index} {actual_port}", flush=True)
+    if host.ops_port:
+        print(f"SKUEUE-OPS {config.host_index} {host.ops_port}", flush=True)
     host.wire_joining(ClusterMap.from_json(reply["map"]))
     await _async_request(
         coordinator_address,

@@ -90,6 +90,15 @@ FRAME_TYPES: dict[str, str] = {
     "map": "client -> host: pull the current cluster map",
     "host_map": "host -> peers/clients: versioned cluster map (push or pull answer)",
     "update_over": "host -> clients: an update phase finished (epoch, members)",
+    # crash-stop fault tolerance + ops plane
+    "heartbeat": "host -> host: periodic liveness beacon over the peer link",
+    "suspect": "host -> coordinator: peer silent past threshold (corroboration)",
+    "evict": "coordinator -> hosts: crash-evict a dead host, enter recovery",
+    "recover_dump": "host -> coordinator: all record facts held, for the rebuild",
+    "rebuild": "coordinator -> hosts: merged records + deterministic rebuild plan",
+    "replica_put": "host -> successor: mirror record facts (submit/value/completion)",
+    "replica_ack": "successor -> host: completion replica durably held",
+    "health": "any -> host: ops-plane health/status snapshot request/answer",
 }
 
 _LEN = struct.Struct(">I")

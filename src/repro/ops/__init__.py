@@ -1,0 +1,35 @@
+"""Operations plane for TCP deployments: failure detection, crash
+recovery planning, and the health/status surface.
+
+This package holds the *pure* half of crash-stop fault tolerance — no
+sockets, no event loop — so every policy decision is unit-testable with
+an injected clock:
+
+* :mod:`repro.ops.detector` — the heartbeat failure detector state
+  machine (suspect thresholds, flapping tolerance, eviction decisions).
+* :mod:`repro.ops.recovery` — merging record dumps and planning the
+  deterministic post-crash rebuild (replay completion, store preload,
+  anchor restoration, repair of records whose facts died with a host).
+* :mod:`repro.ops.health` — `/health` and `/status` payload builders
+  plus the minimal per-host HTTP listener.
+* :mod:`repro.ops.cli` — the ``skueue-ops`` dashboard/log-tail CLI
+  (imported lazily by its entry point; it pulls in ``repro.net``).
+
+The impure half — heartbeat tasks, SUSPECT/EVICT/RECOVER_DUMP/REBUILD
+frames, replica shipping — lives in :mod:`repro.net.server`, which
+imports this package (never the other way around).
+"""
+
+from repro.ops.detector import FailureDetector
+from repro.ops.health import build_health, build_status, start_ops_server
+from repro.ops.recovery import RebuildPlan, merge_records, plan_rebuild
+
+__all__ = [
+    "FailureDetector",
+    "RebuildPlan",
+    "build_health",
+    "build_status",
+    "merge_records",
+    "plan_rebuild",
+    "start_ops_server",
+]

@@ -1,0 +1,188 @@
+"""``skueue-ops``: operations dashboard for a live TCP deployment.
+
+Point it at any live host; it pulls the cluster map, asks every host
+for its health/status payload over the main TCP port (the ``health``
+frame — no HTTP client needed), and renders either a terminal dashboard
+or machine-readable JSON:
+
+* ``skueue-ops status --seed HOST:PORT`` — one-shot cluster dashboard
+  (per-host liveness, detector view, replica fan-out, evictions),
+* ``skueue-ops status --seed ... --json`` — the raw payloads, for CI
+  artifacts and scripting,
+* ``skueue-ops status --seed ... --watch`` — refresh the dashboard
+  every second until interrupted,
+* ``skueue-ops logs --seed HOST:PORT`` — merged tail of every host's
+  ops log ring (suspicions, evictions, rebuilds).
+
+Kept separate from :mod:`repro.ops`'s pure modules because it imports
+``repro.net.transport``; the package ``__init__`` never imports us.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+import time
+
+from repro.net.transport import FrameReader, encode_frame
+
+__all__ = ["main"]
+
+
+def _request(
+    address: tuple[str, int], message: dict, expect_op: str, timeout: float = 5.0
+) -> dict:
+    """One blocking framed round-trip on a throwaway connection."""
+    with socket.create_connection(address, timeout=timeout) as sock:
+        sock.sendall(encode_frame(message))
+        sock.settimeout(timeout)
+        frames = FrameReader()
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                raise ConnectionError(f"host at {address} closed the connection")
+            for reply in frames.feed(data):
+                if reply.get("op") == expect_op:
+                    return reply
+                if reply.get("op") == "error":
+                    raise RuntimeError(reply.get("message"))
+
+
+def _discover(seed: tuple[str, int]) -> dict[int, tuple[str, int]]:
+    """The live host set, from any one host's cluster map."""
+    reply = _request(seed, {"op": "map"}, "host_map")
+    hosts = reply["map"]["hosts"]
+    return {int(index): (addr[0], int(addr[1])) for index, addr in hosts.items()}
+
+
+def _collect(
+    seed: tuple[str, int], detail: str | None = None
+) -> tuple[dict[int, dict], dict[int, str]]:
+    """Health payload (or error string) per live host."""
+    payloads: dict[int, dict] = {}
+    failures: dict[int, str] = {}
+    message: dict = {"op": "health"}
+    if detail:
+        message["detail"] = detail
+    for index, address in sorted(_discover(seed).items()):
+        try:
+            payloads[index] = _request(address, dict(message), "health")
+        except (OSError, RuntimeError, ConnectionError) as exc:
+            failures[index] = str(exc) or type(exc).__name__
+    return payloads, failures
+
+
+def _render_status(payloads: dict[int, dict], failures: dict[int, str]) -> str:
+    lines = []
+    header = (
+        f"{'host':>4}  {'state':<10} {'map':>4} {'gen':>4} {'coord':>5} "
+        f"{'recs':>6} {'repl':>6} {'suspects':<10} {'errors':>6}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for index, data in sorted(payloads.items()):
+        state = (
+            "recovering" if data.get("recovering")
+            else "draining" if data.get("draining")
+            else "up" if data.get("wired")
+            else "wiring"
+        )
+        suspects = ",".join(str(s) for s in data["detector"]["suspects"]) or "-"
+        lines.append(
+            f"{index:>4}  {state:<10} {data['map_version']:>4} "
+            f"{data['recovery_epoch']:>4} {data['coordinator']:>5} "
+            f"{data['records']:>6} {data['replicas']:>6} {suspects:<10} "
+            f"{data['errors']:>6}"
+        )
+    for index, failure in sorted(failures.items()):
+        lines.append(f"{index:>4}  unreachable: {failure}")
+    evictions = {
+        (event["host"], event["gen"])
+        for data in payloads.values()
+        for event in data.get("evictions", ())
+    }
+    if evictions:
+        lines.append("")
+        lines.append("evictions: " + ", ".join(
+            f"host {host} (generation {gen})"
+            for host, gen in sorted(evictions)
+        ))
+    return "\n".join(lines)
+
+
+def _status(args: argparse.Namespace) -> int:
+    while True:
+        payloads, failures = _collect(args.seed)
+        if args.json:
+            print(json.dumps(
+                {
+                    "hosts": {str(k): v for k, v in payloads.items()},
+                    "unreachable": {str(k): v for k, v in failures.items()},
+                },
+                default=str,
+            ))
+        else:
+            if args.watch:
+                sys.stdout.write("\x1b[2J\x1b[H")  # clear + home
+            print(_render_status(payloads, failures))
+        if not args.watch:
+            return 0
+        time.sleep(args.interval)
+
+
+def _logs(args: argparse.Namespace) -> int:
+    payloads, failures = _collect(args.seed, detail="status")
+    entries = sorted(
+        line for data in payloads.values() for line in data.get("log", ())
+    )
+    for line in entries[-args.tail:] if args.tail else entries:
+        print(line)
+    for index, failure in sorted(failures.items()):
+        print(f"[unreachable] host {index}: {failure}", file=sys.stderr)
+    return 0 if not failures else 1
+
+
+def _parse_seed(value: str) -> tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    return (host or "127.0.0.1", int(port))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="skueue-ops",
+        description="operations dashboard for a live Skueue deployment",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    status = sub.add_parser("status", help="per-host health dashboard")
+    status.add_argument("--seed", required=True, type=_parse_seed,
+                        help="HOST:PORT of any live host")
+    status.add_argument("--json", action="store_true",
+                        help="emit raw health payloads as JSON")
+    status.add_argument("--watch", action="store_true",
+                        help="refresh until interrupted")
+    status.add_argument("--interval", type=float, default=1.0,
+                        help="refresh period with --watch (seconds)")
+
+    logs = sub.add_parser("logs", help="merged ops log tail of every host")
+    logs.add_argument("--seed", required=True, type=_parse_seed,
+                      help="HOST:PORT of any live host")
+    logs.add_argument("--tail", type=int, default=0,
+                      help="only the last N merged lines (0: everything)")
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "status":
+            return _status(args)
+        return _logs(args)
+    except KeyboardInterrupt:
+        return 130
+    except (OSError, RuntimeError, ConnectionError) as exc:
+        print(f"skueue-ops: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

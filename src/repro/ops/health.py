@@ -1,0 +1,108 @@
+"""Ops-plane payload builders + the per-host HTTP listener.
+
+Every :class:`~repro.net.server.NodeHost` exposes two read-only views:
+
+* ``/health`` — cheap liveness: detector snapshot, peer-link stats,
+  recovery state, record/replica counts.  Also served as the ``health``
+  frame on the main TCP port.
+* ``/status`` — everything in ``/health`` plus the membership tables and
+  the tail of the host's ops log ring.
+
+The builders are duck-typed over the host object (attribute access
+only), so this module never imports ``repro.net`` — which is what lets
+``repro.net.server`` import *us* without a cycle.  The listener is a
+deliberately tiny HTTP/1.0 responder (GET only, JSON only): operators
+get ``curl``-ability without a web framework in the dependency set.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+__all__ = ["build_health", "build_status", "start_ops_server"]
+
+
+def build_health(host) -> dict:
+    """The /health payload: is this host alive and whom does it trust?"""
+    now = time.monotonic()
+    cluster = host.cluster
+    return {
+        "host": host.config.host_index,
+        "structure": host.config.structure,
+        "wired": host.wired,
+        "draining": host.draining,
+        "recovering": host._recovering,
+        "map_version": cluster.version if cluster is not None else 0,
+        "recovery_epoch": cluster.recovery_epoch if cluster is not None else 0,
+        "coordinator": cluster.coordinator if cluster is not None else None,
+        "detector": host.detector.snapshot(now),
+        "links": {str(index): link.stats() for index, link in host.peers.items()},
+        "evictions": list(host.evictions),
+        "records": len(host.records),
+        "adopted_records": len(host.adopted_records),
+        "replicas": len(host.replica_store),
+        "replica_targets": list(host._replica_targets),
+        "pending_done": len(host._pending_done),
+        "errors": len(host.errors),
+    }
+
+
+def build_status(host) -> dict:
+    """The /status payload: /health plus membership and the log tail."""
+    data = build_health(host)
+    cluster = host.cluster
+    if cluster is not None:
+        data["hosts"] = {
+            str(index): list(address) for index, address in cluster.hosts.items()
+        }
+        data["departed"] = {str(k): v for k, v in cluster.departed.items()}
+        data["leaving"] = sorted(cluster.leaving)
+        data["pids"] = cluster.pids_of(host.config.host_index)
+    data["joining_pids"] = sorted(host.joining_pids)
+    data["update_epoch"] = host._last_epoch
+    data["log"] = list(host.log_ring)
+    return data
+
+
+async def _serve_http(host, reader, writer) -> None:
+    try:
+        request = await asyncio.wait_for(reader.readline(), 5.0)
+        while True:  # drain the header block; we route on the path alone
+            line = await asyncio.wait_for(reader.readline(), 5.0)
+            if line in (b"\r\n", b"\n", b""):
+                break
+        parts = request.split()
+        path = parts[1].decode("ascii", "replace") if len(parts) >= 2 else ""
+        if path.startswith("/health"):
+            status, payload = "200 OK", build_health(host)
+        elif path.startswith("/status"):
+            status, payload = "200 OK", build_status(host)
+        else:
+            status, payload = "404 Not Found", {"error": f"no route {path!r}"}
+        body = json.dumps(payload, default=str).encode()
+        writer.write(
+            f"HTTP/1.0 {status}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n".encode() + body
+        )
+        await writer.drain()
+    except (asyncio.TimeoutError, ConnectionError, OSError):
+        pass
+    finally:
+        try:
+            writer.close()
+        except Exception:
+            pass
+
+
+async def start_ops_server(host, bind_host: str, port: int):
+    """Bind the ops HTTP listener; returns ``(server, actual_port)``."""
+
+    async def handle(reader, writer):
+        await _serve_http(host, reader, writer)
+
+    server = await asyncio.start_server(handle, bind_host, port)
+    return server, server.sockets[0].getsockname()[1]

@@ -1,0 +1,384 @@
+"""Deterministic post-crash rebuild planning.
+
+A crash erases three kinds of state at once: the dead host's OpRecords
+(mitigated by replication), its shard of the DHT store, and — if it held
+the anchor — the position/value counters that define the witness order.
+Forwarding alone cannot heal that, so recovery rebuilds *everything*
+from the one thing that survives: the merged record set.
+
+The key observation is the protocol's own correctness theorem: the
+execution witnessed by the checker is exactly the value-ordered replay
+of all operations.  So given every record fact the cluster still holds
+(own records + adopted archives + replicas), replaying the *valued*
+operations in value order against a reference structure deterministically
+reproduces
+
+* the result of every valued-but-incomplete operation (→ completed now),
+* the live element set and its structure order (→ store preload), and
+* the occupied position range and value counter (→ anchor restoration).
+
+Operations with no value anywhere were never ordered by the anchor, so
+dropping their partial progress is invisible — they are *re-run* from
+scratch after the rebuild.
+
+**Repairs.**  Facts can die in flight with the host: a remove that
+consumed an element but whose value replica never landed, or an insert
+consumed by a *completed* (hence acknowledged) remove whose own value was
+lost.  The replay detects these as mismatches between a completed
+remove's recorded result and what the reference structure serves, and
+repairs them one at a time in a fixpoint loop: synthesize the missing
+event (a lost remove consuming the stale front, or the missing insert of
+a consumed element) by assigning the unvalued record a fresh *float*
+value squeezed just below the mismatching remove's value.  The checker
+orders records by ``(value, pid, ...)`` tuples, so float values slot into
+the int sequence exactly where the lost execution step belonged.  Each
+iteration values one record or gives up on one record, so the loop
+terminates; anything unrepairable lands in ``plan.errors``.
+
+Everything here is pure — records in, plan out — and unit-tested per
+structure in ``tests/unit/test_recovery_plan.py``.  The net layer
+(``repro.net.server``) feeds it merged dumps and applies the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.requests import BOTTOM, INSERT, REMOVE, OpRecord
+
+__all__ = ["RebuildPlan", "merge_records", "plan_rebuild"]
+
+
+def merge_records(dumps) -> dict[int, OpRecord]:
+    """Merge record dumps from every surviving host into one view.
+
+    ``dumps`` is an iterable of record iterables (each host contributes
+    its own records, its adopted archive, and its replica holdings).
+    Facts merge monotonically: a completed copy wins wholesale; otherwise
+    any known ``value``/``result`` fills the gap.  Records are *copied*
+    — callers may pass live objects.
+    """
+    merged: dict[int, OpRecord] = {}
+    for dump in dumps:
+        for rec in dump:
+            have = merged.get(rec.req_id)
+            if have is None:
+                merged[rec.req_id] = _copy(rec)
+                continue
+            if rec.completed and not have.completed:
+                have.value = rec.value if rec.value is not None else have.value
+                have.result = rec.result
+                have.local_match = rec.local_match or have.local_match
+                have.completed = True
+                continue
+            if have.completed:
+                continue
+            if have.value is None and rec.value is not None:
+                have.value = rec.value
+            if have.result is None and rec.result is not None:
+                have.result = rec.result
+            have.local_match = have.local_match or rec.local_match
+    return merged
+
+
+def _copy(rec: OpRecord) -> OpRecord:
+    out = OpRecord(
+        rec.req_id, rec.pid, rec.idx, rec.kind, rec.item, rec.gen,
+        priority=getattr(rec, "priority", 0),
+    )
+    out.value = rec.value
+    out.result = rec.result
+    out.completed = bool(rec.completed)
+    out.local_match = bool(rec.local_match)
+    return out
+
+
+@dataclass
+class RebuildPlan:
+    """Everything a host needs to rebuild its shard deterministically."""
+
+    structure: str
+    #: anchor export tuple for ``AnchorState.restore`` (per structure)
+    anchor: tuple
+    #: live elements in structure order:
+    #: queue ``(position, element)``, stack ``(position, ticket, element)``,
+    #: heap ``(priority, position, element)``
+    elements: list = field(default_factory=list)
+    #: req_ids to re-run from scratch (never ordered by the anchor)
+    reruns: list = field(default_factory=list)
+    #: req_ids completed by the replay (facts now on the merged records)
+    completions: list = field(default_factory=list)
+    #: req_ids whose lost facts were synthesized by the repair pass
+    repairs: list = field(default_factory=list)
+    #: human-readable notes on anything unrepairable
+    errors: list = field(default_factory=list)
+
+
+# -- reference structures ------------------------------------------------------
+
+
+class _RefQueue:
+    def __init__(self, n_priorities: int = 0) -> None:
+        self.items: list = []
+
+    def push(self, rec: OpRecord) -> None:
+        self.items.append(rec.element)
+
+    def peek(self, rec: OpRecord):
+        return self.items[0] if self.items else None
+
+    def consume(self, rec: OpRecord):
+        return self.items.pop(0)
+
+    def discard(self, element) -> bool:
+        try:
+            self.items.remove(element)
+            return True
+        except ValueError:
+            return False
+
+    def __contains__(self, element) -> bool:
+        return element in self.items
+
+
+class _RefStack(_RefQueue):
+    def peek(self, rec: OpRecord):
+        return self.items[-1] if self.items else None
+
+    def consume(self, rec: OpRecord):
+        return self.items.pop()
+
+
+class _RefHeap:
+    def __init__(self, n_priorities: int) -> None:
+        self.classes: list[list] = [[] for _ in range(max(1, n_priorities))]
+
+    def push(self, rec: OpRecord) -> None:
+        self.classes[rec.priority].append(rec.element)
+
+    def peek(self, rec: OpRecord):
+        for chunk in self.classes:
+            if chunk:
+                return chunk[0]
+        return None
+
+    def consume(self, rec: OpRecord):
+        for chunk in self.classes:
+            if chunk:
+                return chunk.pop(0)
+        raise IndexError("consume on empty heap")
+
+    def discard(self, element) -> bool:
+        for chunk in self.classes:
+            if element in chunk:
+                chunk.remove(element)
+                return True
+        return False
+
+    def __contains__(self, element) -> bool:
+        return any(element in chunk for chunk in self.classes)
+
+
+_REF = {"queue": _RefQueue, "stack": _RefStack, "heap": _RefHeap}
+
+
+# -- the planner ---------------------------------------------------------------
+
+
+def plan_rebuild(
+    records: dict[int, OpRecord],
+    structure: str,
+    n_priorities: int = 1,
+    epoch: int = 0,
+    members: int = 0,
+) -> RebuildPlan:
+    """Replay the merged record set; derive completions, elements, anchor.
+
+    Mutates the records in ``records`` (they are the merged copies):
+    replay-completed records get their ``result``/``completed`` set,
+    repaired records additionally a synthesized float ``value``.
+    ``epoch``/``members`` seed the restored anchor's bookkeeping fields.
+    """
+    if structure not in _REF:
+        raise ValueError(f"unknown structure {structure!r}")
+    plan = RebuildPlan(structure=structure, anchor=())
+    recs = list(records.values())
+
+    # records the anchor never ordered: invisible, re-run from scratch
+    pool: dict[int, OpRecord] = {}
+    for rec in recs:
+        if rec.local_match:
+            continue
+        if rec.value is None:
+            if rec.completed:
+                plan.errors.append(
+                    f"req {rec.req_id} completed without a value; dropped"
+                )
+            else:
+                pool[rec.req_id] = rec
+
+    skip: set[int] = set()  # completed records we gave up reconciling
+    insert_by_element = {
+        rec.element: rec for rec in pool.values() if rec.kind == INSERT
+    }
+
+    # each iteration values one pooled record or gives up on one
+    # completed record, so 2·|recs| iterations always suffice
+    for _ in range(2 * len(recs) + 2):
+        ref, mismatch = _replay(recs, structure, n_priorities, skip, dry=True)
+        if mismatch is None:
+            break
+        if not _repair(mismatch, recs, pool, insert_by_element, skip, plan):
+            rec = mismatch[0]
+            skip.add(rec.req_id)
+            plan.errors.append(
+                f"req {rec.req_id}: recorded result irreconcilable with "
+                "the merged history; trusting the record"
+            )
+    else:  # pragma: no cover - the loop is bounded by construction
+        plan.errors.append("repair fixpoint did not converge")
+
+    # final pass: apply completions for real
+    ref, mismatch = _replay(recs, structure, n_priorities, skip, dry=False, plan=plan)
+
+    values = [r.value for r in recs if r.value is not None]
+    counter = int(max(values)) + 1 if values else 1
+    plan.reruns = sorted(r.req_id for r in pool.values() if r.value is None)
+
+    if structure == "queue":
+        plan.elements = list(enumerate(ref.items))
+        m = len(ref.items)
+        plan.anchor = (0, m - 1, counter, epoch, members)
+    elif structure == "stack":
+        plan.elements = [
+            (pos, pos, element) for pos, element in enumerate(ref.items, start=1)
+        ]
+        m = len(ref.items)
+        plan.anchor = (m, m, counter, epoch, members)
+    else:  # heap
+        plan.elements = [
+            (priority, pos, element)
+            for priority, chunk in enumerate(ref.classes)
+            for pos, element in enumerate(chunk)
+        ]
+        firsts = tuple(0 for _ in ref.classes)
+        lasts = tuple(len(chunk) - 1 for chunk in ref.classes)
+        plan.anchor = (firsts, lasts, counter, epoch, members)
+    return plan
+
+
+def _replay(recs, structure, n_priorities, skip, dry, plan=None):
+    """Value-ordered replay.  In ``dry`` mode, stop at the first
+    mismatching completed remove and return it; otherwise apply results
+    to incomplete records and force recorded results through."""
+    ref = _REF[structure](n_priorities)
+    ordered = sorted(
+        (r for r in recs if r.value is not None and not r.local_match),
+        key=lambda r: (r.value, r.pid, r.idx),
+    )
+    for rec in ordered:
+        if rec.kind == INSERT:
+            ref.push(rec)
+            if not dry and not rec.completed:
+                rec.completed = True
+                plan.completions.append(rec.req_id)
+            continue
+        served = ref.peek(rec)
+        if rec.completed:
+            want = rec.result
+            if want is BOTTOM or want is None:
+                if served is None:
+                    continue
+                if rec.req_id in skip:
+                    continue
+                if dry:
+                    return ref, (rec, served)
+                continue
+            if served == want:
+                ref.consume(rec)
+                continue
+            if rec.req_id in skip:
+                ref.discard(want)  # trust the record; unblock the replay
+                continue
+            if dry:
+                return ref, (rec, served)
+            ref.discard(want)
+            continue
+        # incomplete but valued: the replay decides its fate
+        if not dry:
+            if served is None:
+                rec.result = BOTTOM
+            else:
+                rec.result = ref.consume(rec)
+            rec.completed = True
+            plan.completions.append(rec.req_id)
+        elif served is not None:
+            ref.consume(rec)
+    return ref, None
+
+
+def _repair(mismatch, recs, pool, insert_by_element, skip, plan) -> bool:
+    """Synthesize one lost event explaining ``mismatch``; True on success."""
+    rec, served = mismatch
+    want = rec.result
+    # a consumed element whose insert never got a value: materialise it
+    if want is not BOTTOM and want is not None and want in insert_by_element:
+        lost = insert_by_element[want]
+        if lost.value is None:
+            del insert_by_element[want]
+            return _assign(lost, rec, recs, plan)
+    # the structure serves a stale element: a lost remove must have
+    # consumed it before `rec` ran
+    if served is not None:
+        candidate = _pick_remove(pool, rec, recs)
+        if candidate is not None:
+            return _assign(candidate, rec, recs, plan)
+    return False
+
+
+def _pick_remove(pool, before, recs):
+    """An unvalued remove that can legally run just before ``before``:
+    lowest idx of its pid among the pooled records, and every valued
+    same-pid sibling on the correct side of the synthesized value."""
+    removes = sorted(
+        (r for r in pool.values() if r.kind == REMOVE and r.value is None),
+        key=lambda r: (r.pid, r.idx),
+    )
+    seen_pids = set()
+    for cand in removes:
+        if cand.pid in seen_pids:
+            continue
+        seen_pids.add(cand.pid)
+        ok = True
+        for other in recs:
+            if other.pid != cand.pid or other.value is None:
+                continue
+            # program order: earlier siblings must end up below the
+            # synthesized value (just under before.value), later ones above
+            if other.idx < cand.idx and other.value >= before.value:
+                ok = False
+                break
+            if other.idx > cand.idx and other.value < before.value:
+                ok = False
+                break
+        if ok:
+            return cand
+    return None
+
+
+def _assign(lost, before, recs, plan) -> bool:
+    """Give ``lost`` a float value in the open interval between the event
+    preceding ``before`` and ``before`` itself."""
+    floor = None
+    for other in recs:
+        if other.value is not None and other.value < before.value:
+            if floor is None or other.value > floor:
+                floor = other.value
+    if floor is None:
+        floor = before.value - 1
+    value = (floor + before.value) / 2
+    if not (floor < value < before.value):  # pragma: no cover - float exhaustion
+        return False
+    lost.value = value
+    plan.repairs.append(lost.req_id)
+    return True

@@ -7,8 +7,12 @@ back minimal reproducers when one fails:
 
 * :class:`~repro.testing.scenario.Scenario` — one fully explicit test
   case (structure × runner × processes × delay policy × op script ×
-  churn script × client aborts) expanded deterministically from a
-  64-bit seed;
+  churn script × client aborts × host crashes) expanded
+  deterministically from a 64-bit seed;
+* :mod:`~repro.testing.netrun` — the ``"net"`` runner: the same
+  scenario data executed over OS processes and TCP, with the
+  ``crashes`` axis injected via SIGKILL and acknowledged-op durability
+  checked (``lost_record``);
 * :mod:`~repro.testing.schedule` — ``ScheduleRecorder`` /
   ``ScheduleReplayer`` hooking the engines' ``schedule_hint`` so any
   recorded run replays bit-identically;

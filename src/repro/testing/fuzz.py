@@ -23,9 +23,19 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.testing.scenario import RUNNERS, STRUCTURES, Scenario, run_scenario
+from repro.testing.scenario import (
+    NET_RUNNER,
+    RUNNERS,
+    STRUCTURES,
+    Scenario,
+    history_digest,
+    run_scenario,
+    serialize_history,
+)
+from repro.testing.schedule import ScheduleTrace
 from repro.testing.shrink import shrink_scenario
 from repro.testing.traces import (
+    FailureTrace,
     load_trace,
     record_failure,
     replay_trace,
@@ -82,14 +92,27 @@ def fuzz_one(
     result = run_scenario(scenario)
     if not result.failed:
         return FuzzOutcome(seed, scenario.structure, scenario.runner, False)
-    if shrink:
+    if scenario.runner == NET_RUNNER:
+        # wall-clock runner: no deterministic schedule to re-record,
+        # and every shrink probe would relaunch an OS-process
+        # deployment — package the observed failure as-is
+        trace = FailureTrace(
+            scenario=scenario,
+            schedule=ScheduleTrace(),
+            violation=result.violation,
+            history=serialize_history(result.records),
+            digest=history_digest(result.records),
+        )
+        minimal, clause = scenario, result.violation.clause
+    elif shrink:
         shrunk = shrink_scenario(
             scenario, result.violation, max_probes=max_probes
         )
         minimal, clause = shrunk.scenario, shrunk.violation.clause
+        trace, _ = record_failure(minimal)
     else:
         minimal, clause = scenario, result.violation.clause
-    trace, _ = record_failure(minimal)
+        trace, _ = record_failure(minimal)
     trace_path = None
     if out_dir is not None:
         name = f"trace-{trace.scenario.structure}-{trace.scenario.runner}-{seed}.json"
@@ -166,7 +189,9 @@ def main(argv=None) -> int:
     run_p.add_argument("--structure", default="all",
                        help="queue | stack | heap | all (default all)")
     run_p.add_argument("--runner", default="all",
-                       help="sync | async | all (default all)")
+                       help="sync | async | net | all (default all; 'net' "
+                            "runs over OS processes + TCP with host-crash "
+                            "faults and is never part of 'all')")
     run_p.add_argument("--out", default="fuzz-failures",
                        help="artifact directory (default fuzz-failures/)")
     run_p.add_argument("--workers", type=int, default=1,
@@ -201,7 +226,10 @@ def main(argv=None) -> int:
         return 0 if report.reproduced else 1
 
     structures = _parse_axis(args.structure, STRUCTURES, "structure")
-    runners = _parse_axis(args.runner, RUNNERS, "runner")
+    if args.runner == NET_RUNNER:
+        runners: tuple = (NET_RUNNER,)
+    else:
+        runners = _parse_axis(args.runner, RUNNERS, "runner")
     seeds = range(args.start_seed, args.start_seed + args.seeds)
     known = known_signatures(args.known_dir) if args.known_dir else set()
 

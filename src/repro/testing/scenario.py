@@ -18,6 +18,14 @@ machine-readable :class:`~repro.verify.violations.Violation`:
 * the checker rejects the history  -> ``kind="consistency"``,
 * the run never settles in budget  -> ``kind="liveness"``,
 * the protocol raises              -> ``kind="crash"``.
+
+Scenarios pinned to the ``"net"`` runner (never drawn from a seed —
+selected with ``skueue-fuzz --runner net``) execute over real OS
+processes and TCP via :mod:`repro.testing.netrun` and gain a
+``crashes`` axis: ``(round, host)`` SIGKILL events next to the client
+aborts.  An acknowledged operation missing from the post-crash merged
+history becomes a ``clause="lost_record"`` violation (see
+:func:`repro.verify.violations.lost_record_violation`).
 """
 
 from __future__ import annotations
@@ -44,6 +52,8 @@ from repro.verify.violations import Violation, capture_violation
 
 __all__ = [
     "DELAY_POLICIES",
+    "NET_HOSTS",
+    "NET_RUNNER",
     "Scenario",
     "ScenarioResult",
     "run_scenario",
@@ -52,7 +62,12 @@ __all__ = [
 ]
 
 STRUCTURES = ("queue", "stack", "heap")
+#: hermetic simulation runners — the default fuzz axes
 RUNNERS = ("sync", "async")
+#: the OS-process/TCP runner (explicit opt-in: heavyweight, wall-clock)
+NET_RUNNER = "net"
+#: hosts a net scenario deploys; crash victims are drawn from this range
+NET_HOSTS = 3
 
 #: name -> constructor for every delay policy a scenario can pick
 DELAY_POLICIES = {
@@ -81,6 +96,8 @@ class Scenario:
     churn: tuple = ()
     #: client-abort faults: (round, pid) — pid submits nothing from there on
     aborts: tuple = ()
+    #: host-crash faults, net runner only: (round, host) — SIGKILL mid-run
+    crashes: tuple = ()
     #: bound on the settle phase (rounds on sync, events on async)
     settle_budget: int = 60_000
 
@@ -101,6 +118,10 @@ class Scenario:
         structure = structure or rng.choice(STRUCTURES)
         runner = runner or rng.choice(RUNNERS)
         n_processes = rng.randrange(4, 13)
+        if runner == NET_RUNNER:
+            # every pid is a real actor on one of NET_HOSTS OS processes:
+            # keep the deployment small enough to launch in seconds
+            n_processes = rng.randrange(NET_HOSTS, 9)
         n_priorities = rng.randrange(2, 5)
         n_rounds = rng.randrange(6, 21)
 
@@ -163,6 +184,21 @@ class Scenario:
                 )
             aborts.sort()
 
+        # host-crash faults (net runner only, which is always pinned so
+        # this draw never perturbs sim-runner expansion): at most one
+        # SIGKILL per scenario — k=2 replication tolerates one crash,
+        # and NET_HOSTS-host deployments only have one to spare
+        crashes = []
+        if runner == NET_RUNNER:
+            # pid-level churn needs the TCP join/leave driver the net
+            # runner doesn't script; the crash axis replaces it
+            churn = []
+            if rng.random() < 0.7:
+                crashes.append(
+                    (rng.randrange(1, max(2, n_rounds - 1)),
+                     rng.randrange(NET_HOSTS))
+                )
+
         return cls(
             seed=seed,
             structure=structure,
@@ -174,6 +210,7 @@ class Scenario:
             ops=tuple(ops),
             churn=tuple(churn),
             aborts=tuple(aborts),
+            crashes=tuple(crashes),
         )
 
     # -- derived views -------------------------------------------------------
@@ -181,7 +218,8 @@ class Scenario:
     def n_rounds(self) -> int:
         last_op = max((op[0] for op in self.ops), default=0)
         last_churn = max((ev[0] for ev in self.churn), default=0)
-        return max(last_op, last_churn) + 1
+        last_crash = max((ev[0] for ev in self.crashes), default=0)
+        return max(last_op, last_churn, last_crash) + 1
 
     def with_(self, **changes) -> "Scenario":
         """A mutated copy (the shrinker's workhorse)."""
@@ -200,6 +238,7 @@ class Scenario:
             "ops": [list(op) for op in self.ops],
             "churn": [list(ev) for ev in self.churn],
             "aborts": [list(ab) for ab in self.aborts],
+            "crashes": [list(ev) for ev in self.crashes],
             "settle_budget": self.settle_budget,
         }
 
@@ -216,6 +255,7 @@ class Scenario:
             ops=tuple(tuple(op) for op in data["ops"]),
             churn=tuple(tuple(ev) for ev in data["churn"]),
             aborts=tuple(tuple(ab) for ab in data["aborts"]),
+            crashes=tuple(tuple(ev) for ev in data.get("crashes", ())),
             settle_budget=data.get("settle_budget", 60_000),
         )
 
@@ -246,8 +286,14 @@ def run_scenario(scenario: Scenario, schedule_hint=None) -> ScenarioResult:
 
     ``schedule_hint`` (a recorder or replayer from
     :mod:`repro.testing.schedule`) is installed on the engine before the
-    first event.
+    first event.  Net-runner scenarios execute over OS processes and
+    TCP instead (wall-clock scheduling: the hint does not apply).
     """
+    if scenario.runner == NET_RUNNER:
+        from repro.testing.netrun import run_net_scenario
+
+        return run_net_scenario(scenario)
+
     from repro.api import connect
 
     spec = get_structure(scenario.structure)

@@ -11,8 +11,12 @@ now carries a structured :class:`Violation`:
   rejected the history), ``"liveness"`` (the run never settled within
   its budget), or ``"crash"`` (the protocol raised);
 * ``clause`` — the specific rule: ``"property 1"`` .. ``"property 4"``
-  for Definition 1, or a checker-internal precondition such as
-  ``"incomplete"`` or ``"duplicate-keys"``;
+  for Definition 1, a checker-internal precondition such as
+  ``"incomplete"`` or ``"duplicate-keys"``, or ``"lost_record"`` — an
+  operation the client saw acknowledged is missing from (or incomplete
+  in) the merged post-crash history, the durability failure the k=2
+  record replication exists to prevent (net-runner crash scenarios,
+  see :mod:`repro.testing.netrun`);
 * ``req_ids`` — the records the checker named, for shrinking heuristics
   and artifact readability.
 
@@ -25,7 +29,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["ConsistencyViolation", "Violation", "capture_violation"]
+__all__ = [
+    "ConsistencyViolation",
+    "Violation",
+    "capture_violation",
+    "lost_record_violation",
+]
 
 
 @dataclass(frozen=True)
@@ -76,6 +85,33 @@ class ConsistencyViolation(AssertionError):
         self.violation = violation or Violation(
             kind="consistency", clause="unspecified", message=message
         )
+
+
+def lost_record_violation(
+    req_ids, structure: str | None = None
+) -> Violation:
+    """The crash-durability verdict: acknowledged operations vanished.
+
+    Raised-by-construction (never by a checker): the net scenario
+    runner compares the set of req_ids the *client* saw acknowledged
+    before a SIGKILL against the completed records in the merged
+    post-crash history, and any shortfall is this violation.  A
+    ``lost_record`` means the ack-gated DONE + k=2 replication contract
+    broke — strictly worse than a consistency clause, because the
+    client was *told* the operation took effect.
+    """
+    req_ids = tuple(sorted(req_ids))
+    return Violation(
+        kind="consistency",
+        clause="lost_record",
+        message=(
+            f"{len(req_ids)} acknowledged operation(s) missing from the "
+            f"merged post-crash history: {list(req_ids[:10])}"
+            + ("..." if len(req_ids) > 10 else "")
+        ),
+        structure=structure,
+        req_ids=req_ids,
+    )
 
 
 def capture_violation(check, records, structure: str | None = None) -> Violation | None:

@@ -1,0 +1,187 @@
+"""Crash-stop fault tolerance, end to end over real processes.
+
+Each test launches a TCP deployment, drives a mixed workload, then
+SIGKILLs one host mid-stream (``NetDeployment.kill_host`` — no drain,
+no goodbye).  The survivors must detect the silence, evict the corpse,
+rebuild from merged record dumps + replicas, and finish the workload —
+and the merged history must still pass the sequential-consistency
+checker.
+
+The durability claim under test (k=2 replication, ack-gated DONE): any
+operation the *client* saw acknowledged before the crash is present and
+completed in the post-crash merged history.  Operations in flight at
+the moment of the kill may be re-run or transparently resubmitted;
+either way they appear exactly once per req_id in the history the
+checker sees.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro.net.client import SkueueClient
+from repro.net.launcher import launch_local
+from repro.ops.cli import _request
+from repro.verify.seqcons import check_queue_history
+
+pytestmark = pytest.mark.net
+
+# generous CI bound; the detector needs ~1.25s of silence + confirmation
+EVICT_WITHIN = 20.0
+
+
+async def _drive_load(client, stop, tag, acked, max_ops=4000):
+    """Submit mixed ops round-robin over live pids until told to stop.
+
+    Submissions that race the crash window (dead host still in the map)
+    raise connection errors; real workloads retry, we just skip — the
+    durability assertion only covers operations that were *accepted*.
+    """
+    n = 0
+    while not stop.is_set() and n < max_ops:
+        pids = client.live_pids()
+        pid = pids[n % len(pids)]
+        try:
+            if n % 3 == 2:
+                req = await client.dequeue(pid)
+            else:
+                req = await client.enqueue(pid, f"{tag}-{n}")
+            acked.append(req)
+        except (ConnectionError, OSError):
+            pass
+        n += 1
+        await asyncio.sleep(0.002)
+
+
+def _completed_ids(records):
+    return {rec.req_id for rec in records if rec.completed}
+
+
+def _crash_scenario(deployment, victim):
+    """Drive load, SIGKILL ``victim``, and return the post-mortem facts."""
+
+    async def scenario():
+        async with SkueueClient(deployment.host_map) as client:
+            stop = asyncio.Event()
+            acked: list[int] = []
+            load = asyncio.create_task(
+                _drive_load(client, stop, f"kill{victim}", acked)
+            )
+            await asyncio.sleep(1.0)
+
+            # ops acknowledged before the kill: these must survive it
+            done_before = {r for r in acked if client.is_done(r)}
+            loop = asyncio.get_running_loop()
+            started = time.monotonic()
+            await loop.run_in_executor(
+                None, lambda: deployment.kill_host(victim, timeout=90.0)
+            )
+            evict_elapsed = time.monotonic() - started
+
+            await asyncio.sleep(1.5)  # let post-crash load flow
+            stop.set()
+            await load
+            await client.wait_all(timeout=120.0)
+            records = await client.collect_records()
+            return acked, done_before, evict_elapsed, records
+
+    return asyncio.run(scenario())
+
+
+def test_kill_noncoordinator_under_load():
+    """SIGKILL a follower mid-workload: evict, rebuild, stay consistent."""
+    with launch_local(3, 6, seed=42, id_slots=16) as deployment:
+        acked, done_before, elapsed, records = _crash_scenario(deployment, 1)
+
+        assert elapsed < EVICT_WITHIN, f"eviction took {elapsed:.1f}s"
+        cluster = deployment.cluster_map()
+        assert 1 not in cluster.hosts
+        assert 1 in cluster.departed
+        assert cluster.recovery_epoch >= 1
+
+        completed = _completed_ids(records)
+        lost = done_before - completed
+        assert not lost, f"{len(lost)} acknowledged ops missing after crash"
+        assert len(acked) > 200  # the workload actually ran
+        check_queue_history(records)
+
+
+def test_kill_coordinator_under_load():
+    """SIGKILL host 0: the survivors re-elect and run the eviction."""
+    with launch_local(3, 6, seed=7, id_slots=16) as deployment:
+        acked, done_before, elapsed, records = _crash_scenario(deployment, 0)
+
+        assert elapsed < EVICT_WITHIN, f"eviction took {elapsed:.1f}s"
+        cluster = deployment.cluster_map()
+        assert 0 not in cluster.hosts
+        assert 0 in cluster.departed
+        assert cluster.recovery_epoch >= 1
+        # the new coordinator is the lowest live index
+        assert min(cluster.hosts) == 1
+
+        completed = _completed_ids(records)
+        lost = done_before - completed
+        assert not lost, f"{len(lost)} acknowledged ops missing after crash"
+        check_queue_history(records)
+
+
+def test_ops_surface_reports_eviction():
+    """/health over HTTP + the health frame both expose detector state,
+    and after a kill the eviction shows up on every survivor."""
+    with launch_local(3, 6, seed=11, id_slots=16) as deployment:
+        address = deployment.host_map[2]
+
+        # the TCP pong advertises where the HTTP ops listener landed
+        pong = _request(tuple(address), {"op": "ping"}, "pong")
+        ops_port = pong["ops_port"]
+        assert ops_port > 0
+
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{ops_port}/health", timeout=10
+        ) as reply:
+            health = json.loads(reply.read())
+        assert health["host"] == 2
+        assert health["wired"] is True
+        assert health["recovering"] is False
+        assert health["detector"]["suspects"] == []
+        assert sorted(health["replica_targets"]) == [0, 1]
+
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{ops_port}/status", timeout=10
+        ) as reply:
+            status = json.loads(reply.read())
+        assert set(status["hosts"]) == {"0", "1", "2"}
+
+        deployment.kill_host(1, timeout=90.0)
+
+        for index, addr in deployment.host_map.items():
+            health = _request(tuple(addr), {"op": "health"}, "health")
+            evicted = {event["host"] for event in health["evictions"]}
+            assert 1 in evicted, f"host {index} never recorded the eviction"
+            assert health["recovering"] is False
+
+        # the dead host's replica slot moved off the survivor ring
+        health = _request(tuple(deployment.host_map[2]), {"op": "health"}, "health")
+        assert 1 not in health["replica_targets"]
+
+
+def test_fuzzer_net_runner_executes_a_crash_scenario():
+    """The skueue-fuzz ``net`` runner plays a seeded scenario (crash
+    axis included) over a real deployment and verifies the history."""
+    from repro.testing.scenario import NET_RUNNER, Scenario, run_scenario
+
+    # pick the first seed whose expansion actually schedules a SIGKILL
+    scenario = next(
+        sc for seed in range(50)
+        if (sc := Scenario.from_seed(
+            seed, structure="queue", runner=NET_RUNNER)).crashes
+    )
+    result = run_scenario(scenario)
+    assert not result.failed, result.violation
+    assert result.submitted > 0
+    assert len(result.records) >= result.submitted

@@ -43,6 +43,33 @@ class TestFromSeed:
             sc = Scenario.from_seed(seed)
             assert Scenario.from_json(sc.to_json()) == sc
 
+    def test_net_runner_gains_the_crash_axis(self):
+        from repro.testing.scenario import NET_HOSTS, NET_RUNNER
+
+        crashed = 0
+        for seed in range(25):
+            sc = Scenario.from_seed(seed, runner=NET_RUNNER)
+            assert sc.runner == NET_RUNNER
+            assert sc.churn == ()  # host-level faults replace pid churn
+            assert NET_HOSTS <= sc.n_processes <= 8
+            for round_no, host in sc.crashes:
+                assert 1 <= round_no < sc.n_rounds
+                assert 0 <= host < NET_HOSTS
+            assert len(sc.crashes) <= 1  # k=2 tolerates one crash
+            crashed += bool(sc.crashes)
+            assert Scenario.from_json(sc.to_json()) == sc
+        assert crashed >= 5, "seed range produced too few crash scenarios"
+
+    def test_sim_runners_never_draw_crashes(self):
+        for seed in range(25):
+            assert Scenario.from_seed(seed).crashes == ()
+
+    def test_crashes_json_field_defaults_empty(self):
+        # traces written before the crash axis existed must still load
+        data = Scenario.from_seed(4).to_json()
+        del data["crashes"]
+        assert Scenario.from_json(data).crashes == ()
+
 
 class TestRunScenario:
     @pytest.mark.parametrize("structure", STRUCTURES)

@@ -1,0 +1,328 @@
+"""Unit tests for the ops plane: failure detector state machine,
+crash eviction on the cluster map, and the rebuild planner."""
+
+from repro.core.requests import BOTTOM, INSERT, REMOVE, OpRecord
+from repro.net.membership import ClusterMap
+from repro.ops.detector import FailureDetector
+from repro.ops.recovery import merge_records, plan_rebuild
+
+HB = 0.25
+
+
+def make_detector(**kwargs):
+    kwargs.setdefault("heartbeat_seconds", HB)
+    kwargs.setdefault("miss_threshold", 4)
+    kwargs.setdefault("confirm_seconds", 1.5)
+    return FailureDetector(**kwargs)
+
+
+# -- failure detector ----------------------------------------------------------
+
+
+class TestDetector:
+    def test_silence_past_threshold_suspects_exactly_once(self):
+        det = make_detector()
+        det.register(1, now=0.0)
+        assert det.observe(0.9) == []  # 3 windows: below threshold
+        assert det.observe(1.0) == [1]  # 4th window
+        assert det.observe(1.5) == []  # same episode: not re-reported
+        assert det.suspects() == [1]
+
+    def test_any_frame_clears_suspicion(self):
+        det = make_detector()
+        det.register(1, now=0.0)
+        det.observe(1.2)
+        assert det.is_suspect(1)
+        det.heard_from(1, now=1.3)
+        assert not det.is_suspect(1)
+        assert det.suspects() == []
+
+    def test_slow_peer_never_crosses_threshold(self):
+        det = make_detector()
+        det.register(1, now=0.0)
+        now = 0.0
+        for _ in range(20):  # squeaks through every 3 windows
+            now += 3 * HB
+            assert det.observe(now) == []
+            det.heard_from(1, now)
+        assert det.suspects() == []
+
+    def test_flapping_must_re_earn_the_full_threshold(self):
+        det = make_detector()
+        det.register(1, now=0.0)
+        det.corroborate(1, reporter=2)
+        det.observe(1.2)
+        assert det.is_suspect(1)
+        det.heard_from(1, now=1.3)  # flap: came back
+        # silent again — needs 4 fresh windows from 1.3, and the old
+        # corroboration must not carry over
+        assert det.observe(1.3 + 3 * HB) == []
+        assert det.observe(1.3 + 4 * HB) == [1]
+        assert not det.should_evict(1, now=1.3 + 4 * HB, n_live=3)
+
+    def test_false_positive_recovery_then_real_death(self):
+        det = make_detector()
+        det.register(1, now=0.0)
+        det.observe(1.1)
+        det.heard_from(1, now=1.15)  # was a GC pause, not a crash
+        assert det.suspects() == []
+        assert det.observe(1.15 + 4 * HB) == [1]  # now it really died
+
+    def test_eviction_needs_corroboration_or_patience(self):
+        det = make_detector()
+        det.register(1, now=0.0)
+        det.observe(1.0)
+        assert not det.should_evict(1, now=1.0, n_live=3)
+        det.corroborate(1, reporter=2)
+        assert det.should_evict(1, now=1.0, n_live=3)
+
+    def test_eviction_by_confirm_window(self):
+        det = make_detector()
+        det.register(1, now=0.0)
+        det.observe(1.0)
+        assert not det.should_evict(1, now=2.0, n_live=3)
+        assert det.should_evict(1, now=1.0 + 1.5, n_live=3)
+
+    def test_two_host_cluster_evicts_on_local_suspicion(self):
+        det = make_detector()
+        det.register(1, now=0.0)
+        det.observe(1.0)
+        assert det.should_evict(1, now=1.0, n_live=2)
+
+    def test_forget_and_snapshot(self):
+        det = make_detector()
+        det.register(1, now=0.0)
+        det.register(2, now=0.0)
+        det.observe(1.0)
+        det.forget(1)
+        assert det.watched() == [2]
+        assert not det.should_evict(1, now=5.0, n_live=3)
+        snap = det.snapshot(now=1.0)
+        assert "1" not in snap["watched"]
+        assert snap["watched"]["2"]["suspect"]
+
+
+# -- crash eviction on the cluster map ----------------------------------------
+
+
+def three_host_map() -> ClusterMap:
+    hosts = {i: ("127.0.0.1", 9000 + i) for i in range(3)}
+    return ClusterMap.genesis(hosts, n_processes=6)
+
+
+class TestEvictHost:
+    def test_evict_removes_host_and_its_pids(self):
+        cmap = three_host_map()
+        version = cmap.version
+        cmap.evict_host(1, adopter=2)
+        assert sorted(cmap.hosts) == [0, 2]
+        assert cmap.pids_of(1) == []
+        assert sorted(cmap.pid_owner) == [0, 2, 3, 5]
+        assert cmap.departed == {1: 2}
+        assert cmap.complete_target(1) == 2
+        assert cmap.version == version + 1
+        assert cmap.recovery_epoch == 1
+
+    def test_evict_validates_arguments(self):
+        cmap = three_host_map()
+        cmap.evict_host(1, adopter=2)
+        for dead, adopter in [(1, 2), (0, 0), (0, 7)]:
+            try:
+                cmap.evict_host(dead, adopter)
+            except ValueError:
+                pass
+            else:
+                raise AssertionError(f"evict_host({dead}, {adopter}) passed")
+
+    def test_recovery_epoch_survives_the_wire(self):
+        cmap = three_host_map()
+        cmap.evict_host(2, adopter=0)
+        back = ClusterMap.from_json(cmap.to_json())
+        assert back.recovery_epoch == 1
+        assert back.departed == {2: 0}
+
+    def test_coordinator_succession_is_lowest_live(self):
+        cmap = three_host_map()
+        assert cmap.coordinator == 0
+        cmap.evict_host(0, adopter=1)
+        assert cmap.coordinator == 1
+
+    def test_successors_are_cyclic(self):
+        cmap = three_host_map()
+        assert cmap.successors_of(0) == [1, 2]
+        assert cmap.successors_of(2) == [0, 1]
+        cmap.evict_host(1, adopter=2)
+        assert cmap.successors_of(0) == [2]
+        assert cmap.successors_of(2) == [0]
+
+
+# -- rebuild planner -----------------------------------------------------------
+
+
+def rec(
+    req_id,
+    pid,
+    idx,
+    kind,
+    item=None,
+    value=None,
+    result=None,
+    completed=False,
+    pri=0,
+    local_match=False,
+):
+    out = OpRecord(req_id, pid, idx, kind, item, 0.0, priority=pri)
+    out.value = value
+    out.result = result
+    out.completed = completed
+    out.local_match = local_match
+    return out
+
+
+def plan_for(records, structure="queue", n_priorities=1):
+    merged = {r.req_id: r for r in records}
+    return plan_rebuild(merged, structure, n_priorities=n_priorities), merged
+
+
+class TestMergeRecords:
+    def test_completed_copy_wins_and_values_fill_gaps(self):
+        a = rec(10, 0, 0, INSERT, "x", value=3)
+        b = rec(10, 0, 0, INSERT, "x", value=3, completed=True)
+        c = rec(11, 0, 1, REMOVE)
+        d = rec(11, 0, 1, REMOVE, value=4)
+        merged = merge_records([[a, c], [b, d]])
+        assert merged[10].completed
+        assert merged[11].value == 4
+        assert not merged[11].completed
+
+    def test_copies_do_not_alias_inputs(self):
+        a = rec(10, 0, 0, INSERT, "x", value=3)
+        merged = merge_records([[a]])
+        merged[10].completed = True
+        assert not a.completed
+
+
+class TestPlanQueue:
+    def test_replay_completes_valued_incomplete_ops(self):
+        i1 = rec(8, 0, 0, INSERT, "a", value=1, completed=True)
+        i2 = rec(16, 0, 1, INSERT, "b", value=2)  # valued, incomplete
+        d1 = rec(24, 1, 0, REMOVE, value=3, completed=True, result=(8, "a"))
+        d2 = rec(32, 1, 1, REMOVE, value=4)  # valued, incomplete
+        plan, merged = plan_for([i1, i2, d1, d2])
+        assert merged[16].completed
+        assert merged[32].completed and merged[32].result == (16, "b")
+        assert sorted(plan.completions) == [16, 32]
+        assert plan.elements == []
+        assert plan.anchor == (0, -1, 5, 0, 0)
+        assert plan.reruns == [] and plan.errors == []
+
+    def test_survivors_get_fifo_positions_and_anchor_range(self):
+        i1 = rec(8, 0, 0, INSERT, "a", value=1, completed=True)
+        i2 = rec(16, 0, 1, INSERT, "b", value=2, completed=True)
+        d = rec(24, 1, 0, REMOVE, value=5, completed=True, result=(8, "a"))
+        plan, _ = plan_for([i1, i2, d])
+        assert plan.elements == [(0, (16, "b"))]
+        assert plan.anchor == (0, 0, 6, 0, 0)
+
+    def test_unvalued_records_are_reruns(self):
+        i1 = rec(8, 0, 0, INSERT, "a", value=1, completed=True)
+        d = rec(9, 1, 0, REMOVE)  # never reached the anchor
+        plan, merged = plan_for([i1, d])
+        assert plan.reruns == [9]
+        assert not merged[9].completed
+
+    def test_repair_lost_remove_explains_bottom(self):
+        # a completed (acked!) dequeue saw ⊥, so some lost dequeue must
+        # have drained the queue first — synthesize it
+        i1 = rec(8, 0, 0, INSERT, "a", value=1, completed=True)
+        lost = rec(17, 1, 0, REMOVE)  # value died with its host
+        d = rec(24, 2, 0, REMOVE, value=5, completed=True, result=BOTTOM)
+        plan, merged = plan_for([i1, lost, d])
+        assert plan.repairs == [17]
+        assert merged[17].completed and merged[17].result == (8, "a")
+        assert 1 < merged[17].value < 5
+        assert plan.reruns == [] and plan.errors == []
+        assert plan.elements == []
+
+    def test_repair_lost_insert_of_a_consumed_element(self):
+        # a completed dequeue returned an element whose insert lost its
+        # value with the dead host — the insert must slot in just before
+        lost = rec(7, 1, 0, INSERT, "x")
+        d = rec(24, 2, 0, REMOVE, value=10, completed=True, result=(7, "x"))
+        plan, merged = plan_for([lost, d])
+        assert plan.repairs == [7]
+        assert merged[7].completed and merged[7].value < 10
+        assert plan.elements == []
+        assert plan.errors == []
+
+    def test_repair_chain_stale_front_then_consume(self):
+        # survivor 'a' sits at the front, but the acked dequeue consumed
+        # 'b': a lost dequeue must have taken 'a' first
+        i1 = rec(8, 0, 0, INSERT, "a", value=1, completed=True)
+        i2 = rec(16, 0, 1, INSERT, "b", value=2, completed=True)
+        lost = rec(17, 1, 0, REMOVE)
+        d = rec(24, 2, 0, REMOVE, value=6, completed=True, result=(16, "b"))
+        plan, merged = plan_for([i1, i2, lost, d])
+        assert plan.repairs == [17]
+        assert merged[17].result == (8, "a")
+        assert plan.elements == []
+
+    def test_irreconcilable_record_is_an_error_not_a_crash(self):
+        # result names an element no record ever inserted
+        d = rec(24, 2, 0, REMOVE, value=6, completed=True, result=(99, "zz"))
+        plan, _ = plan_for([d])
+        assert plan.errors
+        assert plan.elements == []
+
+    def test_counter_clears_every_observed_value(self):
+        i1 = rec(8, 0, 0, INSERT, "a", value=41, completed=True)
+        plan, _ = plan_for([i1])
+        assert plan.anchor[2] == 42
+
+
+class TestPlanStack:
+    def test_lifo_positions_and_tickets(self):
+        a = rec(8, 0, 0, INSERT, "a", value=1, completed=True)
+        b = rec(16, 0, 1, INSERT, "b", value=2, completed=True)
+        pop = rec(24, 1, 0, REMOVE, value=3, completed=True, result=(16, "b"))
+        plan, _ = plan_for([a, b, pop], structure="stack")
+        assert plan.elements == [(1, 1, (8, "a"))]
+        # anchor: last=1, ticket=1 (top's ticket), counter past max value
+        assert plan.anchor == (1, 1, 4, 0, 0)
+
+    def test_local_match_pairs_are_invisible(self):
+        a = rec(8, 0, 0, INSERT, "a", completed=True, local_match=True)
+        b = rec(16, 0, 1, REMOVE, result=(8, "a"), completed=True,
+                local_match=True)
+        c = rec(24, 1, 0, INSERT, "c", value=1, completed=True)
+        plan, _ = plan_for([a, b, c], structure="stack")
+        assert plan.elements == [(1, 1, (24, "c"))]
+        assert plan.reruns == [] and plan.errors == []
+
+    def test_incomplete_pop_takes_the_top(self):
+        a = rec(8, 0, 0, INSERT, "a", value=1, completed=True)
+        b = rec(16, 0, 1, INSERT, "b", value=2, completed=True)
+        pop = rec(24, 1, 0, REMOVE, value=3)
+        plan, merged = plan_for([a, b, pop], structure="stack")
+        assert merged[24].result == (16, "b")
+        assert plan.elements == [(1, 1, (8, "a"))]
+
+
+class TestPlanHeap:
+    def test_per_class_positions_and_lowest_class_first(self):
+        a = rec(8, 0, 0, INSERT, "a", value=1, completed=True, pri=0)
+        b = rec(16, 0, 1, INSERT, "b", value=2, completed=True, pri=1)
+        c = rec(32, 0, 2, INSERT, "c", value=3, completed=True, pri=1)
+        d = rec(24, 1, 0, REMOVE, value=4)
+        plan, merged = plan_for([a, b, c, d], structure="heap", n_priorities=2)
+        assert merged[24].result == (8, "a")  # class 0 drains first
+        assert plan.elements == [(1, 0, (16, "b")), (1, 1, (32, "c"))]
+        firsts, lasts, counter, _, _ = plan.anchor
+        assert firsts == (0, 0)
+        assert lasts == (-1, 1)
+        assert counter == 5
+
+    def test_empty_heap_remove_is_bottom(self):
+        d = rec(24, 1, 0, REMOVE, value=4)
+        plan, merged = plan_for([d], structure="heap", n_priorities=2)
+        assert merged[24].result is BOTTOM and merged[24].completed

@@ -281,3 +281,16 @@ class TestViolationObjects:
             Violation("consistency", "property 2", "other")
         )
         assert not v1.same_failure(None)
+
+    def test_lost_record_violation(self):
+        from repro.verify.violations import Violation, lost_record_violation
+
+        violation = lost_record_violation({42, 7}, structure="queue")
+        assert violation.kind == "consistency"
+        assert violation.clause == "lost_record"
+        assert violation.structure == "queue"
+        assert violation.req_ids == (7, 42)
+        assert "2 acknowledged" in violation.message
+        round_tripped = Violation.from_json(violation.to_json())
+        assert round_tripped == violation
+        assert violation.same_failure(lost_record_violation([1], "queue"))
