@@ -1,0 +1,266 @@
+"""Closed-loop multi-client load harness for the TCP runtime.
+
+Answers the question ROADMAP's "fast as the hardware allows" begs: *how
+many sustained ops/s does a deployment serve, at what latency, as
+clients pile on?* — and pins the PR-8 claim that the binary codec +
+wave coalescing beat the JSON seed path by >= 2x at 8 clients.
+
+Closed loop: every worker coroutine keeps exactly one request in
+flight (submit -> await completion -> submit ...), so offered load
+adapts to what the deployment can absorb instead of overrunning it —
+ops/s is *sustained* throughput and the latency percentiles are honest
+(no coordinated-omission inflation from a fire-and-forget generator).
+
+Each config deploys fresh hosts, warms up, measures for a fixed window,
+and reports sustained ops/s + p50/p99 latency per client count::
+
+    python benchmarks/bench_load.py --clients 1,4,8 --duration 4 \
+        --out bench_load.json
+
+The JSON artifact (uploaded by the CI ``bench-load`` step) carries one
+entry per (config, clients) cell plus the binary/json speedup per
+client count.  ``--min-ops-per-sec`` turns the run into a smoke gate:
+exit 1 if the best config's sustained ops/s falls below the floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.net.client import SkueueClient  # noqa: E402
+from repro.net.launcher import launch_local  # noqa: E402
+
+#: the two contenders: the seed wire (JSON, one frame per write) vs the
+#: PR-8 hot path (binary codec, coalesced frames + buffered writes)
+CONFIGS = {
+    "json-seed": {"codec": "json", "coalesce": False},
+    "binary-coalesced": {"codec": "binary", "coalesce": True},
+}
+
+
+async def _worker(
+    client: SkueueClient,
+    pid: int,
+    state: dict,
+    latencies: list[float],
+) -> int:
+    """One closed-loop submission slot: submit, await, repeat."""
+    ops = 0
+    toggle = 0
+    while not state["stop"]:
+        start = time.perf_counter()
+        if toggle == 0:
+            req = await client.enqueue(pid, ops)
+        else:
+            req = await client.dequeue(pid)
+        toggle ^= 1
+        await client.wait(req, timeout=60.0)
+        if state["measuring"]:
+            latencies.append(time.perf_counter() - start)
+            ops += 1
+    return ops
+
+
+async def _run_cell(
+    host_map: dict,
+    *,
+    codec: str,
+    coalesce: bool,
+    n_clients: int,
+    workers: int,
+    n_processes: int,
+    warmup: float,
+    duration: float,
+) -> dict:
+    """One measurement cell: ``n_clients`` clients x ``workers`` slots."""
+    clients = []
+    try:
+        for _ in range(n_clients):
+            client = SkueueClient(host_map, codec=codec, coalesce=coalesce)
+            await client.connect()
+            clients.append(client)
+        state = {"stop": False, "measuring": False}
+        latencies: list[float] = []
+        tasks = [
+            asyncio.ensure_future(
+                _worker(client, (c * workers + w) % n_processes, state,
+                        latencies)
+            )
+            for c, client in enumerate(clients)
+            for w in range(workers)
+        ]
+        await asyncio.sleep(warmup)
+        state["measuring"] = True
+        t0 = time.perf_counter()
+        await asyncio.sleep(duration)
+        state["measuring"] = False
+        measured = time.perf_counter() - t0
+        state["stop"] = True
+        ops = sum(await asyncio.gather(*tasks))
+        for client in clients:
+            await client.wait_all(timeout=60.0)
+        lat_sorted = sorted(latencies)
+
+        def pct(p: float) -> float:
+            if not lat_sorted:
+                return 0.0
+            return lat_sorted[min(len(lat_sorted) - 1,
+                                  int(p * len(lat_sorted)))]
+
+        return {
+            "clients": n_clients,
+            "workers_per_client": workers,
+            "ops": ops,
+            "seconds": round(measured, 4),
+            "ops_per_sec": round(ops / measured, 1) if measured else 0.0,
+            "p50_ms": round(pct(0.50) * 1000, 3),
+            "p99_ms": round(pct(0.99) * 1000, 3),
+            "mean_ms": round(
+                statistics.fmean(lat_sorted) * 1000, 3
+            ) if lat_sorted else 0.0,
+        }
+    finally:
+        for client in clients:
+            await client.close()
+
+
+def run_config(
+    name: str,
+    *,
+    hosts: int,
+    processes: int,
+    client_counts: list[int],
+    workers: int,
+    warmup: float,
+    duration: float,
+    seed: int,
+) -> list[dict]:
+    """Deploy one wire config and sweep it over the client counts."""
+    spec = CONFIGS[name]
+    cells = []
+    with launch_local(
+        hosts,
+        processes,
+        seed=seed,
+        id_slots=max(hosts, 8),
+        codec=spec["codec"],
+        coalesce=spec["coalesce"],
+    ) as deployment:
+        for n_clients in client_counts:
+            cell = asyncio.run(
+                _run_cell(
+                    deployment.host_map,
+                    codec=spec["codec"],
+                    coalesce=spec["coalesce"],
+                    n_clients=n_clients,
+                    workers=workers,
+                    n_processes=processes,
+                    warmup=warmup,
+                    duration=duration,
+                )
+            )
+            cell["config"] = name
+            cell.update(spec)
+            print(
+                f"[bench-load] {name:>16} clients={n_clients:<3} "
+                f"{cell['ops_per_sec']:>9.1f} ops/s  "
+                f"p50={cell['p50_ms']:.2f}ms p99={cell['p99_ms']:.2f}ms",
+                flush=True,
+            )
+            cells.append(cell)
+    return cells
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--hosts", type=int, default=3)
+    parser.add_argument("--processes", type=int, default=8)
+    parser.add_argument("--clients", default="8",
+                        help="comma-separated client counts to sweep")
+    parser.add_argument("--workers", type=int, default=8,
+                        help="closed-loop submission slots per client")
+    parser.add_argument("--warmup", type=float, default=1.0)
+    parser.add_argument("--duration", type=float, default=4.0,
+                        help="measurement window per cell, seconds")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--configs", default=",".join(CONFIGS),
+                        help=f"subset of {sorted(CONFIGS)} to run")
+    parser.add_argument("--out", default="bench_load.json")
+    parser.add_argument("--min-ops-per-sec", type=float, default=None,
+                        help="smoke floor: fail unless the best config "
+                             "sustains at least this many ops/s")
+    args = parser.parse_args(argv)
+
+    client_counts = [int(c) for c in args.clients.split(",") if c]
+    names = [n for n in args.configs.split(",") if n]
+    for name in names:
+        if name not in CONFIGS:
+            parser.error(f"unknown config {name!r}; pick from {sorted(CONFIGS)}")
+
+    results: list[dict] = []
+    for name in names:
+        results.extend(
+            run_config(
+                name,
+                hosts=args.hosts,
+                processes=args.processes,
+                client_counts=client_counts,
+                workers=args.workers,
+                warmup=args.warmup,
+                duration=args.duration,
+                seed=args.seed,
+            )
+        )
+
+    speedup = {}
+    if "json-seed" in names and "binary-coalesced" in names:
+        base = {c["clients"]: c["ops_per_sec"] for c in results
+                if c["config"] == "json-seed"}
+        fast = {c["clients"]: c["ops_per_sec"] for c in results
+                if c["config"] == "binary-coalesced"}
+        for n in client_counts:
+            if base.get(n):
+                speedup[str(n)] = round(fast.get(n, 0.0) / base[n], 2)
+                print(f"[bench-load] speedup at {n} clients: "
+                      f"{speedup[str(n)]}x", flush=True)
+
+    artifact = {
+        "benchmark": "bench_load",
+        "params": {
+            "hosts": args.hosts,
+            "processes": args.processes,
+            "workers_per_client": args.workers,
+            "warmup_s": args.warmup,
+            "duration_s": args.duration,
+            "seed": args.seed,
+        },
+        "results": results,
+        "speedup_binary_coalesced_vs_json_seed": speedup,
+    }
+    Path(args.out).write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"[bench-load] wrote {args.out}", flush=True)
+
+    if args.min_ops_per_sec is not None:
+        best = max((c["ops_per_sec"] for c in results), default=0.0)
+        if best < args.min_ops_per_sec:
+            print(
+                f"[bench-load] FAIL: best sustained {best} ops/s < floor "
+                f"{args.min_ops_per_sec}",
+                flush=True,
+            )
+            return 1
+        print(f"[bench-load] floor ok: {best} >= {args.min_ops_per_sec}",
+              flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

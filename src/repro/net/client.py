@@ -45,6 +45,8 @@ import asyncio
 from repro.core.requests import BOTTOM, INSERT, REMOVE, OpRecord, pack_req_id
 from repro.net.membership import ClusterMap
 from repro.net.transport import (
+    CODEC_BINARY,
+    CODEC_JSON,
     decode_payload,
     encode_payload,
     read_frame,
@@ -56,10 +58,43 @@ __all__ = ["SkueueClient"]
 
 
 class SkueueClient:
-    """Asyncio client for a :class:`~repro.net.launcher.NetDeployment`."""
+    """Asyncio client for a :class:`~repro.net.launcher.NetDeployment`.
 
-    def __init__(self, host_map: dict[int, tuple[str, int]]) -> None:
+    ``codec`` selects the wire codec this client *offers* in its
+    ``hello``: ``"auto"`` (default) offers binary-then-JSON and lets
+    each host pick, ``"json"``/``"binary"`` pin one.  The host's answer
+    in the ``welcome`` sets the send codec per connection; receiving is
+    always codec-agnostic (frames are self-describing), so a client may
+    end up speaking different codecs to different hosts of one
+    deployment.
+
+    ``coalesce`` turns on submit coalescing: submissions issued in the
+    same event-loop tick (or within ``coalesce_window`` seconds, if
+    nonzero) to the same host are flushed as a single ``submit_batch``
+    frame with one buffered socket write.  Order per host is the
+    buffer's append order, so per-client submission order is preserved.
+    """
+
+    def __init__(
+        self,
+        host_map: dict[int, tuple[str, int]],
+        *,
+        codec: str = "auto",
+        coalesce: bool = True,
+        coalesce_window: float = 0.0,
+    ) -> None:
         self.host_map = {int(k): (v[0], int(v[1])) for k, v in host_map.items()}
+        if codec == "auto":
+            self._offered = [CODEC_BINARY, CODEC_JSON]
+        elif codec in (CODEC_JSON, CODEC_BINARY):
+            self._offered = [codec]
+        else:
+            raise ValueError(f"unknown wire codec {codec!r}")
+        self.coalesce = bool(coalesce)
+        self.coalesce_window = coalesce_window
+        self._send_codecs: dict[int, str] = {}  # host -> negotiated codec
+        self._submit_buf: dict[int, list[tuple]] = {}  # host -> queued subs
+        self._flush_tasks: dict[int, asyncio.Task] = {}
         self.n_hosts = len(self.host_map)
         self.id_slots = self.n_hosts  # refined by the welcome handshake
         self.cluster: ClusterMap | None = None
@@ -139,7 +174,9 @@ class SkueueClient:
         self._readers[index] = loop.create_task(self._read_loop(index, reader))
         future = self._welcome_futures[index] = loop.create_future()
         try:
-            write_frame(writer, {"op": "hello"})
+            # the hello itself always rides as JSON: the codec is only
+            # negotiated by it
+            write_frame(writer, {"op": "hello", "codecs": list(self._offered)})
             await writer.drain()
             # belt for the EOF-notification in _read_loop: a peer that
             # accepted the connection but never answers (crashed between
@@ -162,6 +199,10 @@ class SkueueClient:
                 f"{welcome['host']} answered"
             )
         self._nonces[index] = welcome["nonce"]
+        chosen = welcome.get("codec", CODEC_JSON)
+        self._send_codecs[index] = (
+            chosen if chosen in self._offered else CODEC_JSON
+        )
         return welcome
 
     async def _ensure_host(self, index: int) -> None:
@@ -199,9 +240,16 @@ class SkueueClient:
             except Exception:
                 pass
         self._nonces.pop(index, None)
+        self._send_codecs.pop(index, None)
+        self._submit_buf.pop(index, None)
+        self._flush_tasks.pop(index, None)
 
     async def close(self) -> None:
         self._closed = True
+        for task in self._flush_tasks.values():
+            task.cancel()
+        self._flush_tasks.clear()
+        self._submit_buf.clear()
         for task in self._readers.values():
             task.cancel()
         for writer in self._writers.values():
@@ -280,19 +328,81 @@ class SkueueClient:
         check_priority(info.get("structure", "queue"), kind, priority,
                        info.get("n_priorities"))
 
+    def _write(self, host: int, frame: dict) -> None:
+        """Frame one message in the host's negotiated send codec."""
+        write_frame(self._writers[host], frame,
+                    self._send_codecs.get(host, CODEC_JSON))
+
     def _queue_submit(self, pid: int, kind: int, item: object,
                       priority: int = 0) -> int:
-        """Frame one submission onto its host's writer (drain separately)."""
+        """Stage one submission for its host (flush/drain separately).
+
+        Without coalescing the frame is written immediately (one frame
+        per submit, the seed path).  With coalescing it joins the host's
+        submit buffer; the first entry schedules a flush for the next
+        loop tick (or ``coalesce_window`` seconds out), so every
+        submission staged meanwhile rides the same ``submit_batch``.
+        """
         host = self.host_for(pid)
         req_id = self._next_req_id(host)
         self._pending[req_id] = asyncio.get_running_loop().create_future()
         self._pending_meta[req_id] = (pid, kind, item, priority)
-        frame = {"op": "submit", "req": req_id, "pid": pid, "kind": kind,
-                 "item": encode_payload(item)}
-        if priority:
-            frame["pri"] = priority
-        write_frame(self._writers[host], frame)
+        if not self.coalesce:
+            frame = {"op": "submit", "req": req_id, "pid": pid, "kind": kind,
+                     "item": encode_payload(item)}
+            if priority:
+                frame["pri"] = priority
+            self._write(host, frame)
+            return req_id
+        buffer = self._submit_buf.setdefault(host, [])
+        buffer.append((req_id, pid, kind, encode_payload(item), priority))
+        if host not in self._flush_tasks:
+            self._flush_tasks[host] = asyncio.get_running_loop().create_task(
+                self._flush_later(host)
+            )
         return req_id
+
+    async def _flush_later(self, host: int) -> None:
+        # sleep(0) = "the next loop tick": everything submitted in the
+        # current tick batches, idle submitters pay zero added latency
+        await asyncio.sleep(self.coalesce_window if self.coalesce_window > 0
+                            else 0)
+        if self._flush_tasks.get(host) is asyncio.current_task():
+            await self._flush_submits(host)
+
+    async def _flush_submits(self, host: int) -> None:
+        """Write the host's buffered submissions as one frame and drain.
+
+        An empty buffer writes nothing.  A buffer whose host connection
+        died meanwhile is *dropped*: those requests are still pending
+        with their meta, and :meth:`_recover_lost` reroutes them — also
+        writing them here would submit them twice.
+        """
+        self._flush_tasks.pop(host, None)
+        entries = self._submit_buf.pop(host, None)
+        if not entries:
+            return
+        writer = self._writers.get(host)
+        if writer is None:
+            return
+        if len(entries) == 1:
+            req_id, pid, kind, item, priority = entries[0]
+            frame = {"op": "submit", "req": req_id, "pid": pid,
+                     "kind": kind, "item": item}
+            if priority:
+                frame["pri"] = priority
+        else:
+            frame = {"op": "submit_batch", "subs": [list(e) for e in entries]}
+        self._write(host, frame)
+        await writer.drain()
+
+    async def _drain_submits(self, host: int) -> None:
+        """Hand everything staged for ``host`` to the transport."""
+        if self.coalesce:
+            await self._flush_submits(host)
+        writer = self._writers.get(host)
+        if writer is not None:
+            await writer.drain()
 
     async def _submit(self, pid: int, kind: int, item: object,
                       priority: int = 0) -> int:
@@ -300,7 +410,15 @@ class SkueueClient:
         host = self.host_for(pid)
         await self._ensure_host(host)
         req_id = self._queue_submit(pid, kind, item, priority)
-        await self._writers[host].drain()
+        if self.coalesce:
+            # await the shared flush task instead of flushing inline:
+            # concurrent submitters suspend here, the flush runs once
+            # with all of their entries in the buffer
+            task = self._flush_tasks.get(host)
+            if task is not None:
+                await task
+        else:
+            await self._writers[host].drain()
         return req_id
 
     async def submit_many(
@@ -308,10 +426,11 @@ class SkueueClient:
     ) -> list[int]:
         """Pipeline many ``(pid, kind, item[, priority])`` submissions.
 
-        All frames are written before any drain, so one call costs one
-        flush per touched host instead of one per operation.  Submission
-        order per pid is preserved (TCP is FIFO per connection and a
-        host assigns per-pid indices in arrival order).
+        All frames are staged before any flush, so one call costs one
+        buffered write per touched host instead of one per operation.
+        Submission order per pid is preserved (the coalesce buffer and
+        TCP are both FIFO, and a host assigns per-pid indices in arrival
+        order).
         """
         ops = [op if len(op) > 3 else (*op, 0) for op in ops]
         for _pid, kind, _item, priority in ops:
@@ -324,7 +443,7 @@ class SkueueClient:
             for pid, kind, item, priority in ops
         ]
         for host in hosts:
-            await self._writers[host].drain()
+            await self._drain_submits(host)
         return req_ids
 
     async def _on_rejected(self, message: dict) -> None:
@@ -368,7 +487,7 @@ class SkueueClient:
                 replacement = self._queue_submit(pid, kind, item, priority)
                 self._redirects[replacement] = root
                 self.rejected_resubmits += 1
-                await self._writers[host].drain()
+                await self._drain_submits(host)
                 return
             raise TimeoutError(
                 f"request {root} could not be resubmitted: no reachable host"
@@ -376,6 +495,12 @@ class SkueueClient:
         except Exception as exc:
             if not future.done():
                 future.set_exception(exc)
+
+    async def _flush_all(self) -> None:
+        """Flush every host's staged submissions (before waiting)."""
+        if self.coalesce:
+            for host in list(self._submit_buf):
+                await self._flush_submits(host)
 
     # -- completions ----------------------------------------------------------
     async def wait(self, req_id: int, timeout: float | None = 30.0):
@@ -391,6 +516,8 @@ class SkueueClient:
         if future is None:
             raise KeyError(f"req_id {req_id} was never submitted by this client")
         if not future.done():
+            await self._flush_all()
+        if not future.done():
             try:
                 await asyncio.wait_for(asyncio.shield(future), timeout)
             except asyncio.TimeoutError:
@@ -405,6 +532,7 @@ class SkueueClient:
         Raises the builtin :class:`TimeoutError` past ``timeout`` (same
         class as :meth:`wait` on every supported Python), after
         surfacing any host-reported errors."""
+        await self._flush_all()
         outstanding = [f for f in self._pending.values() if not f.done()]
         if outstanding:
             try:
@@ -458,12 +586,13 @@ class SkueueClient:
         at retirement — the merged history stays complete across churn.
         """
         loop = asyncio.get_running_loop()
+        await self._flush_all()
         if self.cluster is not None:
             for index in list(self.cluster.hosts):
                 await self._ensure_host(index)
         for index, writer in self._writers.items():
             self._collect_futures[index] = loop.create_future()
-            write_frame(writer, {"op": "collect"})
+            self._write(index, {"op": "collect"})
             await writer.drain()
         replies = await asyncio.wait_for(
             asyncio.gather(*self._collect_futures.values()), timeout
@@ -484,8 +613,8 @@ class SkueueClient:
         ``timeout`` elapses), so callers may rely on :meth:`live_pids`
         reflecting at least the answering host's view on return."""
         before = self._map_replies
-        for writer in self._writers.values():
-            write_frame(writer, {"op": "map"})
+        for index, writer in self._writers.items():
+            self._write(index, {"op": "map"})
             await writer.drain()
             break
         else:
@@ -506,7 +635,7 @@ class SkueueClient:
         loop = asyncio.get_running_loop()
         for index, writer in self._writers.items():
             self._metrics_futures[index] = loop.create_future()
-            write_frame(writer, {"op": "metrics"})
+            self._write(index, {"op": "metrics"})
             await writer.drain()
         replies = await asyncio.wait_for(
             asyncio.gather(*self._metrics_futures.values()), timeout
@@ -516,9 +645,9 @@ class SkueueClient:
 
     async def shutdown_hosts(self) -> None:
         """Ask every host to stop (the launcher also reaps processes)."""
-        for writer in self._writers.values():
+        for index, writer in list(self._writers.items()):
             try:
-                write_frame(writer, {"op": "shutdown"})
+                self._write(index, {"op": "shutdown"})
                 await writer.drain()
             except (ConnectionError, OSError):
                 pass
@@ -540,6 +669,11 @@ class SkueueClient:
         self._writers.pop(index, None)
         self._nonces.pop(index, None)
         self._readers.pop(index, None)
+        self._send_codecs.pop(index, None)
+        # anything still staged for this host was never written: drop it
+        # here so a late flush cannot duplicate the resubmissions below
+        self._submit_buf.pop(index, None)
+        self._flush_tasks.pop(index, None)
         for req_id in list(self._pending):
             future = self._pending.get(req_id)
             if future is None or future.done():
@@ -551,6 +685,20 @@ class SkueueClient:
             await self._on_rejected({"req": req_id})
 
     # -- frame handling --------------------------------------------------------
+    def _handle_done(self, req_id: int, kind: int, result: object) -> None:
+        decoded = (kind, decode_payload(result))
+        for rid in (req_id, self._redirects.pop(req_id, None)):
+            if rid is None:
+                continue
+            self._results[rid] = decoded
+            # the meta is only needed while a resubmission is still
+            # possible; drop it on completion (it holds the enqueued
+            # item object)
+            self._pending_meta.pop(rid, None)
+            future = self._pending.get(rid)
+            if future is not None and not future.done():
+                future.set_result(True)
+
     async def _read_loop(self, index: int, reader: asyncio.StreamReader) -> None:
         while True:
             message = await read_frame(reader)
@@ -567,19 +715,11 @@ class SkueueClient:
                 return
             op = message.get("op")
             if op == "done":
-                req_id = message["req"]
-                result = (message["kind"], decode_payload(message["result"]))
-                for rid in (req_id, self._redirects.pop(req_id, None)):
-                    if rid is None:
-                        continue
-                    self._results[rid] = result
-                    # the meta is only needed while a resubmission is
-                    # still possible; drop it on completion (it holds
-                    # the enqueued item object)
-                    self._pending_meta.pop(rid, None)
-                    future = self._pending.get(rid)
-                    if future is not None and not future.done():
-                        future.set_result(True)
+                self._handle_done(message["req"], message["kind"],
+                                  message["result"])
+            elif op == "done_batch":
+                for req_id, kind, result in message["dones"]:
+                    self._handle_done(req_id, kind, result)
             elif op == "rejected":
                 asyncio.get_running_loop().create_task(
                     self._on_rejected(message)

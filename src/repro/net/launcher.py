@@ -42,8 +42,13 @@ from pathlib import Path
 
 from repro.core.structures import structure_names
 from repro.net.membership import ClusterMap
-from repro.net.server import HostConfig, run_host, run_joining_host
-from repro.net.transport import FrameReader, encode_frame
+from repro.net.server import (
+    HostConfig,
+    install_uvloop,
+    run_host,
+    run_joining_host,
+)
+from repro.net.transport import WIRE_CODECS, FrameReader, encode_frame
 from repro.sim.profile import EngineProfile
 
 __all__ = ["NetDeployment", "launch_local", "main"]
@@ -321,12 +326,22 @@ def launch_local(
     id_slots: int = 0,
     n_priorities: int = 4,
     profile: "EngineProfile | None" = None,
+    codec: "str | list[str] | tuple[str, ...]" = "binary",
+    coalesce: bool = True,
 ) -> NetDeployment:
     """Spawn, wire and return a local ``n_hosts``-process deployment.
 
     Every host binds port 0 (the kernel hands out a free ephemeral port,
     reported back through the READY line), so any number of deployments
     — parallel CI jobs included — coexist without port coordination.
+
+    ``codec`` is each host's *send* codec (``"binary"`` default,
+    ``"json"`` for a wire you can read in a packet dump).  Receiving is
+    always codec-agnostic, so a per-host sequence (e.g. ``["json",
+    "binary", "json"]``) builds a deliberately mixed-codec deployment —
+    the cross-codec e2e tests deploy exactly that.  ``coalesce=False``
+    restores the one-frame-per-write seed behaviour (the baseline leg of
+    ``benchmarks/bench_load.py``).
 
     ``id_slots`` fixes the req_id origin-residue modulus, which caps how
     many host indices the deployment can ever hand out; the default
@@ -351,6 +366,14 @@ def launch_local(
     id_slots = id_slots or n_hosts
     if id_slots < n_hosts:
         raise ValueError(f"id_slots={id_slots} < n_hosts={n_hosts}")
+    if isinstance(codec, str):
+        codecs = [codec] * n_hosts
+    else:
+        codecs = list(codec)
+        if len(codecs) != n_hosts:
+            raise ValueError(
+                f"per-host codec list names {len(codecs)} hosts, not {n_hosts}"
+            )
     env = dict(os.environ)
     env["PYTHONPATH"] = _src_path() + os.pathsep + env.get("PYTHONPATH", "")
     processes: list[subprocess.Popen] = []
@@ -370,6 +393,8 @@ def launch_local(
                 epoch=epoch,
                 id_slots=id_slots,
                 n_priorities=n_priorities,
+                codec=codecs[index],
+                coalesce=coalesce,
             )
             proc = subprocess.Popen(
                 [
@@ -419,6 +444,8 @@ def launch_local(
             "structure": structure,
             "id_slots": id_slots,
             "n_priorities": n_priorities,
+            "codec": codecs,
+            "coalesce": coalesce,
         },
         proc_by_index=proc_by_index,
     )
@@ -494,13 +521,37 @@ def main(argv: list[str] | None = None) -> int:
     demo.add_argument("--timeout-lag", type=float, default=None,
                       help="TIMEOUT scheduling lag in rounds "
                            "(EngineProfile units)")
+    demo.add_argument("--codec", choices=WIRE_CODECS, default="binary",
+                      help="wire codec the hosts send (frames are "
+                           "self-describing, so clients may differ)")
+    demo.add_argument("--no-coalesce", action="store_true",
+                      help="one frame per socket write (the pre-batching "
+                           "behaviour; mainly for A/B measurements)")
 
     args = parser.parse_args(argv)
     if args.command == "serve":
+        install_uvloop()  # optional accelerator; stdlib loop otherwise
         config = HostConfig.from_json(json.loads(args.config_json))
-        asyncio.run(run_host(config, ready_prefix=_READY_PREFIX))
+        profile_prefix = os.environ.get("SKUEUE_PROFILE")
+        if profile_prefix:
+            # per-host CPU profiles for wire/hot-path work:
+            # SKUEUE_PROFILE=/tmp/run python ... -> /tmp/run-host<i>.prof
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                asyncio.run(run_host(config, ready_prefix=_READY_PREFIX))
+            finally:
+                profiler.disable()
+                profiler.dump_stats(
+                    f"{profile_prefix}-host{config.host_index}.prof"
+                )
+        else:
+            asyncio.run(run_host(config, ready_prefix=_READY_PREFIX))
         return 0
     if args.command == "join":
+        install_uvloop()
         seed_host, _, seed_port = args.seed.rpartition(":")
         asyncio.run(
             run_joining_host(
@@ -521,6 +572,7 @@ def main(argv: list[str] | None = None) -> int:
         with launch_local(
             args.hosts, args.processes, seed=args.seed,
             structure=args.structure, profile=profile,
+            codec=args.codec, coalesce=not args.no_coalesce,
         ) as deployment:
             summary = asyncio.run(_demo(deployment, args.ops, args.seed))
         print(json.dumps(summary))

@@ -52,9 +52,16 @@ from repro.ops.detector import FailureDetector
 from repro.ops.health import build_health, build_status, start_ops_server
 from repro.ops.recovery import merge_records, plan_rebuild
 from repro.net.transport import (
+    BULK_OPS,
+    CODEC_JSON,
+    WIRE_CODECS,
+    FrameDecodeError,
+    FrameError,
+    codec_for,
     decode_payload,
     encode_frame,
     encode_payload,
+    negotiate_codec,
     read_frame,
     record_from_wire,
     record_to_wire,
@@ -72,7 +79,7 @@ from repro.overlay.routing import route_steps_for
 from repro.sim.metrics import Metrics
 from repro.util.hashing import heap_position_key, label_of, position_key
 
-__all__ = ["HostConfig", "NodeHost"]
+__all__ = ["HostConfig", "NodeHost", "coalesce_frames", "install_uvloop"]
 
 #: Seconds an actor message may wait for a cluster-map update that names
 #: its destination pid before it is declared undeliverable.
@@ -116,9 +123,19 @@ class HostConfig:
     confirm_seconds: float = 1.5
     # completion replicas mirrored to this many ring successors
     replication: int = 2
+    # -- TCP hot path (PR 8) --------------------------------------------------
+    # wire codec this host *sends* (receiving is always codec-agnostic:
+    # frames are self-describing); "json" keeps the wire debuggable
+    codec: str = "binary"
+    # batch outbox/peer frames into single buffered socket writes
+    coalesce: bool = True
 
     def __post_init__(self) -> None:
         get_structure(self.structure)  # unknown names raise, listing valid ones
+        if self.codec not in WIRE_CODECS:
+            raise ValueError(
+                f"unknown wire codec {self.codec!r}; pick one of {WIRE_CODECS}"
+            )
         if not self.salt:
             self.salt = f"skueue-{self.seed}"
         if not self.id_slots:
@@ -160,6 +177,8 @@ class HostConfig:
             "miss_threshold": self.miss_threshold,
             "confirm_seconds": self.confirm_seconds,
             "replication": self.replication,
+            "codec": self.codec,
+            "coalesce": self.coalesce,
         }
 
     @classmethod
@@ -167,8 +186,50 @@ class HostConfig:
         return cls(**data)
 
 
+def coalesce_frames(frames: list[dict]) -> list[dict]:
+    """Merge runs of *consecutive* ``done`` frames into ``done_batch``.
+
+    Only adjacent DONE pushes merge, so the client observes completions
+    (and everything interleaved with them — maps, records, errors) in
+    exactly the order the host emitted them.
+    """
+    out: list[dict] = []
+    run: list[dict] = []
+
+    def close_run() -> None:
+        if not run:
+            return
+        if len(run) == 1:
+            out.append(run[0])
+        else:
+            out.append({
+                "op": "done_batch",
+                "dones": [[f["req"], f["kind"], f["result"]] for f in run],
+            })
+        run.clear()
+
+    for frame in frames:
+        if frame.get("op") == "done":
+            run.append(frame)
+        else:
+            close_run()
+            out.append(frame)
+    close_run()
+    return out
+
+
 class _Connection:
-    """One accepted TCP connection (client, launcher, or peer host)."""
+    """One accepted TCP connection (client, launcher, or peer host).
+
+    ``codec`` is what this side *sends* (set by the ``hello``
+    negotiation; JSON until then).  Reads are codec-agnostic — every
+    frame header names its own codec — which is what lets a JSON client
+    and a binary client share one host.
+    """
+
+    #: outbox frames folded into one buffered write per wakeup (bounds
+    #: both latency and the transient `done_batch` body size)
+    MAX_BATCH = 256
 
     def __init__(self, host: "NodeHost", reader, writer) -> None:
         self.host = host
@@ -180,6 +241,8 @@ class _Connection:
         # such connections receive unsolicited pushes (host_map,
         # update_over) — peers and the launcher never read them
         self.is_client = False
+        self.codec = CODEC_JSON  # send codec; hello negotiation upgrades
+        self.coalesce = host.config.coalesce
 
     def start(self) -> None:
         loop = asyncio.get_running_loop()
@@ -194,7 +257,14 @@ class _Connection:
     async def _read_loop(self) -> None:
         try:
             while True:
-                message = await read_frame(self.reader)
+                try:
+                    message = await read_frame(self.reader)
+                except FrameDecodeError:
+                    # garbage behind a valid header: the body was
+                    # consumed, the stream is still framed — drop the
+                    # frame, keep the connection serviceable
+                    self.host.note_error("read", traceback.format_exc())
+                    continue
                 if message is None:
                     break
                 self.host.handle_frame(self, message)
@@ -213,13 +283,33 @@ class _Connection:
         while True:
             try:
                 message = await self.outbox.get()
-                self.writer.write(encode_frame(message))
-                await self.writer.drain()
+                if not self.coalesce:
+                    # the seed path: one frame, one write, one drain
+                    self.writer.write(
+                        encode_frame(message, codec_for(message, self.codec))
+                    )
+                    await self.writer.drain()
+                    continue
+                # natural batching: everything already queued rides this
+                # wakeup — zero added latency when idle, deep batches
+                # under load
+                batch = [message]
+                while len(batch) < self.MAX_BATCH and not self.outbox.empty():
+                    batch.append(self.outbox.get_nowait())
+                buffer = bytearray()
+                for frame in coalesce_frames(batch):
+                    try:
+                        buffer += encode_frame(frame, codec_for(frame, self.codec))
+                    except Exception:
+                        # e.g. a reply whose body exceeds MAX_FRAME_BYTES:
+                        # drop that frame but keep the rest of the batch
+                        self.host.note_error("write", traceback.format_exc())
+                if buffer:
+                    self.writer.write(buffer)
+                    await self.writer.drain()
             except (ConnectionError, OSError, asyncio.CancelledError):
                 return
             except Exception:
-                # e.g. a reply whose body exceeds MAX_FRAME_BYTES: drop
-                # that frame but keep the connection serviceable
                 self.host.note_error("write", traceback.format_exc())
 
     def close(self) -> None:
@@ -246,13 +336,19 @@ class _PeerLink:
     #: (a crashed peer would otherwise be dialled forever; `send` re-arms)
     MAX_ATTEMPTS = 40
 
-    def __init__(self, address: tuple[str, int], src: int) -> None:
+    #: frames folded into one `batch` wrapper per write when coalescing
+    MAX_BATCH = 64
+
+    def __init__(self, address: tuple[str, int], src: int,
+                 codec: str = CODEC_JSON, coalesce: bool = True) -> None:
         self.address = address
         self.src = src
+        self.codec = codec
+        self.coalesce = coalesce
         self.outbox: asyncio.Queue = asyncio.Queue()
         self.task: asyncio.Task | None = None
         self._seq = 0
-        self._in_flight: dict | None = None
+        self._in_flight: list[dict] = []
         # reconnect bookkeeping, surfaced through the ops /health payload
         self.attempts = 0
         self.last_error: str | None = None
@@ -279,12 +375,12 @@ class _PeerLink:
             "attempts": self.attempts,
             "last_error": self.last_error,
             "gave_up": self.gave_up,
-            "queued": self.outbox.qsize() + (0 if self._in_flight is None else 1),
+            "queued": self.outbox.qsize() + len(self._in_flight),
         }
 
     @property
     def idle(self) -> bool:
-        return self._in_flight is None and self.outbox.empty()
+        return not self._in_flight and self.outbox.empty()
 
     def drain_pending(self) -> list[dict]:
         """Frames queued but (possibly) never delivered.
@@ -293,17 +389,55 @@ class _PeerLink:
         messages sent in the window between the host going away and the
         map update arriving would otherwise vanish with the link — the
         host re-dispatches them through the retiree's published
-        forwarding addresses instead.  The frame that was mid-write is
-        included; if the peer did receive it, its (src, seq) dedup
+        forwarding addresses instead.  Frames that were mid-write are
+        included; if the peer did receive them, its (src, seq) dedup
         discards the re-dispatch downstream.
         """
-        frames: list[dict] = []
-        if self._in_flight is not None:
-            frames.append(self._in_flight)
-            self._in_flight = None
+        frames: list[dict] = list(self._in_flight)
+        self._in_flight = []
         while not self.outbox.empty():
             frames.append(self.outbox.get_nowait())
         return frames
+
+    def encode_batch(self, frames: list[dict]) -> bytes:
+        """One wire blob for a flush.
+
+        A lone frame goes raw; runs of hot-path frames ride one
+        ``batch`` wrapper (each keeps its own src/seq, so the receiver's
+        dedup and generation fence see them individually).  Bulk frames
+        (:data:`~repro.net.transport.BULK_OPS`) break the run and ship
+        standalone in their own codec — wrapping a record archive would
+        force the whole batch through the slow path.
+        """
+        out = bytearray()
+        run: list[dict] = []
+
+        def flush_run() -> None:
+            if not run:
+                return
+            if len(run) == 1:
+                out.extend(encode_frame(run[0], self.codec))
+            else:
+                try:
+                    out.extend(
+                        encode_frame({"op": "batch", "frames": list(run)},
+                                     self.codec)
+                    )
+                except FrameError:
+                    # the wrapper overflowed MAX_FRAME_BYTES; every
+                    # individual frame was legal, so write them singly
+                    for frame in run:
+                        out.extend(encode_frame(frame, self.codec))
+            run.clear()
+
+        for frame in frames:
+            if frame.get("op") in BULK_OPS:
+                flush_run()
+                out.extend(encode_frame(frame, codec_for(frame, self.codec)))
+            else:
+                run.append(frame)
+        flush_run()
+        return bytes(out)
 
     async def _run(self) -> None:
         backoff = 0.05
@@ -328,14 +462,20 @@ class _PeerLink:
             self.last_error = None
             try:
                 while True:
-                    if self._in_flight is None:
-                        self._in_flight = await self.outbox.get()
-                    writer.write(encode_frame(self._in_flight))
+                    if not self._in_flight:
+                        self._in_flight = [await self.outbox.get()]
+                        if self.coalesce:
+                            # natural batching: whatever queued while we
+                            # were writing/draining rides the next flush
+                            while (len(self._in_flight) < self.MAX_BATCH
+                                   and not self.outbox.empty()):
+                                self._in_flight.append(self.outbox.get_nowait())
+                    writer.write(self.encode_batch(self._in_flight))
                     await writer.drain()
-                    self._in_flight = None
+                    self._in_flight = []
             except (ConnectionError, OSError) as exc:
                 self.last_error = str(exc) or type(exc).__name__
-                continue  # reconnect; the in-flight frame is resent,
+                continue  # reconnect; the in-flight frames are resent,
                 #           deduped by (src, seq) at the receiver
 
     def close(self) -> None:
@@ -607,7 +747,12 @@ class NodeHost:
         now = time.monotonic()
         for index, address in self.cluster.hosts.items():
             if index != self.config.host_index and index not in self.peers:
-                link = _PeerLink((address[0], int(address[1])), self.config.host_index)
+                link = _PeerLink(
+                    (address[0], int(address[1])),
+                    self.config.host_index,
+                    codec=self.config.codec,
+                    coalesce=self.config.coalesce,
+                )
                 self.peers[index] = link
                 link.start()
             if index != self.config.host_index:
@@ -895,13 +1040,34 @@ class NodeHost:
                     self._handle_peer_frame(message)
                 else:
                     self._pre_wire.append(message)
+            elif op == "batch":
+                # coalesced peer frames: each subframe carries its own
+                # src/seq/gen, so dedup + the generation fence apply
+                # per subframe through the ordinary dispatch
+                for sub in message.get("frames", []):
+                    self.handle_frame(conn, sub)
             elif op == "submit":
                 conn.is_client = True
                 self._submit(conn, message)
+            elif op == "submit_batch":
+                conn.is_client = True
+                for sub in message.get("subs", []):
+                    req_id, pid, kind, item = sub[0], sub[1], sub[2], sub[3]
+                    unpacked = {"op": "submit", "req": req_id, "pid": pid,
+                                "kind": kind, "item": item}
+                    if len(sub) > 4 and sub[4]:
+                        unpacked["pri"] = sub[4]
+                    self._submit(conn, unpacked)
             elif op == "hello":
                 conn.is_client = True
                 nonce = self._next_nonce
                 self._next_nonce += 1
+                # codec negotiation: prefer this host's configured send
+                # codec when the client offered it; JSON otherwise (old
+                # clients send no `codecs` list and keep working)
+                conn.codec = negotiate_codec(
+                    message.get("codecs"), self.config.codec
+                )
                 reply = {
                     "op": "welcome",
                     "host": self.config.host_index,
@@ -914,6 +1080,7 @@ class NodeHost:
                     "nonce": nonce,
                     "id_slots": self.config.id_slots,
                     "n_priorities": self.config.n_priorities,
+                    "codec": conn.codec,
                 }
                 if self.cluster is not None:
                     reply["map"] = self.cluster.to_json()
@@ -1086,6 +1253,8 @@ class NodeHost:
                     "miss_threshold": config.miss_threshold,
                     "confirm_seconds": config.confirm_seconds,
                     "replication": config.replication,
+                    "codec": config.codec,
+                    "coalesce": config.coalesce,
                 },
                 "map": self.cluster.to_json(),
             }
@@ -1821,6 +1990,28 @@ class NodeHost:
         entry = f"[host {self.config.host_index}] {where}: {detail}"
         self.errors.append(entry)
         print(entry, flush=True)
+
+
+def install_uvloop() -> bool:
+    """Install uvloop as the event-loop policy, if it is importable.
+
+    uvloop is *optional* (it is not a declared dependency): absent, the
+    stdlib loop serves.  Set ``SKUEUE_UVLOOP=0`` to keep the stdlib loop
+    even when uvloop is installed (e.g. to isolate a loop-dependent
+    bug).  Returns whether uvloop is now in charge.
+    """
+    import os
+
+    if os.environ.get("SKUEUE_UVLOOP", "1").strip().lower() in (
+        "0", "no", "false", "off",
+    ):
+        return False
+    try:
+        import uvloop
+    except ImportError:
+        return False
+    uvloop.install()
+    return True
 
 
 async def run_host(config: HostConfig, ready_prefix: str = "SKUEUE-READY") -> None:

@@ -1,10 +1,17 @@
-"""Wire format of the TCP runtime: framing + payload codec.
+"""Wire format of the TCP runtime: framing + pluggable payload codecs.
 
-Frames are length-prefixed JSON: a 4-byte big-endian unsigned length
-followed by that many bytes of UTF-8 JSON.  Frames above
-:data:`MAX_FRAME_BYTES` are rejected on both ends — a peer that sends one
-is buggy or malicious, and accepting it would let a single connection
-exhaust host memory.
+Every frame is **self-describing**: a 4-byte header whose first byte
+names the codec that serialised the body (:data:`CODEC_TAGS`) and whose
+remaining 3 bytes are the big-endian body length.  Codec tag ``0x00`` is
+UTF-8 JSON — bit-for-bit the legacy header, since JSON bodies were
+always shorter than 2^24 — and ``0x01`` is the compact struct-packed
+binary codec below.  Receivers therefore decode *any* mix of codecs on
+one connection; the ``hello``/``welcome`` negotiation (see
+docs/PROTOCOL.md) only selects what each side *sends*, which is what
+keeps mixed-codec deployments working.  Frames above
+:data:`MAX_FRAME_BYTES` are rejected on both ends — a peer that sends
+one is buggy or malicious, and accepting it would let a single
+connection exhaust host memory.
 
 JSON alone cannot carry the protocol's payloads: batches, position
 intervals and :class:`~repro.core.requests.OpRecord` fields are built
@@ -20,9 +27,17 @@ dicts with float keys (DHT handover slices), and the ⊥ sentinel
   requests across host boundaries),
 * lists, strings, ints, floats, bools, ``None`` pass through.
 
-Python's ``json`` round-trips floats exactly (``repr``-based), so LDB
-labels and DHT keys survive the wire bit-for-bit.  Ints are arbitrary
-precision on both ends, which is what lets packed request ids
+The binary codec serialises exactly this tagged domain (it gives the
+three hot tags — tuple, dict, ⊥ — one-byte type codes instead of
+single-key JSON objects), so ``decode(encode(x, codec))`` is the same
+value for both codecs and the payload layer above never has to know
+which one a connection negotiated.
+
+Python's ``json`` round-trips floats exactly (``repr``-based) and the
+binary codec packs IEEE-754 doubles, so LDB labels and DHT keys survive
+the wire bit-for-bit either way.  Ints are arbitrary precision on both
+ends (the binary codec falls back to a length-prefixed big-int), which
+is what lets packed request ids
 (:func:`repro.core.requests.pack_req_id` — nonce and sequence in the
 high bits) travel in plain ``req`` fields.
 """
@@ -36,21 +51,56 @@ from typing import Iterator
 from repro.core.requests import BOTTOM, OpRecord
 
 __all__ = [
+    "BULK_OPS",
+    "CODEC_BINARY",
+    "CODEC_JSON",
     "FRAME_TYPES",
     "MAX_FRAME_BYTES",
+    "WIRE_CODECS",
+    "FrameDecodeError",
     "FrameError",
     "FrameReader",
+    "codec_for",
+    "decode_frame_body",
     "decode_payload",
     "encode_frame",
     "encode_payload",
+    "negotiate_codec",
     "read_frame",
     "record_from_wire",
     "record_to_wire",
     "write_frame",
 ]
 
-#: Upper bound on one frame's JSON body (16 MiB).
-MAX_FRAME_BYTES = 16 * 1024 * 1024
+#: Upper bound on one frame's body (16 MiB - 1: the length rides in the
+#: low 3 bytes of the header, the top byte names the codec).
+MAX_FRAME_BYTES = 0xFFFFFF
+
+#: Wire codec names, in the order clients offer them by default.
+CODEC_JSON = "json"
+CODEC_BINARY = "binary"
+WIRE_CODECS = (CODEC_JSON, CODEC_BINARY)
+
+#: codec name -> header tag byte (the first of the 4 header bytes)
+CODEC_TAGS = {CODEC_JSON: 0x00, CODEC_BINARY: 0x01}
+_TAG_CODECS = {tag: name for name, tag in CODEC_TAGS.items()}
+
+#: Rare-but-huge control-plane frames (record archives, recovery dumps)
+#: that always ride JSON no matter what a connection negotiated: on
+#: multi-megabyte bodies CPython's C-accelerated ``json`` beats the
+#: pure-Python struct packer by enough that packing them binary can
+#: stall a host's event loop past the failure detector's patience.
+#: Self-describing frames make the per-frame override free.
+BULK_OPS = frozenset(
+    {"retire", "recover_dump", "rebuild", "records", "wire", "forwards"}
+)
+
+
+def codec_for(message: dict, negotiated: str) -> str:
+    """The codec one frame actually ships with (see :data:`BULK_OPS`)."""
+    if negotiated != CODEC_JSON and message.get("op") in BULK_OPS:
+        return CODEC_JSON
+    return negotiated
 
 #: The authoritative frame registry: every ``op`` the TCP runtime puts on
 #: the wire, with a one-line summary.  ``docs/PROTOCOL.md`` is the prose
@@ -68,11 +118,14 @@ FRAME_TYPES: dict[str, str] = {
     # host <-> host data plane
     "msg": "host -> host: one actor message (dest, action, payload)",
     "complete": "host -> host: value/result/completion sync for a req_id",
+    "batch": "host -> host: coalesced data-plane frames, one write per flush",
     # client session
     "hello": "client -> host: request a submission nonce + cluster map",
-    "welcome": "host -> client: nonce, id_slots and the current cluster map",
+    "welcome": "host -> client: nonce, id_slots, chosen codec + cluster map",
     "submit": "client -> host: ENQUEUE/DEQUEUE at a pid this host owns",
+    "submit_batch": "client -> host: coalesced submits, one frame per flush",
     "done": "host -> client: a submitted request completed (+ result)",
+    "done_batch": "host -> client: coalesced DONE pushes, one frame per flush",
     "rejected": "host -> client: submission not accepted (drain/ownership)",
     "collect": "client -> host: dump this host's (+ adopted) OpRecords",
     "records": "host -> client: the collect answer (+ errors)",
@@ -101,11 +154,27 @@ FRAME_TYPES: dict[str, str] = {
     "health": "any -> host: ops-plane health/status snapshot request/answer",
 }
 
-_LEN = struct.Struct(">I")
+_HEADER = struct.Struct(">I")
 
 
 class FrameError(ValueError):
     """A malformed or oversized frame arrived (or was about to be sent)."""
+
+
+class FrameDecodeError(FrameError):
+    """A frame *body* failed to decode (garbage bytes behind a valid
+    header).  Unlike a bad header this leaves the stream correctly
+    framed — the bytes were consumed — so a receiver may drop the frame
+    and keep the connection serviceable."""
+
+
+def negotiate_codec(offered, preferred: str) -> str:
+    """The send codec a host picks for a connection: its own preference
+    if the peer offered it, else JSON (every implementation speaks it)."""
+    offered = list(offered or (CODEC_JSON,))
+    if preferred in offered:
+        return preferred
+    return CODEC_JSON
 
 
 # -- payload codec -------------------------------------------------------------
@@ -185,23 +254,335 @@ def record_from_wire(data: dict) -> OpRecord:
     return rec
 
 
+# -- binary body codec ---------------------------------------------------------
+#
+# One type byte per value; all lengths/counts big-endian.  The domain is
+# exactly what `encode_payload` produces (JSON-safe values plus the tag
+# objects), so a binary body decodes to the same tagged structure the
+# JSON body would — parity is structural, not best-effort.
+
+_B_NONE = 0x00
+_B_TRUE = 0x01
+_B_FALSE = 0x02
+_B_INT8 = 0x03       # 1-byte signed
+_B_INT32 = 0x04      # 4-byte signed
+_B_INT64 = 0x05      # 8-byte signed
+_B_BIGINT = 0x06     # u8 byte-count + signed big-endian two's complement
+_B_FLOAT = 0x07      # IEEE-754 double
+_B_STR8 = 0x08       # u8 byte-length + UTF-8
+_B_STR32 = 0x09      # u32 byte-length + UTF-8
+_B_LIST8 = 0x0A      # u8 count + items
+_B_LIST32 = 0x0B     # u32 count + items
+_B_MAP8 = 0x0C       # u8 count + key/value pairs (generic dict)
+_B_MAP32 = 0x0D      # u32 count + key/value pairs
+_B_TUPLE = 0x0E      # u32 count + items             == {"t": [...]}
+_B_BOTTOM = 0x0F     # (no body)                     == {"b": 0}
+_B_TDICT = 0x10      # u32 count + [k, v] pairs      == {"d": [[k, v], ...]}
+_B_FRAME = 0x11      # u8 schema id + u16 presence bits + packed fields
+_B_RECORD = 0x12     # the 11 record_to_wire fields, packed positionally
+
+_I32 = struct.Struct(">i")
+_I64 = struct.Struct(">q")
+_U8 = struct.Struct(">B")
+_U32 = struct.Struct(">I")
+_F64 = struct.Struct(">d")
+
+#: positional field order for the hot, fixed-shape frames.  A schema
+#: frame packs `0x11, schema id, u16 presence bitmask, fields-present`
+#: instead of a generic keyed map — no key strings on the wire and half
+#: the pack calls, exactly where the frame rate lives.  A frame with a
+#: key outside its schema falls back to the generic map encoding, so
+#: the schema list is an optimisation surface, never a compatibility
+#: constraint (both peers run the same checkout; the codec was
+#: negotiated).
+_FRAME_SCHEMAS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("msg", ("dest", "action", "payload", "gen", "src", "seq")),
+    ("complete", ("req", "value", "result", "local_match", "done",
+                  "gen", "src", "seq")),
+    ("heartbeat", ("host", "gen", "src", "seq")),
+    ("replica_put", ("gen", "origin", "record", "ack", "src", "seq")),
+    ("replica_ack", ("req", "gen", "src", "seq")),
+    ("done", ("req", "kind", "result")),
+    ("done_batch", ("dones",)),
+    ("submit", ("req", "pid", "kind", "item", "pri")),
+    ("submit_batch", ("subs",)),
+    ("batch", ("frames",)),
+)
+#: op -> (schema id, field order, field set)
+_SCHEMA_BY_OP = {
+    op: (sid, fields, frozenset(fields))
+    for sid, (op, fields) in enumerate(_FRAME_SCHEMAS)
+}
+
+#: record_to_wire's fixed field order (always all present)
+_RECORD_FIELDS = ("req_id", "pid", "idx", "kind", "item", "gen", "pri",
+                  "value", "result", "completed", "local_match")
+_RECORD_FIELDSET = frozenset(_RECORD_FIELDS)
+
+
+def _pack_value(obj, out: bytearray) -> None:
+    # ordering matters: bool is an int subclass, so test it first
+    if obj is None:
+        out.append(_B_NONE)
+    elif obj is True:
+        out.append(_B_TRUE)
+    elif obj is False:
+        out.append(_B_FALSE)
+    elif type(obj) is int or isinstance(obj, int) and not isinstance(obj, bool):
+        if -128 <= obj <= 127:
+            out.append(_B_INT8)
+            out.append(obj & 0xFF)
+        elif -(2**31) <= obj < 2**31:
+            out.append(_B_INT32)
+            out += _I32.pack(obj)
+        elif -(2**63) <= obj < 2**63:
+            out.append(_B_INT64)
+            out += _I64.pack(obj)
+        else:
+            raw = obj.to_bytes((obj.bit_length() + 8) // 8, "big", signed=True)
+            if len(raw) > 255:
+                raise FrameError(f"int of {len(raw)} bytes exceeds the codec")
+            out.append(_B_BIGINT)
+            out.append(len(raw))
+            out += raw
+    elif isinstance(obj, float):
+        out.append(_B_FLOAT)
+        out += _F64.pack(obj)
+    elif isinstance(obj, str):
+        raw = obj.encode()
+        if len(raw) <= 255:
+            out.append(_B_STR8)
+            out.append(len(raw))
+        else:
+            out.append(_B_STR32)
+            out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(obj, list):
+        if len(obj) <= 255:
+            out.append(_B_LIST8)
+            out.append(len(obj))
+        else:
+            out.append(_B_LIST32)
+            out += _U32.pack(len(obj))
+        for item in obj:
+            _pack_value(item, out)
+    elif isinstance(obj, dict):
+        if len(obj) == 1:
+            # the payload tags ride as one-byte type codes — this is
+            # where the binary codec earns its "compact"
+            ((key, value),) = obj.items()
+            if key == "t" and type(value) is list:
+                out.append(_B_TUPLE)
+                out += _U32.pack(len(value))
+                for item in value:
+                    _pack_value(item, out)
+                return
+            if key == "b":
+                out.append(_B_BOTTOM)
+                return
+            if key == "d" and type(value) is list:
+                out.append(_B_TDICT)
+                out += _U32.pack(len(value))
+                for pair in value:
+                    if type(pair) is not list or len(pair) != 2:
+                        raise FrameError(f"malformed dict tag pair {pair!r}")
+                    _pack_value(pair[0], out)
+                    _pack_value(pair[1], out)
+                return
+        elif "op" in obj:
+            schema = _SCHEMA_BY_OP.get(obj["op"])
+            if schema is not None:
+                sid, fields, _ = schema
+                bits = 0
+                present = 0
+                for i, field in enumerate(fields):
+                    if field in obj:
+                        bits |= 1 << i
+                        present += 1
+                if present == len(obj) - 1:
+                    # every non-op key is in the schema — pack positionally
+                    out.append(_B_FRAME)
+                    out.append(sid)
+                    out.append(bits >> 8)
+                    out.append(bits & 0xFF)
+                    for i, field in enumerate(fields):
+                        if bits >> i & 1:
+                            _pack_value(obj[field], out)
+                    return
+        elif len(obj) == 11 and "req_id" in obj and obj.keys() == _RECORD_FIELDSET:
+            out.append(_B_RECORD)
+            for field in _RECORD_FIELDS:
+                _pack_value(obj[field], out)
+            return
+        if len(obj) <= 255:
+            out.append(_B_MAP8)
+            out.append(len(obj))
+        else:
+            out.append(_B_MAP32)
+            out += _U32.pack(len(obj))
+        for key, value in obj.items():
+            _pack_value(key, out)
+            _pack_value(value, out)
+    else:
+        raise FrameError(f"cannot binary-encode {type(obj).__name__} {obj!r}")
+
+
+def _unpack_value(buf: bytes, pos: int):
+    try:
+        tag = buf[pos]
+    except IndexError:
+        raise FrameDecodeError("truncated binary frame") from None
+    pos += 1
+    try:
+        if tag == _B_NONE:
+            return None, pos
+        if tag == _B_TRUE:
+            return True, pos
+        if tag == _B_FALSE:
+            return False, pos
+        if tag == _B_INT8:
+            value = buf[pos]
+            return (value - 256 if value > 127 else value), pos + 1
+        if tag == _B_INT32:
+            return _I32.unpack_from(buf, pos)[0], pos + 4
+        if tag == _B_INT64:
+            return _I64.unpack_from(buf, pos)[0], pos + 8
+        if tag == _B_BIGINT:
+            n = buf[pos]
+            pos += 1
+            raw = bytes(buf[pos : pos + n])
+            if len(raw) != n:
+                raise FrameDecodeError("truncated big int")
+            return int.from_bytes(raw, "big", signed=True), pos + n
+        if tag == _B_FLOAT:
+            return _F64.unpack_from(buf, pos)[0], pos + 8
+        if tag in (_B_STR8, _B_STR32):
+            if tag == _B_STR8:
+                n = buf[pos]
+                pos += 1
+            else:
+                n = _U32.unpack_from(buf, pos)[0]
+                pos += 4
+            raw = bytes(buf[pos : pos + n])
+            if len(raw) != n:
+                raise FrameDecodeError("truncated string")
+            return raw.decode(), pos + n
+        if tag in (_B_LIST8, _B_LIST32, _B_TUPLE):
+            if tag == _B_LIST8:
+                n = buf[pos]
+                pos += 1
+            else:
+                n = _U32.unpack_from(buf, pos)[0]
+                pos += 4
+            items = []
+            for _ in range(n):
+                item, pos = _unpack_value(buf, pos)
+                items.append(item)
+            if tag == _B_TUPLE:
+                return {"t": items}, pos
+            return items, pos
+        if tag == _B_BOTTOM:
+            return {"b": 0}, pos
+        if tag == _B_TDICT:
+            n = _U32.unpack_from(buf, pos)[0]
+            pos += 4
+            pairs = []
+            for _ in range(n):
+                key, pos = _unpack_value(buf, pos)
+                value, pos = _unpack_value(buf, pos)
+                pairs.append([key, value])
+            return {"d": pairs}, pos
+        if tag in (_B_MAP8, _B_MAP32):
+            if tag == _B_MAP8:
+                n = buf[pos]
+                pos += 1
+            else:
+                n = _U32.unpack_from(buf, pos)[0]
+                pos += 4
+            mapping = {}
+            for _ in range(n):
+                key, pos = _unpack_value(buf, pos)
+                value, pos = _unpack_value(buf, pos)
+                mapping[key] = value
+            return mapping, pos
+        if tag == _B_FRAME:
+            sid = buf[pos]
+            bits = (buf[pos + 1] << 8) | buf[pos + 2]
+            pos += 3
+            if sid >= len(_FRAME_SCHEMAS):
+                raise FrameDecodeError(f"unknown frame schema id {sid}")
+            op, fields = _FRAME_SCHEMAS[sid]
+            if bits >> len(fields):
+                raise FrameDecodeError(
+                    f"presence bits beyond the {op!r} schema: 0x{bits:04x}"
+                )
+            message = {"op": op}
+            for i, field in enumerate(fields):
+                if bits >> i & 1:
+                    message[field], pos = _unpack_value(buf, pos)
+            return message, pos
+        if tag == _B_RECORD:
+            record = {}
+            for field in _RECORD_FIELDS:
+                record[field], pos = _unpack_value(buf, pos)
+            return record, pos
+    except (struct.error, IndexError, UnicodeDecodeError) as exc:
+        raise FrameDecodeError(f"malformed binary frame: {exc}") from None
+    raise FrameDecodeError(f"unknown binary type byte 0x{tag:02x}")
+
+
 # -- framing -------------------------------------------------------------------
 
 
-def encode_frame(message: dict) -> bytes:
-    """Serialise one control/actor message into a length-prefixed frame."""
-    body = json.dumps(message, separators=(",", ":")).encode()
+def _encode_body(message: dict, codec: str) -> bytes:
+    if codec == CODEC_JSON:
+        return json.dumps(message, separators=(",", ":")).encode()
+    if codec == CODEC_BINARY:
+        out = bytearray()
+        _pack_value(message, out)
+        return bytes(out)
+    raise FrameError(f"unknown wire codec {codec!r}")
+
+
+def decode_frame_body(codec_tag: int, body: bytes) -> dict:
+    """Decode one frame body; raises :class:`FrameDecodeError` on
+    garbage (the stream itself stays correctly framed)."""
+    codec = _TAG_CODECS.get(codec_tag)
+    if codec is None:
+        raise FrameDecodeError(f"unknown codec tag 0x{codec_tag:02x}")
+    if codec == CODEC_JSON:
+        try:
+            message = json.loads(body)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise FrameDecodeError(f"malformed JSON frame: {exc}") from None
+    else:
+        message, end = _unpack_value(body, 0)
+        if end != len(body):
+            raise FrameDecodeError(
+                f"{len(body) - end} trailing bytes behind a binary frame"
+            )
+    if not isinstance(message, dict):
+        raise FrameDecodeError(
+            f"frame body decodes to {type(message).__name__}, not an object"
+        )
+    return message
+
+
+def encode_frame(message: dict, codec: str = CODEC_JSON) -> bytes:
+    """Serialise one control/actor message into a self-describing frame."""
+    body = _encode_body(message, codec)
     if len(body) > MAX_FRAME_BYTES:
         raise FrameError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
-    return _LEN.pack(len(body)) + body
+    return _HEADER.pack((CODEC_TAGS[codec] << 24) | len(body)) + body
 
 
 class FrameReader:
     """Incremental frame decoder tolerating arbitrary packet boundaries.
 
     Feed it whatever ``recv`` produced; it yields every complete message
-    and buffers the tail.  Used by the tests directly and mirrored by the
-    asyncio helpers below (which lean on ``readexactly`` instead).
+    and buffers the tail.  Frames of either codec interleave freely (the
+    header names the codec).  Used by the tests directly and mirrored by
+    the asyncio helpers below (which lean on ``readexactly`` instead).
     """
 
     __slots__ = ("_buffer", "max_frame")
@@ -213,19 +594,22 @@ class FrameReader:
     def feed(self, data: bytes) -> Iterator[dict]:
         self._buffer.extend(data)
         while True:
-            if len(self._buffer) < _LEN.size:
+            if len(self._buffer) < _HEADER.size:
                 return
-            (length,) = _LEN.unpack_from(self._buffer)
+            (word,) = _HEADER.unpack_from(self._buffer)
+            codec_tag, length = word >> 24, word & MAX_FRAME_BYTES
+            if codec_tag not in _TAG_CODECS:
+                raise FrameError(f"unknown codec tag 0x{codec_tag:02x}")
             if length > self.max_frame:
                 raise FrameError(
                     f"incoming frame of {length} bytes exceeds {self.max_frame}"
                 )
-            end = _LEN.size + length
+            end = _HEADER.size + length
             if len(self._buffer) < end:
                 return
-            body = bytes(self._buffer[_LEN.size : end])
+            body = bytes(self._buffer[_HEADER.size : end])
             del self._buffer[:end]
-            yield json.loads(body)
+            yield decode_frame_body(codec_tag, body)
 
     @property
     def buffered(self) -> int:
@@ -236,23 +620,32 @@ class FrameReader:
 
 
 async def read_frame(reader, max_frame: int = MAX_FRAME_BYTES) -> dict | None:
-    """Read one frame from an ``asyncio.StreamReader``; ``None`` on EOF."""
+    """Read one frame from an ``asyncio.StreamReader``; ``None`` on EOF.
+
+    Raises :class:`FrameError` for an unframeable stream (unknown codec
+    tag, oversized announcement) and the :class:`FrameDecodeError`
+    subclass for a garbage *body* — in the latter case the bytes were
+    consumed and the caller may keep reading frames.
+    """
     import asyncio
 
     try:
-        header = await reader.readexactly(_LEN.size)
+        header = await reader.readexactly(_HEADER.size)
     except (asyncio.IncompleteReadError, ConnectionResetError):
         return None
-    (length,) = _LEN.unpack(header)
+    (word,) = _HEADER.unpack(header)
+    codec_tag, length = word >> 24, word & MAX_FRAME_BYTES
+    if codec_tag not in _TAG_CODECS:
+        raise FrameError(f"unknown codec tag 0x{codec_tag:02x}")
     if length > max_frame:
         raise FrameError(f"incoming frame of {length} bytes exceeds {max_frame}")
     try:
         body = await reader.readexactly(length)
     except (asyncio.IncompleteReadError, ConnectionResetError):
         return None
-    return json.loads(body)
+    return decode_frame_body(codec_tag, body)
 
 
-def write_frame(writer, message: dict) -> None:
+def write_frame(writer, message: dict, codec: str = CODEC_JSON) -> None:
     """Queue one frame on an ``asyncio.StreamWriter`` (drain separately)."""
-    writer.write(encode_frame(message))
+    writer.write(encode_frame(message, codec))
