@@ -21,6 +21,12 @@ The JSON artifact (uploaded by the CI ``bench-load`` step) carries one
 entry per (config, clients) cell plus the binary/json speedup per
 client count.  ``--min-ops-per-sec`` turns the run into a smoke gate:
 exit 1 if the best config's sustained ops/s falls below the floor.
+
+``--phases`` deploys with per-op tracing sampled at ``--trace-sample``
+(default 5%) and prints where the traced ops spent their time —
+buffer (submitted, waiting for a wave), wave (aggregation until
+valuation), deliver (valuation until DONE) — per host, from each
+host's phase histograms (see DESIGN.md, "Telemetry").
 """
 
 from __future__ import annotations
@@ -132,6 +138,45 @@ async def _run_cell(
             await client.close()
 
 
+async def _collect_phases(host_map: dict, codec: str) -> dict[int, dict]:
+    """Pull every host's telemetry (phase histograms) over one client."""
+    client = SkueueClient(host_map, codec=codec)
+    await client.connect()
+    try:
+        return await client.host_telemetry()
+    finally:
+        await client.close()
+
+
+def _print_phases(name: str, telemetry: dict[int, dict]) -> dict:
+    """Render the per-host phase-latency breakdown; returns the summary
+    dict folded into the JSON artifact."""
+    summary: dict = {}
+    print(f"[bench-load] {name}: phase-latency breakdown (sampled traces)",
+          flush=True)
+    for host, data in sorted(telemetry.items()):
+        phases = data.get("phases") or {}
+        sampled = phases.get("sampled") or {}
+        parts = []
+        for phase in ("buffer", "wave", "deliver", "total"):
+            stats = phases.get(phase) or {}
+            if stats.get("count"):
+                parts.append(
+                    f"{phase} p50={stats['p50'] * 1000:.2f}ms "
+                    f"p99={stats['p99'] * 1000:.2f}ms"
+                )
+        hops = phases.get("hops") or {}
+        if hops.get("count"):
+            parts.append(f"hops mean={hops['mean']:.1f} p99={hops['p99']:.0f}")
+        print(
+            f"[bench-load]   host {host}: "
+            f"{sampled.get('finished', 0)} traced  " + "  ".join(parts),
+            flush=True,
+        )
+        summary[str(host)] = phases
+    return summary
+
+
 def run_config(
     name: str,
     *,
@@ -142,10 +187,12 @@ def run_config(
     warmup: float,
     duration: float,
     seed: int,
-) -> list[dict]:
+    trace_sample: float = 0.0,
+) -> tuple[list[dict], dict]:
     """Deploy one wire config and sweep it over the client counts."""
     spec = CONFIGS[name]
     cells = []
+    phases: dict = {}
     with launch_local(
         hosts,
         processes,
@@ -153,6 +200,7 @@ def run_config(
         id_slots=max(hosts, 8),
         codec=spec["codec"],
         coalesce=spec["coalesce"],
+        trace_sample=trace_sample,
     ) as deployment:
         for n_clients in client_counts:
             cell = asyncio.run(
@@ -176,7 +224,12 @@ def run_config(
                 flush=True,
             )
             cells.append(cell)
-    return cells
+        if trace_sample > 0.0:
+            telemetry = asyncio.run(
+                _collect_phases(deployment.host_map, spec["codec"])
+            )
+            phases = _print_phases(name, telemetry)
+    return cells, phases
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -197,7 +250,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-ops-per-sec", type=float, default=None,
                         help="smoke floor: fail unless the best config "
                              "sustains at least this many ops/s")
+    parser.add_argument("--phases", action="store_true",
+                        help="sample per-op traces and print the "
+                             "buffer/wave/deliver latency breakdown")
+    parser.add_argument("--trace-sample", type=float, default=None,
+                        help="trace sampling rate with --phases "
+                             "(default 0.05)")
     args = parser.parse_args(argv)
+
+    trace_sample = 0.0
+    if args.phases or args.trace_sample is not None:
+        trace_sample = 0.05 if args.trace_sample is None else args.trace_sample
 
     client_counts = [int(c) for c in args.clients.split(",") if c]
     names = [n for n in args.configs.split(",") if n]
@@ -206,19 +269,22 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"unknown config {name!r}; pick from {sorted(CONFIGS)}")
 
     results: list[dict] = []
+    phase_breakdowns: dict[str, dict] = {}
     for name in names:
-        results.extend(
-            run_config(
-                name,
-                hosts=args.hosts,
-                processes=args.processes,
-                client_counts=client_counts,
-                workers=args.workers,
-                warmup=args.warmup,
-                duration=args.duration,
-                seed=args.seed,
-            )
+        cells, phases = run_config(
+            name,
+            hosts=args.hosts,
+            processes=args.processes,
+            client_counts=client_counts,
+            workers=args.workers,
+            warmup=args.warmup,
+            duration=args.duration,
+            seed=args.seed,
+            trace_sample=trace_sample,
         )
+        results.extend(cells)
+        if phases:
+            phase_breakdowns[name] = phases
 
     speedup = {}
     if "json-seed" in names and "binary-coalesced" in names:
@@ -245,6 +311,9 @@ def main(argv: list[str] | None = None) -> int:
         "results": results,
         "speedup_binary_coalesced_vs_json_seed": speedup,
     }
+    if phase_breakdowns:
+        artifact["params"]["trace_sample"] = trace_sample
+        artifact["phases"] = phase_breakdowns
     Path(args.out).write_text(json.dumps(artifact, indent=2) + "\n")
     print(f"[bench-load] wrote {args.out}", flush=True)
 

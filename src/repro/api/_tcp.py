@@ -154,6 +154,9 @@ class TcpBackend:
     def host_metrics(self) -> dict[int, dict]:
         return self._call(self.client.host_metrics())
 
+    def host_telemetry(self) -> dict[int, dict]:
+        return self._call(self.client.host_telemetry())
+
     def close(self) -> None:
         if self._closed:
             return

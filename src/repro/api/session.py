@@ -224,6 +224,49 @@ class Session:
         get_structure(self.structure).check_history(records)
         return records
 
+    # -- telemetry --------------------------------------------------------------
+    def metrics(self) -> dict:
+        """Run-metrics summary: throughput counts + per-kind latency
+        stats (count/mean/min/p50/p99/max).
+
+        On simulator backends this is the cluster's
+        :meth:`~repro.sim.metrics.Metrics.summary`; on TCP it is one
+        such summary per host, keyed by host index.
+        """
+        cluster = getattr(self._backend, "cluster", None)
+        if cluster is not None:
+            return cluster.metrics.summary()
+        return self._backend.host_metrics()
+
+    def telemetry(self) -> dict:
+        """Full telemetry per host: the run-metrics summary plus the
+        tracer's phase histograms (``phases``) and, on TCP, the host's
+        metrics-registry snapshot (``registry``).  Keyed by host index;
+        simulators answer as a single host ``0``.
+        """
+        cluster = getattr(self._backend, "cluster", None)
+        if cluster is not None:
+            payload: dict = {"summary": cluster.metrics.summary()}
+            if cluster.tracer is not None:
+                payload["phases"] = cluster.tracer.phase_summary()
+            return {0: payload}
+        return self._backend.host_telemetry()
+
+    def trace(self) -> dict:
+        """Chrome trace-event export of the sampled op lifecycles
+        (build the session with ``trace_sample=...``); load the JSON in
+        Perfetto or ``chrome://tracing``.  Simulator backends only — on
+        TCP use ``skueue-ops trace`` or any host's ``/trace`` route,
+        which see every client's ops, not just this session's.
+        """
+        cluster = getattr(self._backend, "cluster", None)
+        if cluster is None:
+            raise AttributeError(
+                "trace export over the client port is not supported; use "
+                "`skueue-ops trace --seed HOST:PORT` or the /trace route"
+            )
+        return cluster.trace_export()
+
     # -- escape hatches ---------------------------------------------------------
     @property
     def cluster(self):

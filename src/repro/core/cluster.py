@@ -110,6 +110,7 @@ class SkueueCluster:
         profile: EngineProfile | None = None,
         safety_tick: float | None = None,
         timeout_lag: float | None = None,
+        trace_sample: float = 0.0,
     ) -> None:
         if n_processes < 1:
             raise ValueError("need at least one process")
@@ -145,6 +146,19 @@ class SkueueCluster:
             raise ValueError(f"unknown runner {runner!r}")
         self.salt = salt if salt is not None else f"skueue-{seed}"
         self.topology = LdbTopology(list(range(n_processes)), salt=self.salt)
+        # per-op lifecycle tracing (repro.telemetry): stamped in engine
+        # rounds, sampled by a deterministic req_id hash — no RNG stream
+        # is consumed, so traced and untraced runs schedule identically
+        self.tracer = None
+        if trace_sample > 0.0:
+            from repro.telemetry import Tracer
+
+            self.tracer = Tracer(
+                trace_sample,
+                clock=lambda: self.runtime.now,
+                time_scale=1000.0,  # one round -> 1 ms in the trace view
+                phase_buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+            )
         self.ctx = ClusterContext(
             self.runtime,
             salt=self.salt,
@@ -154,6 +168,7 @@ class SkueueCluster:
             empty_name=spec.empty_name,
             n_priorities=n_priorities,
             on_update_over=self._on_update_over,
+            tracer=self.tracer,
         )
         spawn_nodes(self.ctx, self.topology, self.node_class)
         self.runtime.kick()
@@ -190,6 +205,13 @@ class SkueueCluster:
     @property
     def records(self) -> list[OpRecord]:
         return self.ctx.records
+
+    def trace_export(self) -> dict:
+        """Chrome trace-event JSON of the sampled op lifecycles (empty
+        envelope when the cluster was built without ``trace_sample``)."""
+        if self.tracer is None:
+            return {"traceEvents": [], "displayTimeUnit": "ms"}
+        return self.tracer.export()
 
     @property
     def now(self) -> float:

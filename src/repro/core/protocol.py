@@ -73,6 +73,7 @@ class ClusterContext:
         "empty_name",
         "n_priorities",
         "on_update_over",
+        "tracer",
     )
 
     def __init__(
@@ -85,6 +86,7 @@ class ClusterContext:
         empty_name: str = "dequeue_empty",
         n_priorities: int = 4,
         on_update_over: Callable[[int, int], None] | None = None,
+        tracer=None,
     ) -> None:
         self.runtime = runtime
         self.metrics = runtime.metrics
@@ -96,6 +98,9 @@ class ClusterContext:
         self.empty_name = empty_name
         self.n_priorities = n_priorities  # Skeap class count (heap clusters)
         self.on_update_over = on_update_over
+        # optional repro.telemetry.Tracer; None keeps every protocol span
+        # stamp down to a single attribute test (the telemetry-off path)
+        self.tracer = tracer
 
 
 class QueueNode(MembershipMixin, Actor):
@@ -120,6 +125,7 @@ class QueueNode(MembershipMixin, Actor):
         "inflight_records",
         "inflight_counts",
         "sent_to",
+        "wave_fired_at",
         # anchor (stage 2)
         "is_anchor",
         "anchor_state",
@@ -212,6 +218,7 @@ class QueueNode(MembershipMixin, Actor):
         self.inflight_records: list[OpRecord] = []
         self.inflight_counts = (0, 0)  # own join/leave counters in flight
         self.sent_to = None  # where the in-flight batch went (ack target)
+        self.wave_fired_at = None  # telemetry: when a non-empty wave left
 
         self.is_anchor = is_anchor
         self.anchor_state = self._new_anchor_state() if is_anchor else None
@@ -270,7 +277,10 @@ class QueueNode(MembershipMixin, Actor):
     # -- request injection (cluster facade) ------------------------------------
     def local_op(self, rec: OpRecord) -> None:
         """Buffer a freshly generated queue operation (Section III-A)."""
-        self.ctx.metrics.request_generated()
+        ctx = self.ctx
+        ctx.metrics.request_generated()
+        if ctx.tracer is not None:
+            ctx.tracer.on_submit(rec.req_id, kind=rec.kind, pid=rec.pid)
         self._buffer_op(rec)
         self.wake_me()
 
@@ -529,6 +539,12 @@ class QueueNode(MembershipMixin, Actor):
         self.plan = plan
         self.inflight_records = records
         self.inflight = True
+        tracer = self.ctx.tracer
+        if tracer is not None:
+            if records and tracer.tracing:
+                tracer.wave_join(records, self.vid)
+            if combined:
+                self.wave_fired_at = self.ctx.runtime.now
         # firing ends the wait this node may have been stuck in: any
         # probe state belongs to that wait and must not leak into the
         # next wave (the fence invalidates probes still walking the graph)
@@ -630,6 +646,12 @@ class QueueNode(MembershipMixin, Actor):
                 self.send(src, A_SERVE, (sub, epoch))
                 served.append(src)
         self.inflight = False
+        if self.wave_fired_at is not None:
+            ctx = self.ctx
+            ctx.metrics.note_stat(
+                "wave_duration", ctx.runtime.now - self.wave_fired_at
+            )
+            self.wave_fired_at = None
         if epoch and epoch > self.update_epoch:
             self._enter_update(epoch, served)
         else:
@@ -643,6 +665,7 @@ class QueueNode(MembershipMixin, Actor):
             return
         salt = self.ctx.salt
         now = self.ctx.runtime.now
+        tracer = self.ctx.tracer
         index = 0
         for i, op in enumerate(runs):
             lo, hi, value = sub[i]
@@ -651,6 +674,8 @@ class QueueNode(MembershipMixin, Actor):
                     rec = records[index]
                     index += 1
                     rec.value = value + j
+                    if tracer is not None:
+                        tracer.valued(rec.req_id, rec.value)
                     key = position_key(lo + j, salt)
                     self._route_start(
                         A_RT_PUT, key, (rec.element, rec.gen, rec.req_id)
@@ -661,6 +686,8 @@ class QueueNode(MembershipMixin, Actor):
                     rec = records[index]
                     index += 1
                     rec.value = value + j
+                    if tracer is not None:
+                        tracer.valued(rec.req_id, rec.value)
                     if j < avail:
                         key = position_key(lo + j, salt)
                         self._route_start(
@@ -672,6 +699,8 @@ class QueueNode(MembershipMixin, Actor):
                         self.ctx.metrics.observe(
                             self.ctx.empty_name, now - rec.gen
                         )
+                        if tracer is not None:
+                            tracer.finish(rec.req_id, result="empty")
 
     # -- routing (Lemma 3) ----------------------------------------------------------------------
     def _joining_route(self, action: int, key: float, payload: tuple, extra: tuple) -> None:
@@ -718,6 +747,14 @@ class QueueNode(MembershipMixin, Actor):
         ideal: float,
         extra: tuple,
     ) -> None:
+        tracer = self.ctx.tracer
+        if tracer is not None and tracer.tracing:
+            # the routed payloads carry their req_id: PUT as
+            # (element, gen, req_id), GET as (requester_vid, req_id, gen)
+            if action == A_RT_PUT:
+                tracer.hop(extra[2], self.vid)
+            elif action == A_RT_GET:
+                tracer.hop(extra[1], self.vid)
         if self.replaced and self.dumped:
             # spliced out and data handed over: the responsible node (or
             # the final owner it redistributed to) continues the walk
@@ -785,6 +822,8 @@ class QueueNode(MembershipMixin, Actor):
         ctx = self.ctx
         ctx.metrics.observe(ctx.insert_name, ctx.runtime.now - gen)
         ctx.records[req_id].completed = True
+        if ctx.tracer is not None:
+            ctx.tracer.finish(req_id, result="stored")
         if waiter is not None:
             requester_vid, waiter_req_id, _ = waiter
             self.send(
@@ -809,6 +848,8 @@ class QueueNode(MembershipMixin, Actor):
             # record is only a stub (gen unknown): the origin host books
             # the completion; latency is observed where the gen is known
             ctx.metrics.observe(ctx.remove_name, ctx.runtime.now - gen)
+        if ctx.tracer is not None:
+            ctx.tracer.finish(req_id, result="served")
 
     def _on_put_ack(self, payload: tuple) -> None:  # stack only
         raise RuntimeError("PUT_ACK on a queue node")

@@ -53,6 +53,7 @@ from repro.net.transport import (
     record_from_wire,
     write_frame,
 )
+from repro.telemetry import trace_sampled
 
 __all__ = ["SkueueClient"]
 
@@ -73,6 +74,19 @@ class SkueueClient:
     nonzero) to the same host are flushed as a single ``submit_batch``
     frame with one buffered socket write.  Order per host is the
     buffer's append order, so per-client submission order is preserved.
+
+    ``trace_sample`` turns on client-side trace sampling: each req_id
+    that wins the deterministic draw (see
+    :func:`repro.telemetry.tracing.trace_sampled`) is submitted as a
+    standalone ``submit`` frame tagged with the optional ``tr`` field,
+    which makes every host on the op's path record lifecycle spans for
+    it (docs/PROTOCOL.md, "Telemetry").  Sampled submissions bypass the
+    coalesce buffer — ``submit_batch`` rows carry no tag — so keep the
+    rate low (a few percent) on throughput-sensitive runs.  A client
+    constructed with the default rate of ``0.0`` adopts whatever rate
+    the deployment advertises in its ``welcome`` (set by
+    ``launch_local(trace_sample=...)``), so deployments can turn on
+    tracing for every client centrally.
     """
 
     def __init__(
@@ -82,6 +96,7 @@ class SkueueClient:
         codec: str = "auto",
         coalesce: bool = True,
         coalesce_window: float = 0.0,
+        trace_sample: float = 0.0,
     ) -> None:
         self.host_map = {int(k): (v[0], int(v[1])) for k, v in host_map.items()}
         if codec == "auto":
@@ -92,6 +107,7 @@ class SkueueClient:
             raise ValueError(f"unknown wire codec {codec!r}")
         self.coalesce = bool(coalesce)
         self.coalesce_window = coalesce_window
+        self.trace_sample = float(trace_sample)
         self._send_codecs: dict[int, str] = {}  # host -> negotiated codec
         self._submit_buf: dict[int, list[tuple]] = {}  # host -> queued subs
         self._flush_tasks: dict[int, asyncio.Task] = {}
@@ -145,6 +161,11 @@ class SkueueClient:
             # legacy hosts predate the heap: default the class count
             self.deployment_info["n_priorities"] = first.get("n_priorities", 4)
             self.id_slots = first.get("id_slots", self.n_hosts)
+            # adopt the deployment's advertised sampling rate unless the
+            # caller pinned one: launch_local(trace_sample=...) then
+            # traces every client's submissions at that rate for free
+            if self.trace_sample == 0.0:
+                self.trace_sample = float(first.get("trace_sample", 0.0))
             if "map" in first:
                 self._apply_map_json(first["map"], force=True)
                 # reconcile against the authoritative member list
@@ -347,11 +368,20 @@ class SkueueClient:
         req_id = self._next_req_id(host)
         self._pending[req_id] = asyncio.get_running_loop().create_future()
         self._pending_meta[req_id] = (pid, kind, item, priority)
-        if not self.coalesce:
+        traced = self.trace_sample > 0.0 and trace_sampled(
+            req_id, self.trace_sample
+        )
+        if not self.coalesce or traced:
+            # traced submissions bypass the coalesce buffer: the `tr`
+            # tag rides only on standalone submit frames (batch rows
+            # have no slot for it), and a sampled op should not have its
+            # buffer phase start skewed by batching anyway
             frame = {"op": "submit", "req": req_id, "pid": pid, "kind": kind,
                      "item": encode_payload(item)}
             if priority:
                 frame["pri"] = priority
+            if traced:
+                frame["tr"] = req_id
             self._write(host, frame)
             return req_id
         buffer = self._submit_buf.setdefault(host, [])
@@ -642,6 +672,31 @@ class SkueueClient:
         )
         self._metrics_futures.clear()
         return {reply["host"]: reply["summary"] for reply in replies}
+
+    async def host_telemetry(
+        self, timeout: float | None = 30.0
+    ) -> dict[int, dict]:
+        """Per-host full telemetry answers: ``summary`` (run metrics),
+        ``phases`` (per-op trace phase histograms) and ``registry`` (the
+        host's metric registry snapshot).  Hosts predating the telemetry
+        plane answer with ``summary`` only."""
+        loop = asyncio.get_running_loop()
+        for index, writer in self._writers.items():
+            self._metrics_futures[index] = loop.create_future()
+            self._write(index, {"op": "metrics"})
+            await writer.drain()
+        replies = await asyncio.wait_for(
+            asyncio.gather(*self._metrics_futures.values()), timeout
+        )
+        self._metrics_futures.clear()
+        return {
+            reply["host"]: {
+                "summary": reply.get("summary", {}),
+                "phases": reply.get("phases", {}),
+                "registry": reply.get("registry", {}),
+            }
+            for reply in replies
+        }
 
     async def shutdown_hosts(self) -> None:
         """Ask every host to stop (the launcher also reaps processes)."""

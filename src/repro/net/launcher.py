@@ -50,6 +50,7 @@ from repro.net.server import (
 )
 from repro.net.transport import WIRE_CODECS, FrameReader, encode_frame
 from repro.sim.profile import EngineProfile
+from repro.telemetry import maybe_profile, profile_env_prefix
 
 __all__ = ["NetDeployment", "launch_local", "main"]
 
@@ -328,6 +329,8 @@ def launch_local(
     profile: "EngineProfile | None" = None,
     codec: "str | list[str] | tuple[str, ...]" = "binary",
     coalesce: bool = True,
+    trace_sample: float = 0.0,
+    trace_slow_ms: float = 0.0,
 ) -> NetDeployment:
     """Spawn, wire and return a local ``n_hosts``-process deployment.
 
@@ -355,6 +358,11 @@ def launch_local(
     ``safety_tick=0`` disabling the sweep).  The loose
     ``timeout_lag=``/``sweep_seconds=`` kwargs remain as deprecated
     wall-clock aliases and are overridden by an explicit profile.
+
+    ``trace_sample`` sets every host's per-op trace sampling rate (the
+    telemetry plane, see DESIGN.md); ``trace_slow_ms`` keeps a flight
+    ring of ops slower than the threshold, served by ``skueue-ops
+    trace --slow``.  Both default off.
     """
     if profile is not None:
         timeout_lag = profile.timeout_lag * round_seconds
@@ -395,6 +403,8 @@ def launch_local(
                 n_priorities=n_priorities,
                 codec=codecs[index],
                 coalesce=coalesce,
+                trace_sample=trace_sample,
+                trace_slow_ms=trace_slow_ms,
             )
             proc = subprocess.Popen(
                 [
@@ -446,6 +456,8 @@ def launch_local(
             "n_priorities": n_priorities,
             "codec": codecs,
             "coalesce": coalesce,
+            "trace_sample": trace_sample,
+            "trace_slow_ms": trace_slow_ms,
         },
         proc_by_index=proc_by_index,
     )
@@ -532,22 +544,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "serve":
         install_uvloop()  # optional accelerator; stdlib loop otherwise
         config = HostConfig.from_json(json.loads(args.config_json))
-        profile_prefix = os.environ.get("SKUEUE_PROFILE")
-        if profile_prefix:
-            # per-host CPU profiles for wire/hot-path work:
-            # SKUEUE_PROFILE=/tmp/run python ... -> /tmp/run-host<i>.prof
-            import cProfile
-
-            profiler = cProfile.Profile()
-            profiler.enable()
-            try:
-                asyncio.run(run_host(config, ready_prefix=_READY_PREFIX))
-            finally:
-                profiler.disable()
-                profiler.dump_stats(
-                    f"{profile_prefix}-host{config.host_index}.prof"
-                )
-        else:
+        # per-host CPU profiles for wire/hot-path work (documented in
+        # TESTING.md): SKUEUE_PROFILE=/tmp/run -> /tmp/run-host<i>.prof
+        with maybe_profile(profile_env_prefix(), config.host_index):
             asyncio.run(run_host(config, ready_prefix=_READY_PREFIX))
         return 0
     if args.command == "join":

@@ -41,7 +41,7 @@ import traceback
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.core.actions import A_JOIN_RT
+from repro.core.actions import A_GET_REPLY, A_JOIN_RT, A_RT_GET, A_RT_PUT
 from repro.core.cluster import spawn_nodes
 from repro.core.protocol import ClusterContext
 from repro.core.requests import OpRecord
@@ -77,6 +77,7 @@ from repro.overlay.ldb import (
 )
 from repro.overlay.routing import route_steps_for
 from repro.sim.metrics import Metrics
+from repro.telemetry import MetricsRegistry, Tracer, render_run_metrics
 from repro.util.hashing import heap_position_key, label_of, position_key
 
 __all__ = ["HostConfig", "NodeHost", "coalesce_frames", "install_uvloop"]
@@ -129,6 +130,12 @@ class HostConfig:
     codec: str = "binary"
     # batch outbox/peer frames into single buffered socket writes
     coalesce: bool = True
+    # -- telemetry plane (PR 9) ----------------------------------------------
+    # per-op trace sampling rate in [0, 1]; 0 keeps span collection off
+    # (wire-tagged requests from sampling clients still open spans)
+    trace_sample: float = 0.0
+    # flight-recorder slow-op threshold in milliseconds (0: keep none)
+    trace_slow_ms: float = 0.0
 
     def __post_init__(self) -> None:
         get_structure(self.structure)  # unknown names raise, listing valid ones
@@ -179,6 +186,8 @@ class HostConfig:
             "replication": self.replication,
             "codec": self.codec,
             "coalesce": self.coalesce,
+            "trace_sample": self.trace_sample,
+            "trace_slow_ms": self.trace_slow_ms,
         }
 
     @classmethod
@@ -285,9 +294,9 @@ class _Connection:
                 message = await self.outbox.get()
                 if not self.coalesce:
                     # the seed path: one frame, one write, one drain
-                    self.writer.write(
-                        encode_frame(message, codec_for(message, self.codec))
-                    )
+                    data = encode_frame(message, codec_for(message, self.codec))
+                    self.writer.write(data)
+                    self.host.count_write(1, len(data))
                     await self.writer.drain()
                     continue
                 # natural batching: everything already queued rides this
@@ -306,6 +315,7 @@ class _Connection:
                         self.host.note_error("write", traceback.format_exc())
                 if buffer:
                     self.writer.write(buffer)
+                    self.host.count_write(len(batch), len(buffer))
                     await self.writer.drain()
             except (ConnectionError, OSError, asyncio.CancelledError):
                 return
@@ -340,11 +350,14 @@ class _PeerLink:
     MAX_BATCH = 64
 
     def __init__(self, address: tuple[str, int], src: int,
-                 codec: str = CODEC_JSON, coalesce: bool = True) -> None:
+                 codec: str = CODEC_JSON, coalesce: bool = True,
+                 on_write=None) -> None:
         self.address = address
         self.src = src
         self.codec = codec
         self.coalesce = coalesce
+        # telemetry hook: called (frames, bytes) after each socket write
+        self.on_write = on_write
         self.outbox: asyncio.Queue = asyncio.Queue()
         self.task: asyncio.Task | None = None
         self._seq = 0
@@ -470,7 +483,10 @@ class _PeerLink:
                             while (len(self._in_flight) < self.MAX_BATCH
                                    and not self.outbox.empty()):
                                 self._in_flight.append(self.outbox.get_nowait())
-                    writer.write(self.encode_batch(self._in_flight))
+                    blob = self.encode_batch(self._in_flight)
+                    writer.write(blob)
+                    if self.on_write is not None:
+                        self.on_write(len(self._in_flight), len(blob))
                     await writer.drain()
                     self._in_flight = []
             except (ConnectionError, OSError) as exc:
@@ -579,6 +595,76 @@ class NodeHost:
         self.ops_port: int | None = None
         self.log_ring: deque[str] = deque(maxlen=200)
         self.evictions: list[dict] = []
+        # -- telemetry plane (see DESIGN.md, "Telemetry") ---------------------
+        self.telemetry = MetricsRegistry()
+        # always constructed: a rate-0 tracer still opens spans for
+        # wire-tagged requests from clients that sample (`tr` frames)
+        self.tracer = Tracer(
+            config.trace_sample,
+            host=config.host_index,
+            slow_ms=config.trace_slow_ms,
+        )
+        self._wire_telemetry()
+
+    # -- telemetry -----------------------------------------------------------
+    def _wire_telemetry(self) -> None:
+        """Register this host's registry series.
+
+        Hot-path instruments are cached as attributes (one float add per
+        event); depth-style gauges use ``set_fn`` so the live objects are
+        sampled at render time and the hot path pays nothing.
+        """
+        reg = self.telemetry
+        self._frames_in = reg.counter(
+            "skueue_frames_total", "frames handled by direction",
+            direction="in")
+        self._frames_out = reg.counter(
+            "skueue_frames_total", "frames handled by direction",
+            direction="out")
+        self._bytes_out = reg.counter(
+            "skueue_bytes_total", "socket bytes written", direction="out")
+        self._write_batch = reg.histogram(
+            "skueue_write_batch_frames",
+            "frames coalesced into one socket write",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256))
+        reg.gauge("skueue_connections", "accepted TCP connections").set_fn(
+            lambda: len(self.connections))
+        reg.gauge("skueue_peer_links", "outbound peer links").set_fn(
+            lambda: len(self.peers))
+        reg.gauge(
+            "skueue_peer_outbox_frames",
+            "frames queued (or in flight) on outbound peer links",
+        ).set_fn(lambda: sum(
+            link.outbox.qsize() + len(link._in_flight)
+            for link in self.peers.values()
+        ))
+        reg.gauge("skueue_actors", "live virtual-node actors").set_fn(
+            lambda: len(self.runtime.actors))
+        reg.gauge("skueue_records_local",
+                  "records this host originated").set_fn(
+            lambda: len(self.records.local))
+        reg.gauge("skueue_records_replica",
+                  "records mirrored here by ring predecessors").set_fn(
+            lambda: len(self.replica_store))
+        reg.gauge("skueue_recovery_generation",
+                  "cluster recovery generation (fences the data plane)"
+                  ).set_fn(lambda: self._gen)
+        reg.gauge("skueue_evictions",
+                  "crash evictions this host observed").set_fn(
+            lambda: len(self.evictions))
+
+    def count_write(self, frames: int, nbytes: int) -> None:
+        """One buffered socket write went out (client or peer side)."""
+        self._frames_out.inc(frames)
+        self._bytes_out.inc(nbytes)
+        self._write_batch.observe(frames)
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition body served at ``/metrics``: the
+        registry's series plus the run metrics adapter (generated /
+        completed / latency / wave stats)."""
+        return (self.telemetry.render()
+                + render_run_metrics(self.runtime.metrics))
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> int:
@@ -680,6 +766,7 @@ class NodeHost:
             empty_name=self.spec.empty_name,
             n_priorities=config.n_priorities,
             on_update_over=self._update_over,
+            tracer=self.tracer,
         )
         self.ctx.records = self.records
         spawn_nodes(self.ctx, self.topology, self.node_class, pids=config.owned_pids)
@@ -706,6 +793,7 @@ class NodeHost:
             empty_name=self.spec.empty_name,
             n_priorities=config.n_priorities,
             on_update_over=self._update_over,
+            tracer=self.tracer,
         )
         self.ctx.records = self.records
         for pid in config.owned_pids:
@@ -752,6 +840,7 @@ class NodeHost:
                     self.config.host_index,
                     codec=self.config.codec,
                     coalesce=self.config.coalesce,
+                    on_write=self.count_write,
                 )
                 self.peers[index] = link
                 link.start()
@@ -841,10 +930,23 @@ class NodeHost:
             # yet: park the message until a newer cluster map arrives
             self._unrouted.append((time.monotonic(), dest, action, payload))
             return
-        link.send(
-            {"op": "msg", "dest": dest, "action": action, "gen": self._gen,
-             "payload": encode_payload(payload)}
-        )
+        frame = {"op": "msg", "dest": dest, "action": action,
+                 "gen": self._gen, "payload": encode_payload(payload)}
+        tracer = self.tracer
+        if tracer.tracing:
+            # tag frames that carry a traced op's req_id so the peer
+            # opens a span too (routed PUT/GET ride the
+            # (key, bits, steps, ideal, extra) envelope; replies lead
+            # with the req_id) — untraced traffic pays one bool check
+            req = None
+            if action == A_RT_PUT or action == A_RT_GET:
+                extra = payload[4] if len(payload) == 5 else payload
+                req = extra[2] if action == A_RT_PUT else extra[1]
+            elif action == A_GET_REPLY:
+                req = payload[0]
+            if req is not None and tracer.active(req):
+                frame["tr"] = req
+        link.send(frame)
 
     @property
     def _gen(self) -> int:
@@ -876,6 +978,10 @@ class NodeHost:
             await asyncio.sleep(0.1)
             if self._unrouted:
                 self._replay_unrouted()
+            if self.tracer.tracing:
+                # transit spans (wire-tagged routing work for ops that
+                # complete elsewhere) never see a finish; sweep them
+                self.tracer.expire(30.0)
             self._publish_forwards()
             if (
                 self._recovering
@@ -1019,6 +1125,7 @@ class NodeHost:
     # -- frame dispatch ------------------------------------------------------
     def handle_frame(self, conn: _Connection, message: dict) -> None:
         op = message.get("op")
+        self._frames_in.inc()
         try:
             if op == "msg" or op == "complete":
                 if self._stopping:
@@ -1081,6 +1188,7 @@ class NodeHost:
                     "id_slots": self.config.id_slots,
                     "n_priorities": self.config.n_priorities,
                     "codec": conn.codec,
+                    "trace_sample": self.config.trace_sample,
                 }
                 if self.cluster is not None:
                     reply["map"] = self.cluster.to_json()
@@ -1156,6 +1264,8 @@ class NodeHost:
                         "op": "metrics",
                         "host": self.config.host_index,
                         "summary": self.runtime.metrics.summary(),
+                        "phases": self.tracer.phase_summary(),
+                        "registry": self.telemetry.snapshot(),
                     }
                 )
             elif op == "ping":
@@ -1192,6 +1302,11 @@ class NodeHost:
             return
         if gen < self._gen:
             return
+        tr = message.get("tr")
+        if tr is not None:
+            # a peer is routing (or completing) a traced op through us:
+            # open a span so our local hop/valuation stamps land too
+            self.tracer.ensure(int(tr))
         if message["op"] == "msg":
             self.runtime.deliver_remote(
                 message["dest"],
@@ -1255,6 +1370,8 @@ class NodeHost:
                     "replication": config.replication,
                     "codec": config.codec,
                     "coalesce": config.coalesce,
+                    "trace_sample": config.trace_sample,
+                    "trace_slow_ms": config.trace_slow_ms,
                 },
                 "map": self.cluster.to_json(),
             }
@@ -1500,6 +1617,11 @@ class NodeHost:
         rec.on_valued = self._record_valued
         self.records.add_local(rec)
         self._submitters[req_id] = conn
+        if message.get("tr") is not None:
+            # the client sampled this op (deterministic req_id hash, see
+            # repro.telemetry.tracing): span it here regardless of our
+            # own rate — local_op's on_submit stamps the first mark
+            self.tracer.ensure(req_id, kind=rec.kind, pid=pid)
         # mirror the submission before the wave starts: should this host
         # die mid-protocol, the successors still hold the request fact
         self._replicate(rec)
@@ -1524,16 +1646,23 @@ class NodeHost:
 
     def _push_done(self, rec: NetOpRecord) -> None:
         self._pending_done.pop(rec.req_id, None)
+        # client-visible completion: close the span here so the (ack-
+        # gated) replication window is attributed to the deliver phase;
+        # a span already closed where the DHT op landed stays closed
+        traced = self.tracer.active(rec.req_id)
+        if traced:
+            self.tracer.finish(rec.req_id, result="acked")
         conn = self._submitters.pop(rec.req_id, None)
         if conn is not None:
-            conn.send(
-                {
-                    "op": "done",
-                    "req": rec.req_id,
-                    "kind": rec.kind,
-                    "result": encode_payload(rec.result),
-                }
-            )
+            frame = {
+                "op": "done",
+                "req": rec.req_id,
+                "kind": rec.kind,
+                "result": encode_payload(rec.result),
+            }
+            if traced:
+                frame["tr"] = rec.req_id
+            conn.send(frame)
 
     # -- record replication --------------------------------------------------
     def _sync_replica_targets(self) -> None:
@@ -1860,6 +1989,7 @@ class NodeHost:
             empty_name=self.spec.empty_name,
             n_priorities=config.n_priorities,
             on_update_over=self._update_over,
+            tracer=self.tracer,
         )
         self.ctx.records = self.records
         local_pids = self.cluster.pids_of(config.host_index)

@@ -295,16 +295,21 @@ _F64 = struct.Struct(">d")
 #: the schema list is an optimisation surface, never a compatibility
 #: constraint (both peers run the same checkout; the codec was
 #: negotiated).
+#: ``tr`` is the optional per-op trace tag (see docs/PROTOCOL.md,
+#: "Telemetry"): a sampled submit carries it, hosts echo it on the
+#: ``msg``/``complete``/``done`` frames that move the op, and every
+#: receiver stamps its trace spans.  It rides the presence bitmask, so
+#: the 99%+ untraced frames pay zero bytes for it on either codec.
 _FRAME_SCHEMAS: tuple[tuple[str, tuple[str, ...]], ...] = (
-    ("msg", ("dest", "action", "payload", "gen", "src", "seq")),
+    ("msg", ("dest", "action", "payload", "gen", "src", "seq", "tr")),
     ("complete", ("req", "value", "result", "local_match", "done",
-                  "gen", "src", "seq")),
+                  "gen", "src", "seq", "tr")),
     ("heartbeat", ("host", "gen", "src", "seq")),
     ("replica_put", ("gen", "origin", "record", "ack", "src", "seq")),
     ("replica_ack", ("req", "gen", "src", "seq")),
-    ("done", ("req", "kind", "result")),
+    ("done", ("req", "kind", "result", "tr")),
     ("done_batch", ("dones",)),
-    ("submit", ("req", "pid", "kind", "item", "pri")),
+    ("submit", ("req", "pid", "kind", "item", "pri", "tr")),
     ("submit_batch", ("subs",)),
     ("batch", ("frames",)),
 )

@@ -12,7 +12,19 @@ or machine-readable JSON:
 * ``skueue-ops status --seed ... --watch`` — refresh the dashboard
   every second until interrupted,
 * ``skueue-ops logs --seed HOST:PORT`` — merged tail of every host's
-  ops log ring (suspicions, evictions, rebuilds).
+  ops log ring (suspicions, evictions, rebuilds),
+* ``skueue-ops top --seed HOST:PORT`` — live refreshing cluster view
+  scraped from every host's ``/metrics`` HTTP route (throughput,
+  pending ops, frame/byte rates; ``--once`` for scripts),
+* ``skueue-ops trace --seed HOST:PORT [--out FILE]`` — merge every
+  host's sampled span export into one Chrome trace-event JSON
+  (Perfetto-loadable); ``--slow`` / ``--recent`` print the flight
+  recorder, ``--req ID`` one op's lifecycle,
+* ``skueue-ops profile --seed HOST:PORT --host N --seconds S`` — live
+  cProfile capture of one host's event loop (the ``/profile`` route).
+
+The ops HTTP ports are discovered through each host's ``pong`` answer
+(``ops_port``), so every subcommand needs only the main TCP seed.
 
 Kept separate from :mod:`repro.ops`'s pure modules because it imports
 ``repro.net.transport``; the package ``__init__`` never imports us.
@@ -25,8 +37,11 @@ import json
 import socket
 import sys
 import time
+from urllib.error import URLError
+from urllib.request import urlopen
 
 from repro.net.transport import FrameReader, encode_frame
+from repro.telemetry import merge_traces, validate_chrome_trace
 
 __all__ = ["main"]
 
@@ -132,6 +147,211 @@ def _status(args: argparse.Namespace) -> int:
         time.sleep(args.interval)
 
 
+def _ops_addresses(seed: tuple[str, int]) -> dict[int, tuple[str, int]]:
+    """Each host's ops HTTP address, discovered through its pong."""
+    out: dict[int, tuple[str, int]] = {}
+    for index, address in sorted(_discover(seed).items()):
+        try:
+            pong = _request(address, {"op": "ping"}, "pong")
+        except (OSError, RuntimeError, ConnectionError):
+            continue
+        port = pong.get("ops_port")
+        if port:
+            out[index] = (address[0], int(port))
+    return out
+
+
+def _http_get(address: tuple[str, int], path: str, timeout: float = 30.0) -> str:
+    with urlopen(f"http://{address[0]}:{address[1]}{path}",
+                 timeout=timeout) as response:
+        return response.read().decode("utf-8", "replace")
+
+
+def _parse_prom(text: str) -> dict[str, float]:
+    """Prometheus text exposition -> ``{'name{labels}': value}``.
+
+    Minimal by design: our own exposition puts the value after a single
+    space and never uses timestamps or escapes we'd need to honor.
+    """
+    series: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        try:
+            series[name] = float(value)
+        except ValueError:
+            continue
+    return series
+
+
+def _series(sample: dict[str, float], name: str, **labels) -> float:
+    """Sum every series of ``name`` whose labels include ``labels``."""
+    total = 0.0
+    for key, value in sample.items():
+        if not (key == name or key.startswith(name + "{")):
+            continue
+        if all(f'{k}="{v}"' in key for k, v in labels.items()):
+            total += value
+    return total
+
+
+def _render_top(
+    samples: dict[int, dict[str, float]],
+    previous: dict[int, dict[str, float]],
+    elapsed: float,
+    failures: dict[int, str],
+) -> str:
+    lines = []
+    header = (
+        f"{'host':>4}  {'ops/s':>8} {'done':>9} {'pend':>6} {'actors':>6} "
+        f"{'frm/s':>8} {'KiB/s':>8} {'recs':>6} {'repl':>6} {'gen':>4}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    totals = {"rate": 0.0, "done": 0.0, "generated": 0.0}
+    for index, sample in sorted(samples.items()):
+        done = _series(sample, "skueue_ops_completed_total")
+        frames = _series(sample, "skueue_frames_total")
+        nbytes = _series(sample, "skueue_bytes_total")
+        rate = frame_rate = byte_rate = 0.0
+        if index in previous and elapsed > 0:
+            prior = previous[index]
+            rate = (done - _series(prior, "skueue_ops_completed_total")) / elapsed
+            frame_rate = (
+                frames - _series(prior, "skueue_frames_total")
+            ) / elapsed
+            byte_rate = (
+                nbytes - _series(prior, "skueue_bytes_total")
+            ) / elapsed
+        pending = _series(sample, "skueue_ops_pending")
+        totals["rate"] += max(rate, 0.0)
+        totals["done"] += done
+        totals["generated"] += _series(sample, "skueue_ops_generated_total")
+        lines.append(
+            f"{index:>4}  {max(rate, 0.0):>8.0f} {done:>9.0f} "
+            f"{pending:>6.0f} {_series(sample, 'skueue_actors'):>6.0f} "
+            f"{max(frame_rate, 0.0):>8.0f} {max(byte_rate, 0.0) / 1024:>8.1f} "
+            f"{_series(sample, 'skueue_records_local'):>6.0f} "
+            f"{_series(sample, 'skueue_records_replica'):>6.0f} "
+            f"{_series(sample, 'skueue_recovery_generation'):>4.0f}"
+        )
+    for index, failure in sorted(failures.items()):
+        lines.append(f"{index:>4}  unreachable: {failure}")
+    lines.append("-" * len(header))
+    # ops are generated on the submitter's host but completion may be
+    # observed where the valuation landed, so the honest cluster-wide
+    # in-flight count is the difference of the *sums*, not the sum of
+    # the per-host clamped gauges
+    cluster_pending = max(0.0, totals["generated"] - totals["done"])
+    lines.append(
+        f"{'sum':>4}  {totals['rate']:>8.0f} {totals['done']:>9.0f} "
+        f"{cluster_pending:>6.0f}"
+    )
+    return "\n".join(lines)
+
+
+def _scrape(
+    addresses: dict[int, tuple[str, int]]
+) -> tuple[dict[int, dict[str, float]], dict[int, str]]:
+    samples: dict[int, dict[str, float]] = {}
+    failures: dict[int, str] = {}
+    for index, address in sorted(addresses.items()):
+        try:
+            samples[index] = _parse_prom(_http_get(address, "/metrics", 5.0))
+        except (OSError, URLError, ValueError) as exc:
+            failures[index] = str(exc) or type(exc).__name__
+    return samples, failures
+
+
+def _top(args: argparse.Namespace) -> int:
+    addresses = _ops_addresses(args.seed)
+    if not addresses:
+        print("skueue-ops: no host answered with an ops port "
+              "(deployment launched with ops_port disabled?)", file=sys.stderr)
+        return 1
+    previous: dict[int, dict[str, float]] = {}
+    stamp = time.monotonic()
+    while True:
+        samples, failures = _scrape(addresses)
+        now = time.monotonic()
+        if not args.once:
+            sys.stdout.write("\x1b[2J\x1b[H")  # clear + home
+        print(_render_top(samples, previous, now - stamp, failures))
+        if args.once:
+            return 0 if samples else 1
+        previous, stamp = samples, now
+        time.sleep(args.interval)
+
+
+def _trace(args: argparse.Namespace) -> int:
+    addresses = _ops_addresses(args.seed)
+    if not addresses:
+        print("skueue-ops: no host answered with an ops port", file=sys.stderr)
+        return 1
+    if args.req is not None:
+        # the op finished on exactly one host's flight ring; ask them all
+        for index, address in sorted(addresses.items()):
+            try:
+                body = _http_get(address, f"/trace?req={args.req}")
+            except (OSError, URLError):
+                continue
+            record = json.loads(body)
+            if "error" not in record:
+                print(json.dumps(record, indent=2))
+                return 0
+        print(f"skueue-ops: req {args.req} not found on any host's "
+              f"flight ring", file=sys.stderr)
+        return 1
+    if args.slow or args.recent:
+        view = "slow" if args.slow else "recent"
+        records = []
+        for index, address in sorted(addresses.items()):
+            try:
+                payload = json.loads(_http_get(address, f"/trace?{view}=1"))
+            except (OSError, URLError):
+                continue
+            records.extend(payload.get(view, ()))
+        records.sort(key=lambda r: r.get("dur_ms", 0.0), reverse=args.slow)
+        print(json.dumps(records, indent=2))
+        return 0
+    exports = []
+    for index, address in sorted(addresses.items()):
+        try:
+            exports.append(json.loads(_http_get(address, "/trace")))
+        except (OSError, URLError) as exc:
+            print(f"[unreachable] host {index}: {exc}", file=sys.stderr)
+    merged = merge_traces(exports)
+    problems = validate_chrome_trace(merged)
+    for problem in problems:
+        print(f"[invalid] {problem}", file=sys.stderr)
+    body = json.dumps(merged, indent=2)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(body)
+        print(f"wrote {len(merged['traceEvents'])} events from "
+              f"{len(exports)} hosts to {args.out}")
+    else:
+        print(body)
+    return 0 if not problems else 1
+
+
+def _profile(args: argparse.Namespace) -> int:
+    addresses = _ops_addresses(args.seed)
+    address = addresses.get(args.host)
+    if address is None:
+        print(f"skueue-ops: host {args.host} has no reachable ops port "
+              f"(known: {sorted(addresses)})", file=sys.stderr)
+        return 1
+    text = _http_get(
+        address,
+        f"/profile?seconds={args.seconds}&top={args.top}",
+        timeout=args.seconds + 30.0,
+    )
+    sys.stdout.write(text)
+    return 0
+
+
 def _logs(args: argparse.Namespace) -> int:
     payloads, failures = _collect(args.seed, detail="status")
     entries = sorted(
@@ -172,10 +392,48 @@ def main(argv: list[str] | None = None) -> int:
     logs.add_argument("--tail", type=int, default=0,
                       help="only the last N merged lines (0: everything)")
 
+    top = sub.add_parser("top", help="live cluster view over /metrics")
+    top.add_argument("--seed", required=True, type=_parse_seed,
+                     help="HOST:PORT of any live host")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="refresh period (seconds)")
+    top.add_argument("--once", action="store_true",
+                     help="one scrape, no screen clearing (for scripts)")
+
+    trace = sub.add_parser(
+        "trace", help="merged Chrome trace-event export / flight recorder")
+    trace.add_argument("--seed", required=True, type=_parse_seed,
+                       help="HOST:PORT of any live host")
+    trace.add_argument("--req", type=int, default=None,
+                       help="one op's lifecycle record by req_id")
+    trace.add_argument("--slow", action="store_true",
+                       help="ops past each host's slow threshold")
+    trace.add_argument("--recent", action="store_true",
+                       help="every host's recent-op flight ring")
+    trace.add_argument("--out", default=None,
+                       help="write the merged trace JSON here (else stdout)")
+
+    profile = sub.add_parser(
+        "profile", help="live cProfile capture of one host's event loop")
+    profile.add_argument("--seed", required=True, type=_parse_seed,
+                         help="HOST:PORT of any live host")
+    profile.add_argument("--host", type=int, default=0,
+                         help="host index to profile")
+    profile.add_argument("--seconds", type=float, default=2.0,
+                         help="capture window length")
+    profile.add_argument("--top", type=int, default=40,
+                         help="pstats rows to report")
+
     args = parser.parse_args(argv)
     try:
         if args.command == "status":
             return _status(args)
+        if args.command == "top":
+            return _top(args)
+        if args.command == "trace":
+            return _trace(args)
+        if args.command == "profile":
+            return _profile(args)
         return _logs(args)
     except KeyboardInterrupt:
         return 130

@@ -7,12 +7,21 @@ Every :class:`~repro.net.server.NodeHost` exposes two read-only views:
   frame on the main TCP port.
 * ``/status`` — everything in ``/health`` plus the membership tables and
   the tail of the host's ops log ring.
+* ``/metrics`` — Prometheus text exposition (the host's telemetry
+  registry + the run-metrics adapter; see DESIGN.md, "Telemetry").
+* ``/trace`` — the sampled per-op span export as Chrome trace-event
+  JSON; ``?recent=1`` / ``?slow=1`` serve the flight-recorder rings,
+  ``?req=<id>`` one finished op's lifecycle record.
+* ``/profile?seconds=N`` — live cProfile capture of the host's event
+  loop, answered as a pstats text report.
 
 The builders are duck-typed over the host object (attribute access
 only), so this module never imports ``repro.net`` — which is what lets
-``repro.net.server`` import *us* without a cycle.  The listener is a
-deliberately tiny HTTP/1.0 responder (GET only, JSON only): operators
-get ``curl``-ability without a web framework in the dependency set.
+``repro.net.server`` import *us* without a cycle (``repro.telemetry``
+is import-safe the same way: it imports neither ``repro.net`` nor
+``repro.sim``).  The listener is a deliberately tiny HTTP/1.0 responder
+(GET only): operators get ``curl``-ability without a web framework in
+the dependency set.
 """
 
 from __future__ import annotations
@@ -20,8 +29,11 @@ from __future__ import annotations
 import asyncio
 import json
 import time
+from urllib.parse import parse_qs, urlsplit
 
-__all__ = ["build_health", "build_status", "start_ops_server"]
+from repro.telemetry import capture_profile
+
+__all__ = ["build_health", "build_status", "build_trace", "start_ops_server"]
 
 
 def build_health(host) -> dict:
@@ -66,6 +78,34 @@ def build_status(host) -> dict:
     return data
 
 
+def build_trace(host, query: dict) -> tuple[str, dict]:
+    """The /trace payload; returns ``(status, payload)``.
+
+    Bare ``/trace`` answers the Chrome trace-event export (load it in
+    Perfetto / ``chrome://tracing``); the flight-recorder views answer
+    plain JSON records.
+    """
+    tracer = getattr(host, "tracer", None)
+    if tracer is None:
+        return "404 Not Found", {"error": "host has no tracer"}
+    if query.get("req"):
+        req_id = int(query["req"][0])
+        record = tracer.lookup(req_id)
+        if record is None:
+            return (
+                "404 Not Found",
+                {"error": f"req {req_id} not in the flight ring "
+                          f"(untraced, unfinished, or evicted)"},
+            )
+        return "200 OK", record
+    if query.get("slow"):
+        return "200 OK", {"slow_ms": tracer.slow_ms,
+                          "slow": list(tracer.slow)}
+    if query.get("recent"):
+        return "200 OK", {"recent": list(tracer.recent)}
+    return "200 OK", tracer.export()
+
+
 async def _serve_http(host, reader, writer) -> None:
     try:
         request = await asyncio.wait_for(reader.readline(), 5.0)
@@ -74,17 +114,35 @@ async def _serve_http(host, reader, writer) -> None:
             if line in (b"\r\n", b"\n", b""):
                 break
         parts = request.split()
-        path = parts[1].decode("ascii", "replace") if len(parts) >= 2 else ""
+        target = parts[1].decode("ascii", "replace") if len(parts) >= 2 else ""
+        split = urlsplit(target)
+        path = split.path
+        query = parse_qs(split.query)
+        status, content_type = "200 OK", "application/json"
         if path.startswith("/health"):
-            status, payload = "200 OK", build_health(host)
+            body = json.dumps(build_health(host), default=str).encode()
         elif path.startswith("/status"):
-            status, payload = "200 OK", build_status(host)
+            body = json.dumps(build_status(host), default=str).encode()
+        elif path.startswith("/metrics"):
+            # Prometheus text exposition; the host renders its registry
+            # (duck-typed so simulators/tests can serve a stub host)
+            content_type = "text/plain; version=0.0.4"
+            render = getattr(host, "metrics_text", None)
+            body = (render() if render is not None else "").encode()
+        elif path.startswith("/trace"):
+            status, payload = build_trace(host, query)
+            body = json.dumps(payload, default=str).encode()
+        elif path.startswith("/profile"):
+            content_type = "text/plain"
+            seconds = float(query.get("seconds", ["2.0"])[0])
+            top = int(query.get("top", ["40"])[0])
+            body = (await capture_profile(seconds, top=top)).encode()
         else:
-            status, payload = "404 Not Found", {"error": f"no route {path!r}"}
-        body = json.dumps(payload, default=str).encode()
+            status = "404 Not Found"
+            body = json.dumps({"error": f"no route {path!r}"}).encode()
         writer.write(
             f"HTTP/1.0 {status}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             "Connection: close\r\n\r\n".encode() + body
         )

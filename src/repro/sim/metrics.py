@@ -38,6 +38,32 @@ class LatencyStat:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float | None:
+        """``q``-quantile from the raw samples; ``None`` without samples.
+
+        Exact (nearest-rank) when ``store_samples`` kept the raw values;
+        a stat observed without samples answers ``None`` rather than
+        guessing — JSON surfaces render that as ``null``.
+        """
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+        return ordered[rank]
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary.  ``min`` is ``inf`` while count is 0 —
+        that must never reach ``json.dumps`` (it would emit the invalid
+        literal ``Infinity``), so an empty stat serialises ``min: null``."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p99": self.percentile(0.99),
+        }
+
 
 class Metrics:
     """Counters and latency statistics for one simulation run."""
@@ -45,6 +71,7 @@ class Metrics:
     def __init__(self, store_samples: bool = False) -> None:
         self.store_samples = store_samples
         self.latency: dict[str, LatencyStat] = {}
+        self.stats: dict[str, LatencyStat] = {}
         self.counters: dict[str, int] = {}
         self.generated = 0
         self.completed = 0
@@ -81,6 +108,18 @@ class Metrics:
     def note_message(self) -> None:
         self.messages += 1
 
+    def note_stat(self, name: str, value: float) -> None:
+        """Record an auxiliary duration/size observation (wave lengths,
+        flush sizes, ...).  Deliberately a separate channel from
+        :meth:`observe`: that one counts *completed requests* and feeds
+        :meth:`mean_latency` — the paper's headline metric — which
+        non-request observations must never dilute."""
+        stat = self.stats.get(name)
+        if stat is None:
+            stat = LatencyStat(samples=[] if self.store_samples else None)
+            self.stats[name] = stat
+        stat.observe(value)
+
     def note_batch_len(self, length: int) -> None:
         self.batch_observations += 1
         self.batch_len_total += length
@@ -103,15 +142,19 @@ class Metrics:
         return total / count if count else 0.0
 
     def summary(self) -> dict[str, object]:
-        return {
+        out: dict[str, object] = {
             "generated": self.generated,
             "completed": self.completed,
             "messages": self.messages,
             "mean_latency": self.mean_latency(),
             "max_batch_len": self.max_batch_len,
             "per_kind": {
-                kind: {"count": s.count, "mean": s.mean, "max": s.max}
-                for kind, s in sorted(self.latency.items())
+                kind: s.to_dict() for kind, s in sorted(self.latency.items())
             },
             "counters": dict(sorted(self.counters.items())),
         }
+        if self.stats:
+            out["stats"] = {
+                name: s.to_dict() for name, s in sorted(self.stats.items())
+            }
+        return out

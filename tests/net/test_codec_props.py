@@ -187,6 +187,42 @@ class TestFrameParity:
         assert negotiate_codec(["exotic"], "binary") == "json"
 
 
+class TestTraceFieldParity:
+    """The optional ``tr`` trace tag (docs/PROTOCOL.md, "Telemetry")
+    must round-trip on every hot frame that can carry it, on both
+    codecs — and its absence (a legacy peer) must stay decodable."""
+
+    HOT = ("msg", "complete", "done", "submit")
+
+    @pytest.mark.parametrize("op", HOT)
+    @pytest.mark.parametrize("codec", sorted(WIRE_CODECS))
+    def test_tr_round_trips_on_every_hot_frame(self, op, codec):
+        frame = dict(SAMPLE_FRAMES[op])
+        frame["tr"] = 12884901888  # a real (host 3) req_id: > 2**32
+        (decoded,) = list(FrameReader().feed(encode_frame(frame, codec)))
+        assert decoded == frame
+        assert decoded["tr"] == 12884901888
+
+    @pytest.mark.parametrize("op", HOT)
+    @pytest.mark.parametrize("codec", sorted(WIRE_CODECS))
+    def test_legacy_frames_without_tr_still_decode(self, op, codec):
+        # the exact bytes a pre-telemetry peer sends: no tr key at all
+        frame = SAMPLE_FRAMES[op]
+        assert "tr" not in frame
+        (decoded,) = list(FrameReader().feed(encode_frame(frame, codec)))
+        assert decoded == frame
+        assert decoded.get("tr") is None
+
+    def test_tr_absence_is_free_on_the_binary_wire(self):
+        # the presence bitmask means an untagged frame pays zero bytes
+        # for the schema slot — the PR-8 hot path is unchanged
+        frame = dict(SAMPLE_FRAMES["msg"])
+        bare = encode_frame(frame, CODEC_BINARY)
+        frame["tr"] = 17
+        tagged = encode_frame(frame, CODEC_BINARY)
+        assert len(tagged) > len(bare)
+
+
 # -- hypothesis: fuzzed payload parity ----------------------------------------
 
 _scalars = st.one_of(

@@ -1,0 +1,189 @@
+"""Telemetry over a live deployment: /metrics, traces, top, profiling.
+
+Launches real NodeHost processes (marked ``net``, excluded from tier-1)
+and exercises every operator surface the telemetry plane adds: the
+Prometheus ``/metrics`` route, the wire-tagged trace plumbing end to
+end (client draw -> hop stamps on transit hosts -> merged Chrome
+export), ``skueue-ops top/trace``, and the ``SKUEUE_PROFILE`` launcher
+hook writing per-host .prof files.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.request
+
+import pytest
+
+from repro.net.client import SkueueClient
+from repro.net.launcher import launch_local
+from repro.ops import cli
+from repro.telemetry import validate_chrome_trace
+
+pytestmark = pytest.mark.net
+
+#: series the CI smoke step (and any dashboard) may rely on existing
+CORE_SERIES = (
+    "skueue_frames_total",
+    "skueue_bytes_total",
+    "skueue_connections",
+    "skueue_actors",
+    "skueue_records_local",
+    "skueue_ops_generated_total",
+    "skueue_ops_completed_total",
+    "skueue_ops_pending",
+)
+
+
+def _drive(host_map, ops: int = 60, trace_sample: float | None = None):
+    async def scenario():
+        kwargs = {} if trace_sample is None else {"trace_sample": trace_sample}
+        async with SkueueClient(host_map, **kwargs) as client:
+            for i in range(ops // 2):
+                await client.enqueue(i % 8, i)
+            for i in range(ops // 2):
+                await client.dequeue(i % 8)
+            await client.wait_all(timeout=120.0)
+            return await client.host_telemetry()
+
+    return asyncio.run(scenario())
+
+
+def _http(address, path: str) -> str:
+    url = f"http://{address[0]}:{address[1]}{path}"
+    with urllib.request.urlopen(url, timeout=10.0) as response:
+        return response.read().decode()
+
+
+class TestLiveTelemetry:
+    @pytest.fixture(scope="class")
+    def deployment(self):
+        with launch_local(3, 8, seed=11, trace_sample=1.0,
+                          trace_slow_ms=0.0) as dep:
+            telemetry = _drive(dep.host_map)
+            ops_addresses = cli._ops_addresses(
+                next(iter(dep.host_map.values()))
+            )
+            yield dep, telemetry, ops_addresses
+
+    def test_metrics_route_serves_core_series(self, deployment):
+        dep, _, ops_addresses = deployment
+        assert len(ops_addresses) == 3
+        for index, address in ops_addresses.items():
+            text = _http(address, "/metrics")
+            for series in CORE_SERIES:
+                assert f"\n{series}" in text or text.startswith(series), (
+                    f"host {index} /metrics lacks {series}"
+                )
+            # histogram families render full bucket/sum/count triplets
+            assert "skueue_write_batch_frames_bucket" in text
+            assert "# TYPE skueue_frames_total counter" in text
+
+    def test_client_adopts_deployment_trace_rate(self, deployment):
+        dep, telemetry, _ = deployment
+        # hosts advertised trace_sample=1.0; the fixture client sampled
+        # every op, so every host finished spans with full lifecycles
+        total = sum(
+            data["phases"]["total"]["count"] for data in telemetry.values()
+        )
+        assert total >= 50
+        for data in telemetry.values():
+            sampled = data["phases"]["sampled"]
+            assert sampled["rate"] == 1.0
+            assert sampled["finished"] > 0
+
+    def test_phase_histograms_attribute_the_lifecycle(self, deployment):
+        _, telemetry, _ = deployment
+        for host, data in telemetry.items():
+            phases = data["phases"]
+            for phase in ("buffer", "wave", "deliver"):
+                if phases[phase]["count"]:
+                    assert phases[phase]["p99"] >= phases[phase]["p50"] >= 0
+            assert phases["hops"]["count"] > 0, f"host {host} stamped no hops"
+
+    def test_registry_snapshot_rides_the_metrics_frame(self, deployment):
+        _, telemetry, _ = deployment
+        for data in telemetry.values():
+            registry = data["registry"]
+            assert registry["skueue_frames_total"]['{direction="in"}'] > 0
+            assert '{direction="out"}' in registry["skueue_bytes_total"]
+
+    def test_trace_route_and_flight_recorder(self, deployment):
+        _, _, ops_addresses = deployment
+        address = next(iter(ops_addresses.values()))
+        export = json.loads(_http(address, "/trace"))
+        assert validate_chrome_trace(export) == []
+        assert export["traceEvents"]
+        recent = json.loads(_http(address, "/trace?recent=1"))["recent"]
+        assert recent and all("phases_ms" in r for r in recent)
+        # lifecycle records carry real (nonzero) durations
+        assert all(r["dur_ms"] > 0 for r in recent)
+        record = json.loads(_http(address, f"/trace?req={recent[-1]['req']}"))
+        assert record["req"] == recent[-1]["req"]
+
+    def test_ops_top_once_renders_every_host(self, deployment, capsys):
+        dep, _, _ = deployment
+        host, port = next(iter(dep.host_map.values()))
+        assert cli.main(["top", "--seed", f"{host}:{port}", "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "ops/s" in out and "pend" in out
+        for index in range(3):
+            assert f"\n{index:>4} " in out
+
+    def test_ops_trace_merges_all_host_lanes(self, deployment, tmp_path,
+                                             capsys):
+        dep, _, _ = deployment
+        host, port = next(iter(dep.host_map.values()))
+        out_file = tmp_path / "trace.json"
+        assert cli.main(["trace", "--seed", f"{host}:{port}",
+                         "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        merged = json.loads(out_file.read_text())
+        assert validate_chrome_trace(merged) == []
+        lanes = {event["pid"] for event in merged["traceEvents"]}
+        assert lanes == {0, 1, 2}
+        assert [h["host"] for h in merged["otherData"]["hosts"]] == [0, 1, 2]
+
+    def test_profile_route_captures_the_event_loop(self, deployment):
+        _, _, ops_addresses = deployment
+        address = next(iter(ops_addresses.values()))
+        text = _http(address, "/profile?seconds=0.2&top=5")
+        assert "function calls" in text
+
+
+class TestTraceSampling:
+    def test_explicit_client_rate_overrides_deployment(self):
+        # deployment off, client samples everything: spans still flow,
+        # because hosts honor the wire tag at any configured rate
+        with launch_local(2, 8, seed=5) as dep:
+            telemetry = _drive(dep.host_map, ops=40, trace_sample=1.0)
+        finished = sum(
+            d["phases"]["sampled"]["finished"] for d in telemetry.values()
+        )
+        assert finished > 0
+
+    def test_untraced_deployment_keeps_tracer_idle(self):
+        with launch_local(2, 8, seed=6) as dep:
+            telemetry = _drive(dep.host_map, ops=40)
+        for data in telemetry.values():
+            sampled = data["phases"]["sampled"]
+            assert sampled["started"] == 0
+            assert data["phases"]["total"]["count"] == 0
+
+
+class TestProfileLauncherHook:
+    def test_skueue_profile_writes_per_host_prof_files(self, tmp_path,
+                                                       monkeypatch):
+        prefix = tmp_path / "run"
+        monkeypatch.setenv("SKUEUE_PROFILE", str(prefix))
+        with launch_local(2, 8, seed=9) as dep:
+            _drive(dep.host_map, ops=20)
+        # orderly shutdown ran each host's profiler dump
+        import pstats
+
+        for index in range(2):
+            path = tmp_path / f"run-host{index}.prof"
+            assert path.exists(), f"host {index} wrote no profile"
+            stats = pstats.Stats(str(path))
+            assert stats.total_calls > 0

@@ -1,0 +1,342 @@
+"""The telemetry plane: registry, tracer, profiling hooks, exporters.
+
+Everything here runs without a deployment — the TCP wiring is covered
+by tests/net/test_telemetry_net.py; this file pins the pure layer's
+contracts: O(1) instruments that render valid Prometheus text, a
+tracer whose export validates as Chrome trace-event JSON, deterministic
+sampling, and JSON-safe summaries (no Infinity leaking into dumps).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro import SkueueCluster
+from repro.sim.metrics import Metrics
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Tracer,
+    capture_profile,
+    maybe_profile,
+    merge_traces,
+    profile_env_prefix,
+    trace_sampled,
+    validate_chrome_trace,
+)
+
+
+class _Rec:
+    def __init__(self, req_id):
+        self.req_id = req_id
+
+
+# -- registry -----------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram_basics(self):
+        c, g, h = Counter(), Gauge(), Histogram(buckets=(1, 2, 4))
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        g.set(7)
+        g.dec(3)
+        assert g.read() == 4
+        for v in (0.5, 1.5, 3, 100):
+            h.observe(v)
+        assert h.count == 4 and h.min == 0.5 and h.max == 100
+        assert h.counts == [1, 1, 1, 1]  # one per bucket incl. +Inf
+
+    def test_gauge_set_fn_samples_at_read_time(self):
+        depth = []
+        g = Gauge()
+        g.set_fn(lambda: len(depth))
+        assert g.read() == 0
+        depth.extend([1, 2, 3])
+        assert g.read() == 3
+
+    def test_histogram_percentiles_interpolate(self):
+        h = Histogram(buckets=(10, 20, 30))
+        for v in range(1, 31):  # uniform over (0, 30]
+            h.observe(v)
+        assert h.percentile(0.5) == pytest.approx(15, abs=5)
+        assert h.percentile(0.99) == pytest.approx(30, abs=5)
+        # the +Inf bucket answers with the observed max
+        h.observe(1000)
+        assert h.percentile(1.0) == 1000
+
+    def test_empty_histogram_is_json_safe(self):
+        d = Histogram().to_dict()
+        assert d["count"] == 0 and d["min"] is None and d["max"] is None
+        assert "Infinity" not in json.dumps(d)
+
+    def test_registry_identity_and_kind_conflicts(self):
+        reg = MetricsRegistry()
+        a = reg.counter("skueue_frames_total", "frames", direction="in")
+        b = reg.counter("skueue_frames_total", direction="in")
+        assert a is b
+        assert reg.counter("skueue_frames_total", direction="out") is not a
+        with pytest.raises(ValueError):
+            reg.gauge("skueue_frames_total")
+
+    def test_render_is_prometheus_text(self):
+        reg = MetricsRegistry()
+        reg.counter("skueue_frames_total", "frames seen", direction="in").inc(3)
+        reg.gauge("skueue_actors", "live actors").set(12)
+        reg.histogram("skueue_batch", buckets=(1, 4)).observe(2)
+        text = reg.render()
+        assert "# TYPE skueue_frames_total counter" in text
+        assert 'skueue_frames_total{direction="in"} 3' in text
+        assert "skueue_actors 12" in text
+        assert 'skueue_batch_bucket{le="4"} 1' in text
+        assert 'skueue_batch_bucket{le="+Inf"} 1' in text
+        assert "skueue_batch_count 1" in text
+
+    def test_snapshot_is_json_safe(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set_fn(lambda: 2)
+        reg.histogram("h")
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["c"][""] == 1.0
+        assert snap["g"][""] == 2.0
+        assert snap["h"][""]["count"] == 0
+
+
+# -- deterministic sampling ---------------------------------------------------
+
+
+class TestSampling:
+    def test_edges(self):
+        assert not trace_sampled(1, 0.0)
+        assert trace_sampled(1, 1.0)
+
+    def test_deterministic_and_roughly_proportional(self):
+        rate = 0.1
+        first = [trace_sampled(i, rate) for i in range(5000)]
+        assert first == [trace_sampled(i, rate) for i in range(5000)]
+        hits = sum(first)
+        assert 300 < hits < 700  # ~500 expected
+
+    def test_agreement_needs_no_coordination(self):
+        # same decision from "client" and "host" call sites by construction
+        for req in (0, 17, 2**33 + 5, 12884901888):
+            assert trace_sampled(req, 0.25) == trace_sampled(req, 0.25)
+
+
+# -- tracer -------------------------------------------------------------------
+
+
+def _clock(values):
+    it = iter(values)
+    last = [0.0]
+
+    def tick():
+        try:
+            last[0] = next(it)
+        except StopIteration:
+            pass
+        return last[0]
+
+    return tick
+
+
+class TestTracer:
+    def test_lifecycle_populates_phases_export_and_ring(self):
+        t = Tracer(1.0, clock=_clock([0, 1, 2, 3, 4, 5, 6, 7, 8]), host=3)
+        t.on_submit(17, kind=0, pid=2)
+        t.wave_join([_Rec(17)], vid=9)
+        t.valued(17, value=4)
+        t.hop(17, 11)
+        t.finish(17, result="acked")
+        assert t.started == t.finished == 1
+        summary = t.phase_summary()
+        for phase in ("buffer", "wave", "deliver", "total"):
+            assert summary[phase]["count"] == 1
+        assert summary["hops"]["count"] == 1 and summary["hops"]["max"] == 1
+        record = t.lookup(17)
+        assert record["kind"] == 0 and record["hops"] == 1
+        assert set(record["phases_ms"]) == {"buffer", "wave", "deliver"}
+        export = t.export()
+        assert validate_chrome_trace(export) == []
+        names = {e["name"] for e in export["traceEvents"]}
+        assert "hop@11" in names and "done" in names
+
+    def test_unsampled_ids_cost_nothing(self):
+        t = Tracer(0.0)
+        t.on_submit(17)
+        t.valued(17)
+        t.finish(17)
+        assert t.started == 0 and not t.export()["traceEvents"]
+
+    def test_wire_tagged_continuation_via_ensure(self):
+        # a rate-0 tracer (a transit host) still opens spans on demand
+        t = Tracer(0.0, clock=_clock([0, 1, 2, 3]), auto=False)
+        t.ensure(99)
+        t.hop(99, 5)
+        t.hop(99, 6)
+        assert t.tracing and t.active(99)
+        t.finish(99, result="stored")
+        # no submit mark: events flush but the lifecycle stats stay clean
+        assert t.finished == 1
+        assert t.phase_summary()["total"]["count"] == 0
+        assert t.lookup(99) is None
+        assert len(t.recent) == 0
+
+    def test_double_finish_is_idempotent(self):
+        t = Tracer(1.0)
+        t.on_submit(5)
+        t.finish(5)
+        t.finish(5)
+        assert t.finished == 1
+
+    def test_expire_sweeps_stale_transit_spans(self):
+        t = Tracer(0.0, clock=_clock([0.0, 1.0, 2.0, 100.0, 100.0]),
+                   auto=False, time_scale=1e6)
+        t.ensure(1)
+        t.hop(1, 3)
+        swept = t.expire(30.0)  # clock is at 100s; span opened at 1s
+        assert swept == 1 and t.expired == 1 and not t.tracing
+        # the hop still made it into the export
+        assert any(e["name"] == "hop@3" for e in t.export()["traceEvents"])
+
+    def test_max_active_sheds_oldest(self):
+        t = Tracer(1.0, max_active=2)
+        for req in (1, 2, 3):
+            t.on_submit(req)
+        assert t.dropped == 1 and not t.active(1) and t.active(3)
+
+    def test_slow_ring_catches_threshold(self):
+        t = Tracer(1.0, clock=_clock([0.0, 0.0, 0.0, 10.0]), slow_ms=5.0,
+                   time_scale=1e3)  # clock in ms
+        t.on_submit(7)
+        t.finish(7)
+        assert len(t.slow) == 1 and t.slow[0]["req"] == 7
+
+    def test_merge_traces_keeps_host_lanes(self):
+        t0 = Tracer(1.0, clock=_clock([0, 1]), host=0)
+        t1 = Tracer(1.0, clock=_clock([0, 1]), host=1)
+        for t, req in ((t0, 1), (t1, 2)):
+            t.on_submit(req)
+            t.finish(req)
+        merged = merge_traces([t0.export(), t1.export()])
+        assert validate_chrome_trace(merged) == []
+        assert {e["pid"] for e in merged["traceEvents"]} == {0, 1}
+        assert [h["host"] for h in merged["otherData"]["hosts"]] == [0, 1]
+
+
+# -- simulator integration ----------------------------------------------------
+
+
+class TestSimTracing:
+    def test_cluster_trace_export_validates(self):
+        with SkueueCluster(n_processes=8, seed=3, trace_sample=1.0) as c:
+            for i in range(6):
+                c.enqueue(i % 8, i)
+            c.run_until_done()
+            for i in range(6):
+                c.dequeue(i % 8)
+            c.run_until_done()
+            export = c.trace_export()
+        assert validate_chrome_trace(export) == []
+        assert export["traceEvents"]
+        phases = c.tracer.phase_summary()
+        assert phases["total"]["count"] >= 12
+
+    def test_untraced_cluster_exports_empty_envelope(self):
+        with SkueueCluster(n_processes=8, seed=3) as c:
+            c.enqueue(0, "x")
+            c.run_until_done()
+            assert c.trace_export()["traceEvents"] == []
+
+
+# -- run metrics (sim/metrics.py satellites) ----------------------------------
+
+
+class TestMetricsSummary:
+    def test_summary_carries_percentiles_and_min(self):
+        m = Metrics(store_samples=True)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            m.observe("insert", v)
+        s = json.loads(json.dumps(m.summary()))
+        kind = s["per_kind"]["insert"]
+        assert kind["min"] == 1.0 and kind["max"] == 4.0
+        assert kind["p50"] == 3.0 and kind["p99"] == 4.0
+
+    def test_summary_without_samples_answers_null_percentiles(self):
+        m = Metrics()
+        m.observe("insert", 2.0)
+        kind = m.summary()["per_kind"]["insert"]
+        assert kind["p50"] is None and kind["min"] == 2.0
+
+    def test_empty_stats_never_serialize_infinity(self):
+        m = Metrics()
+        text = json.dumps(m.summary())
+        assert "Infinity" not in text
+
+    def test_note_stat_channel_is_separate_from_latency(self):
+        m = Metrics()
+        m.note_stat("wave_duration", 2.0)
+        m.note_stat("wave_duration", 4.0)
+        s = m.summary()
+        assert s["stats"]["wave_duration"]["count"] == 2
+        assert s["mean_latency"] == 0.0  # headline stat untouched
+
+
+# -- the checked-in example trace ---------------------------------------------
+
+
+class TestExampleTrace:
+    def test_checked_in_example_trace_is_chrome_loadable(self):
+        """The example capture (3 TCP hosts, trace_sample=0.01) must
+        stay valid Chrome trace-event JSON — it's the artifact the
+        TESTING.md Perfetto recipe tells people to expect."""
+        from pathlib import Path
+
+        path = (Path(__file__).parents[2] / "docs" / "traces"
+                / "example-op-trace.json")
+        data = json.loads(path.read_text())
+        assert validate_chrome_trace(data) == []
+        assert data["traceEvents"]
+        complete = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert complete and all(e["dur"] > 0 for e in complete)
+        assert len({e["pid"] for e in data["traceEvents"]}) == 3  # host lanes
+
+
+# -- profiling hooks ----------------------------------------------------------
+
+
+class TestProfiling:
+    def test_profile_env_prefix_reads_the_env(self, monkeypatch):
+        monkeypatch.delenv("SKUEUE_PROFILE", raising=False)
+        assert profile_env_prefix() is None
+        monkeypatch.setenv("SKUEUE_PROFILE", "/tmp/run")
+        assert profile_env_prefix() == "/tmp/run"
+
+    def test_maybe_profile_writes_a_prof_file(self, tmp_path):
+        prefix = str(tmp_path / "prof")
+        with maybe_profile(prefix, 2):
+            sum(range(1000))
+        stats = tmp_path / "prof-host2.prof"
+        assert stats.exists() and stats.stat().st_size > 0
+        import pstats
+
+        pstats.Stats(str(stats))  # parseable
+
+    def test_maybe_profile_off_is_a_no_op(self, tmp_path):
+        with maybe_profile(None, 0):
+            pass
+        assert list(tmp_path.iterdir()) == []
+
+    def test_capture_profile_reports_loop_work(self):
+        async def run():
+            return await capture_profile(0.1, top=5)
+
+        text = asyncio.run(run())
+        assert "function calls" in text
