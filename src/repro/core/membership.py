@@ -65,6 +65,7 @@ from repro.core.actions import (
     A_SLICE_REQ,
     A_UPDATE_OVER,
 )
+from repro.dht.storage import key_in_range
 from repro.overlay.ldb import MIDDLE
 from repro.overlay.routing import route_steps_for
 
@@ -217,6 +218,14 @@ class MembershipMixin:
         if self.joining:
             # a later joiner carved the top of this pending range
             self.joining_range_end = new_label
+        # The granter's data payload (our own JOIN_GRANT, or a straggling
+        # SLICE/dump) may still be in flight and can carry keys of the
+        # range carved here — extract_range above only sees what already
+        # arrived.  Remember the carve so _absorb_state forwards late
+        # arrivals onward instead of stranding them at a node that no
+        # longer owns them (parked GETs at the carved receiver would
+        # otherwise never be answered).
+        self.carved_ranges.append((new_label, end_label, new_vid))
         self.send(new_vid, A_SLICE, (items, parked))
 
     def _on_slice(self, payload: tuple) -> None:
@@ -230,6 +239,20 @@ class MembershipMixin:
         dump redistribution may arrive after this node carved slices out
         of its range), so data always reaches its final owner.
         """
+        if self.carved_ranges and (items or parked):
+            for lo, hi, carved_vid in self.carved_ranges:
+                carved_items = {
+                    k: v for k, v in items.items() if key_in_range(k, lo, hi)
+                }
+                carved_parked = {
+                    k: v for k, v in parked.items() if key_in_range(k, lo, hi)
+                }
+                if carved_items or carved_parked:
+                    for k in carved_items:
+                        del items[k]
+                    for k in carved_parked:
+                        del parked[k]
+                    self.send(carved_vid, A_SLICE, (carved_items, carved_parked))
         if self.joiners and (items or parked):
             buckets: dict[int, tuple[dict, dict]] = {}
             own_items: dict = {}
@@ -330,6 +353,13 @@ class MembershipMixin:
             # the grant raced this epoch's flagged wave: the responsible
             # node is already waiting for our META
             self._send_depart_meta()
+        # the grant can even arrive *last*, behind the whole departure
+        # choreography it authorises (async delivery: DEPART_REQ, the
+        # COMMIT/dump and the ack wave all overtook it).  Every earlier
+        # zombie check refused on replaced=False, and this flag was the
+        # final exit condition — so re-check here or the fully-departed
+        # node lingers on the old epoch forever
+        self._maybe_zombie_exit()
 
     # =====================================================================
     # Update phase (Section IV)
@@ -406,9 +436,17 @@ class MembershipMixin:
         self.runtime.call_later(self.aid, 97)
 
     def _on_depart_req(self, payload: tuple) -> None:
+        requester_vid, epoch = payload
+        if requester_vid == self.vid:
+            # our own META-retry to a replacement that departed between
+            # retries, forwarded home by its zombie: honouring it would
+            # mark *this* node depart_requested/meta_sent — state that
+            # later suppresses the genuine META when this node itself
+            # leaves (the replacement's META is already in flight to us,
+            # or already processed; either way there is nothing to do)
+            return
         # the requester is authoritative: responsibility may have been
         # transferred to a freshly spliced member since our grant
-        requester_vid, epoch = payload
         self.resp_vid = requester_vid
         self.depart_requested = True
         if self.updating:
@@ -787,8 +825,16 @@ class MembershipMixin:
             return
         if epoch < self.update_epoch:
             return  # stale broadcast from an earlier epoch, still in flight
-        if epoch == self.update_epoch and not self.updating:
+        if epoch <= self.finished_epoch:
             return  # duplicate (tree + ring deliver more than once)
+        # note the duplicate test is finished_epoch, not update_epoch: a
+        # passive entrant that released on its grace timer carries
+        # update_epoch == epoch with updating False, yet has neither
+        # finished nor *relayed* the epoch — dropping the flood here
+        # would break the ring's bidirectional coverage guarantee (see
+        # _broadcast_update_over) for any active node spliced between
+        # two such neighbours.  finished_epoch advances only inside
+        # _finish_update, so each node still relays an epoch once.
         self._broadcast_update_over(epoch, members)
 
     def _on_requeue(self, payload: tuple) -> None:
@@ -837,6 +883,13 @@ class MembershipMixin:
         self.pold = None
         self.acked = False
         self.segment_members = []
+        # META/DEPART_REQ state is per-epoch: a replacement whose grant
+        # arrived mid-update stays for the next epoch, where its (new)
+        # responsible node re-requests a *fresh* META — a stale
+        # meta_sent from this epoch would silence it forever.  Committed
+        # replacements never reach here (they dump and zombie out).
+        self.meta_sent = False
+        self.depart_requested = False
         if members > 0:
             # the paper's size estimate, piggybacked on UPDATE_OVER: every
             # node refreshes its routing depth without a global view (the

@@ -32,6 +32,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.core.actions import (
+    A_ACK_UP,
     A_AGG,
     A_DEPART_REQ,
     A_GET_REPLY,
@@ -144,6 +145,7 @@ class QueueNode(MembershipMixin, Actor):
         "acked",
         "joining",
         "joining_range_end",
+        "carved_ranges",
         "pre_grant_buffer",
         "relay_parent",
         "resp_vid",
@@ -237,6 +239,7 @@ class QueueNode(MembershipMixin, Actor):
         self.acked = False
         self.joining = joining
         self.joining_range_end = label
+        self.carved_ranges: list[tuple[float, float, int]] = []  # (lo, hi, vid)
         self.pre_grant_buffer: list[tuple[int, tuple]] = []
         self.relay_parent = None
         self.resp_vid = None
@@ -398,8 +401,17 @@ class QueueNode(MembershipMixin, Actor):
             deferred, self.deferred_joins = self.deferred_joins, []
             for new_vid, new_label in deferred:
                 self._route_start(A_JOIN_RT, new_label, (new_vid, new_label))
-        if self.updating or self.inflight or self.barrier:
+        if self.updating or self.barrier:
             return
+        if self.inflight and not self.is_anchor:
+            return
+        # an inflight *anchor* stays eligible: ANCHOR_XFER can land on a
+        # node whose own batch is already riding the next wave up the
+        # tree — a tree that now roots at this very node.  Blocking on
+        # inflight would deadlock the whole cycle (everyone inflight,
+        # nobody waiting, so not even a NUDGE probe originates); instead
+        # the anchor consumes the wave below, with its own in-flight
+        # state saved around the fire.
         if self.joining and self.relay_parent is None:
             return  # dormant joining left/right node: integrated passively
         children = self._aggregation_children()
@@ -409,6 +421,7 @@ class QueueNode(MembershipMixin, Actor):
                 # a NUDGE probe returned to us: this node sits on a
                 # genuine wait cycle — fire without the stragglers and
                 # let their batches ride a later wave as extras
+                self.ctx.metrics.inc("wave_force_fires")
                 children = [c for c in children if c in batches]
             else:
                 now = self.ctx.runtime.now
@@ -419,6 +432,7 @@ class QueueNode(MembershipMixin, Actor):
                     # patience expired: probe the missing edges for a wait
                     # cycle instead of abandoning the stragglers outright
                     self.nudge_token += 1
+                    self.ctx.metrics.inc("wave_nudge_probes")
                     probe = (self.vid, self.nudge_token)
                     for child in children:
                         if child not in batches:
@@ -433,7 +447,27 @@ class QueueNode(MembershipMixin, Actor):
         if len(batches) > len(children):
             known = set(children)
             children = children + [c for c in batches if c not in known]
-        self._fire(children)
+        if self.inflight:
+            # transferred-anchor consume (see the gate above): the wave
+            # fired here completes synchronously in _process_serve, and
+            # the SERVE it releases is what will eventually come back
+            # for the saved batch — whose plan/records must survive
+            saved = (
+                self.plan,
+                self.inflight_records,
+                self.inflight_counts,
+                self.sent_to,
+            )
+            self._fire(children)
+            (
+                self.plan,
+                self.inflight_records,
+                self.inflight_counts,
+                self.sent_to,
+            ) = saved
+            self.inflight = True
+        else:
+            self._fire(children)
 
     def _on_nudge(self, payload: tuple) -> None:
         """Walk a patience probe along the wave-dependency graph.
@@ -479,8 +513,13 @@ class QueueNode(MembershipMixin, Actor):
             # our batch already reached sent_to's wave: the only edge we
             # are blocked on is "sent_to's wave must complete".  If
             # sent_to *is* the origin, the origin's dependency on us is
-            # already satisfied (our batch sits in its child_batches), so
-            # bouncing the probe back would confirm a phantom cycle.
+            # already satisfied (our batch sits in its child_batches, or
+            # is about to — the A_AGG is on the wire), so bouncing the
+            # probe back would confirm a phantom cycle.  The one case
+            # where the batch is truly captive at the origin — consumed
+            # into a transferred anchor's saved plan on a rootless wave —
+            # needs per-wave sequence tags to dissolve, not a bounce
+            # (see ROADMAP.md, "Parked liveness finding").
             if self.sent_to is not None and self.sent_to != origin:
                 self.send(self.sent_to, A_NUDGE, payload)
             return
@@ -655,6 +694,24 @@ class QueueNode(MembershipMixin, Actor):
         if epoch and epoch > self.update_epoch:
             self._enter_update(epoch, served)
         else:
+            if (
+                epoch
+                and epoch == self.update_epoch
+                and self.updating
+                and self.sent_to is not None
+            ):
+                # a flagged serve landed on a node that already entered
+                # this epoch through a different edge — possible only
+                # when the serve relation is not a tree, i.e. when a
+                # transferred anchor consumed the wave while its own
+                # batch was still riding the cycle (see timeout()).  The
+                # server just added us to its Cold, but our splice
+                # duties report along our real entry path (pold), so
+                # this extra edge carries none: release it immediately,
+                # or the acknowledgement wave deadlocks on the cycle —
+                # every member waits for a served "child" that is
+                # actually its ancestor
+                self.send(self.sent_to, A_ACK_UP, (self.vid,))
             self.wake_me()
 
     # -- stage 4: DHT updates ---------------------------------------------------------------
@@ -763,10 +820,25 @@ class QueueNode(MembershipMixin, Actor):
         if steps > 0 and self.kind == MIDDLE:
             # the De Bruijn hop would use a virtual edge to l(v)/r(v) —
             # unusable while that sibling is not (or no longer) on the
-            # cycle; walk on to the next live middle node instead
+            # cycle; walk on to the next live middle node instead.  The
+            # detour must apply the same wrap-relax as route_step's
+            # middle-seek: if this was the *only* eligible middle on the
+            # wrap-free side of the ideal point, forwarding with the
+            # state unchanged sends the message on an eternal orbit of
+            # the cycle (every other middle stays ineligible forever) —
+            # crossing the wrap instead re-seeds the ideal point so the
+            # nearest usable middle becomes eligible at a small
+            # precision cost
             target_kind = RIGHT if bits & 1 else LEFT
             if not self._sibling_integrated(target_kind):
-                nxt = self.pred_vid if ideal >= 0.5 else self.succ_vid
+                if ideal >= 0.5:
+                    nxt = self.pred_vid
+                    if self.pred_label > self.label:
+                        ideal = 1.0 - 2**-53  # crossed the 1.0/0.0 wrap
+                else:
+                    nxt = self.succ_vid
+                    if self.succ_label < self.label:
+                        ideal = 0.0
                 self.send(nxt, action, (key, bits, steps, ideal, extra))
                 return
         nxt, (bits, steps, ideal) = route_step(

@@ -652,6 +652,21 @@ class NodeHost:
         reg.gauge("skueue_evictions",
                   "crash evictions this host observed").set_fn(
             lambda: len(self.evictions))
+        # wave-liveness escape hatch: these accumulate on the engine's
+        # run metrics (the A_NUDGE path lives in repro.core), sampled
+        # here so they exist as stable registry series from startup —
+        # a deployment riding force-fires shows non-zero ffire in
+        # `skueue-ops top` instead of only stalling quietly
+        reg.counter(
+            "skueue_wave_nudge_probes_total",
+            "A_NUDGE wait-cycle probes launched by stuck waves",
+        ).set_fn(
+            lambda: self.runtime.metrics.counters.get("wave_nudge_probes", 0))
+        reg.counter(
+            "skueue_wave_force_fires_total",
+            "waves fired without stragglers after a confirmed wait cycle",
+        ).set_fn(
+            lambda: self.runtime.metrics.counters.get("wave_force_fires", 0))
 
     def count_write(self, frames: int, nbytes: int) -> None:
         """One buffered socket write went out (client or peer side)."""

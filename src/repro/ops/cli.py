@@ -205,7 +205,8 @@ def _render_top(
     lines = []
     header = (
         f"{'host':>4}  {'ops/s':>8} {'done':>9} {'pend':>6} {'actors':>6} "
-        f"{'frm/s':>8} {'KiB/s':>8} {'recs':>6} {'repl':>6} {'gen':>4}"
+        f"{'frm/s':>8} {'KiB/s':>8} {'recs':>6} {'repl':>6} "
+        f"{'nudge':>6} {'ffire':>6} {'gen':>4}"
     )
     lines.append(header)
     lines.append("-" * len(header))
@@ -234,6 +235,8 @@ def _render_top(
             f"{max(frame_rate, 0.0):>8.0f} {max(byte_rate, 0.0) / 1024:>8.1f} "
             f"{_series(sample, 'skueue_records_local'):>6.0f} "
             f"{_series(sample, 'skueue_records_replica'):>6.0f} "
+            f"{_series(sample, 'skueue_wave_nudge_probes_total'):>6.0f} "
+            f"{_series(sample, 'skueue_wave_force_fires_total'):>6.0f} "
             f"{_series(sample, 'skueue_recovery_generation'):>4.0f}"
         )
     for index, failure in sorted(failures.items()):

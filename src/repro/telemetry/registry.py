@@ -42,15 +42,25 @@ DEFAULT_BUCKETS = (
 
 
 class Counter:
-    """Monotonically increasing value."""
+    """Monotonically increasing value; ``set_fn`` makes it render-time
+    sampled, for counters whose truth accumulates elsewhere (e.g. the
+    engine's run-metrics counters) but that belong in the registry's
+    exposition under a stable series name."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "fn")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self.fn = None
 
     def inc(self, amount: float = 1.0) -> None:
         self.value += amount
+
+    def set_fn(self, fn) -> None:
+        self.fn = fn
+
+    def read(self) -> float:
+        return float(self.fn()) if self.fn is not None else self.value
 
 
 class Gauge:
@@ -233,7 +243,7 @@ class MetricsRegistry:
                 if kind == "counter":
                     lines.append(
                         f"{name}{_labels_text(labels)} "
-                        f"{_format_value(series.value)}"
+                        f"{_format_value(series.read())}"
                     )
                 elif kind == "gauge":
                     lines.append(
@@ -269,7 +279,7 @@ class MetricsRegistry:
         for (name, labels), series in sorted(self._series.items()):
             kind = self._families[name][0]
             if kind == "counter":
-                value: object = series.value
+                value: object = series.read()
             elif kind == "gauge":
                 value = series.read()
             else:

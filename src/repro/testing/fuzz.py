@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.testing.scenario import (
+    CHURN_PROFILES,
     NET_RUNNER,
     RUNNERS,
     STRUCTURES,
@@ -36,6 +37,7 @@ from repro.testing.schedule import ScheduleTrace
 from repro.testing.shrink import shrink_scenario
 from repro.testing.traces import (
     FailureTrace,
+    TraceFileError,
     load_trace,
     record_failure,
     replay_trace,
@@ -65,12 +67,14 @@ class FuzzOutcome:
 def known_signatures(known_dir: str | Path) -> set[tuple[str, str]]:
     """``(kind, clause)`` signatures of documented open findings.
 
-    Loaded from the traces under ``known_dir`` (normally
-    ``tests/traces/open/``).  Deliberately coarse: while a failure
-    *family* is open, every new seed that lands in it reproduces the
-    same kind/clause, and the sweep should triage it as known rather
-    than gate on it — families are tracked by their checked-in traces,
-    new families (different kind or clause) still fail the sweep.
+    Loaded from the traces under ``known_dir``.  Deliberately coarse:
+    while a failure *family* is open, every new seed that lands in it
+    reproduces the same kind/clause, and the sweep should triage it as
+    known rather than gate on it — families are tracked by their
+    checked-in traces, new families (different kind or clause) still
+    fail the sweep.  No carve-out is active today (the liveness-stall
+    family closed and its traces moved to ``tests/traces/``); the
+    mechanism stays for the next documented family.
     """
     signatures: set[tuple[str, str]] = set()
     for path in sorted(Path(known_dir).glob("*.json")):
@@ -86,9 +90,12 @@ def fuzz_one(
     out_dir: str | Path | None = "fuzz-failures",
     shrink: bool = True,
     max_probes: int = 400,
+    churn_profile: str = "default",
 ) -> FuzzOutcome:
     """Run one cell; on failure shrink, record, and write the artifact."""
-    scenario = Scenario.from_seed(seed, structure=structure, runner=runner)
+    scenario = Scenario.from_seed(
+        seed, structure=structure, runner=runner, churn_profile=churn_profile
+    )
     result = run_scenario(scenario)
     if not result.failed:
         return FuzzOutcome(seed, scenario.structure, scenario.runner, False)
@@ -115,7 +122,15 @@ def fuzz_one(
         trace, _ = record_failure(minimal)
     trace_path = None
     if out_dir is not None:
-        name = f"trace-{trace.scenario.structure}-{trace.scenario.runner}-{seed}.json"
+        # non-default churn profiles get a name suffix: a CI job that
+        # sweeps the same seed range under both profiles into one
+        # artifact directory must not overwrite one reproducer with
+        # the other
+        tag = "" if churn_profile == "default" else f"-{churn_profile}"
+        name = (
+            f"trace-{trace.scenario.structure}-{trace.scenario.runner}"
+            f"-{seed}{tag}.json"
+        )
         trace_path = str(save_trace(slim_liveness_trace(trace), Path(out_dir) / name))
     return FuzzOutcome(
         seed,
@@ -141,10 +156,12 @@ def fuzz_sweep(
     shrink: bool = True,
     workers: int = 1,
     progress=None,
+    churn_profile: str = "default",
+    max_probes: int = 400,
 ) -> list[FuzzOutcome]:
     """Run the full sweep; returns one outcome per executed cell."""
     cells = [
-        (seed, structure, runner, out_dir, shrink)
+        (seed, structure, runner, out_dir, shrink, max_probes, churn_profile)
         for seed in seeds
         for structure in structures
         for runner in runners
@@ -198,11 +215,17 @@ def main(argv=None) -> int:
                        help="parallel worker processes (default 1)")
     run_p.add_argument("--no-shrink", action="store_true",
                        help="write unshrunk failing scenarios")
+    run_p.add_argument("--churn", default="default", dest="churn_profile",
+                       help="churn weight: default | heavy (heavy layers "
+                            "3-6 extra join/leave events per scenario to "
+                            "bias toward splice-straddling interleavings)")
     run_p.add_argument("--known-dir", default=None,
-                       help="directory of documented open-finding traces "
-                            "(e.g. tests/traces/open/): failures matching "
-                            "their (kind, clause) signatures are reported "
-                            "but do not fail the sweep")
+                       help="directory of documented open-finding traces: "
+                            "failures matching their (kind, clause) "
+                            "signatures are reported but do not fail the "
+                            "sweep (no longer used by CI — the open-stall "
+                            "carve-out ended when the liveness family "
+                            "closed)")
 
     replay_p = sub.add_parser("replay", help="replay a failure-trace artifact")
     replay_p.add_argument("trace", help="path to a trace-*.json artifact")
@@ -216,7 +239,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "replay":
-        trace = load_trace(args.trace)
+        try:
+            trace = load_trace(args.trace)
+        except TraceFileError as exc:
+            print(f"skueue-fuzz: {exc}", file=sys.stderr)
+            return 2
         report = replay_trace(trace)
         print(json.dumps({
             "reproduced": report.reproduced,
@@ -226,6 +253,11 @@ def main(argv=None) -> int:
         return 0 if report.reproduced else 1
 
     structures = _parse_axis(args.structure, STRUCTURES, "structure")
+    if args.churn_profile not in CHURN_PROFILES:
+        raise SystemExit(
+            f"unknown churn profile {args.churn_profile!r} "
+            f"(expected one of {', '.join(CHURN_PROFILES)})"
+        )
     if args.runner == NET_RUNNER:
         runners: tuple = (NET_RUNNER,)
     else:
@@ -253,6 +285,7 @@ def main(argv=None) -> int:
         shrink=not args.no_shrink,
         workers=args.workers,
         progress=progress,
+        churn_profile=args.churn_profile,
     )
     new = [o for o in outcomes if o.failed and not o.known]
     known_hits = [o for o in outcomes if o.failed and o.known]

@@ -51,6 +51,7 @@ from repro.sim.delays import (
 from repro.verify.violations import Violation, capture_violation
 
 __all__ = [
+    "CHURN_PROFILES",
     "DELAY_POLICIES",
     "NET_HOSTS",
     "NET_RUNNER",
@@ -68,6 +69,8 @@ RUNNERS = ("sync", "async")
 NET_RUNNER = "net"
 #: hosts a net scenario deploys; crash victims are drawn from this range
 NET_HOSTS = 3
+#: churn-weight axes for Scenario.from_seed (fuzz CLI --churn)
+CHURN_PROFILES = ("default", "heavy")
 
 #: name -> constructor for every delay policy a scenario can pick
 DELAY_POLICIES = {
@@ -111,12 +114,23 @@ class Scenario:
         seed: int,
         structure: str | None = None,
         runner: str | None = None,
+        churn_profile: str = "default",
     ) -> "Scenario":
         """Expand one 64-bit seed into a scenario, deterministically.
 
         ``structure``/``runner`` pin those axes (the fuzz CLI's filters);
         left ``None`` they are drawn from the seed like everything else.
+        ``churn_profile="heavy"`` layers extra join/leave events on top
+        of the base script (drawn from a *derived* RNG, so the rest of
+        the expansion stays byte-identical to the default profile) —
+        the splice-straddling interleavings behind the PR 10 liveness
+        stalls need several membership changes per run to surface.
         """
+        if churn_profile not in CHURN_PROFILES:
+            raise ValueError(
+                f"unknown churn profile {churn_profile!r} "
+                f"(expected one of {', '.join(CHURN_PROFILES)})"
+            )
         rng = random.Random(f"scenario-{seed}")
         structure = structure or rng.choice(STRUCTURES)
         runner = runner or rng.choice(RUNNERS)
@@ -167,8 +181,8 @@ class Scenario:
 
         # churn script: a few joins/leaves sprinkled over the run
         churn = []
+        next_pid = n_processes
         if rng.random() < 0.5:
-            next_pid = n_processes
             for _ in range(rng.randrange(1, 4)):
                 round_no = rng.randrange(1, n_rounds)
                 if rng.random() < 0.5:
@@ -176,6 +190,18 @@ class Scenario:
                     next_pid += 1
                 else:
                     churn.append((round_no, "leave", rng.randrange(n_processes)))
+            churn.sort()
+        if churn_profile == "heavy" and runner != NET_RUNNER:
+            heavy_rng = random.Random(f"churn-heavy-{seed}")
+            for _ in range(heavy_rng.randrange(3, 7)):
+                round_no = heavy_rng.randrange(1, n_rounds)
+                if heavy_rng.random() < 0.5:
+                    churn.append((round_no, "join", next_pid))
+                    next_pid += 1
+                else:
+                    churn.append(
+                        (round_no, "leave", heavy_rng.randrange(n_processes))
+                    )
             churn.sort()
 
         # client-abort faults: a pid goes silent mid-run

@@ -19,6 +19,7 @@ with the same violation — the regression-corpus check under
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
@@ -35,6 +36,7 @@ from repro.verify.violations import Violation
 
 __all__ = [
     "FailureTrace",
+    "TraceFileError",
     "load_trace",
     "record_failure",
     "replay_trace",
@@ -42,6 +44,15 @@ __all__ = [
 ]
 
 TRACE_FORMAT_VERSION = 1
+
+
+class TraceFileError(ValueError):
+    """An artifact file that cannot be a faithful :class:`FailureTrace`.
+
+    Raised by :func:`load_trace` for unreadable, truncated, structurally
+    broken, or digest-mismatched artifacts — the CLI turns it into a
+    one-line diagnostic and a non-zero exit instead of a traceback.
+    """
 
 
 @dataclass
@@ -182,4 +193,38 @@ def save_trace(trace: FailureTrace, path: str | Path) -> Path:
 
 
 def load_trace(path: str | Path) -> FailureTrace:
-    return FailureTrace.from_json(json.loads(Path(path).read_text()))
+    """Parse and validate an artifact; raises :class:`TraceFileError`.
+
+    Beyond JSON well-formedness and the schema, the recorded history is
+    re-hashed against the stored digest: replaying a silently corrupted
+    artifact would report "history diverged" and send whoever is
+    triaging it chasing a protocol bug that is actually file damage.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise TraceFileError(f"cannot read trace file {path}: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TraceFileError(
+            f"{path} is not valid JSON — truncated or partially "
+            f"downloaded artifact? ({exc})"
+        ) from exc
+    try:
+        trace = FailureTrace.from_json(data)
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        raise TraceFileError(
+            f"{path} is not a failure-trace artifact: {exc}"
+        ) from exc
+    recomputed = hashlib.sha256(
+        json.dumps(trace.history, separators=(",", ":")).encode()
+    ).hexdigest()
+    if recomputed != trace.digest:
+        raise TraceFileError(
+            f"{path}: recorded history does not match its digest "
+            f"(stored {trace.digest[:12]}…, recomputed {recomputed[:12]}…) "
+            f"— the artifact was edited or corrupted after recording"
+        )
+    return trace

@@ -33,6 +33,11 @@ CORE_SERIES = (
     "skueue_ops_generated_total",
     "skueue_ops_completed_total",
     "skueue_ops_pending",
+    # wave-liveness escape hatch (A_NUDGE path): registered from
+    # startup so a healthy deployment scrapes them at 0 and a stuck
+    # one shows the hatch tripping
+    "skueue_wave_nudge_probes_total",
+    "skueue_wave_force_fires_total",
 )
 
 

@@ -87,6 +87,44 @@ class TestMain:
         with pytest.raises(SystemExit):
             main(["--structure", "deque"])
 
+    def test_unknown_churn_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--churn", "ludicrous"])
+
+    def test_replay_truncated_artifact_exits_with_diagnostic(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """A cut-off download must produce a one-line diagnostic, not a
+        JSONDecodeError traceback."""
+        with monkeypatch.context() as patched:
+            patched.setattr(HeapAnchorState, "assign", _broken_heap_assign)
+            assert main(["--seeds", "10", "--structure", "heap",
+                         "--runner", "sync", "--out", str(tmp_path)]) == 1
+        artifact = sorted(tmp_path.glob("trace-*.json"))[0]
+        artifact.write_text(artifact.read_text()[: artifact.stat().st_size // 2])
+        capsys.readouterr()
+        assert main(["replay", str(artifact)]) == 2
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err and "truncated" in err
+
+    def test_replay_digest_mismatch_exits_with_diagnostic(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """An artifact whose history was edited after recording is file
+        damage, not a protocol regression — say so and exit non-zero."""
+        with monkeypatch.context() as patched:
+            patched.setattr(HeapAnchorState, "assign", _broken_heap_assign)
+            assert main(["--seeds", "10", "--structure", "heap",
+                         "--runner", "sync", "--out", str(tmp_path)]) == 1
+        artifact = sorted(tmp_path.glob("trace-*.json"))[0]
+        data = json.loads(artifact.read_text())
+        data["history"] = data["history"][:-1]
+        artifact.write_text(json.dumps(data))
+        capsys.readouterr()
+        assert main(["replay", str(artifact)]) == 2
+        err = capsys.readouterr().err
+        assert "digest" in err and "corrupted" in err
+
     def test_known_dir_triages_documented_families(
         self, tmp_path, capsys, monkeypatch
     ):

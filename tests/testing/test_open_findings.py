@@ -1,48 +1,99 @@
-"""Open fuzzer findings: known liveness bugs, pinned but not yet fixed.
+"""Liveness-family gate: the fuzzer corpus is fully green, nothing is open.
 
-``tests/traces/open/`` holds traces the fuzzer recorded for bugs that
-are **still open** (all liveness stalls in the membership/wave machinery
-under adversarial schedules; found by the 1000-seed sweep that also
-surfaced — and this PR fixed — the join-grant straggler):
+``tests/traces/open/`` used to hold traces for liveness stalls that were
+pinned but not yet fixed; while it was non-empty the nightly sweep
+triaged every new stall as KNOWN.  All three stalls are fixed and their
+traces promoted into ``tests/traces/`` (the regression corpus, see
+``test_trace_corpus.py`` for the generic corpus checks):
 
-* ``stall-wave-partition-after-leave`` — heap/sync: after a leave
-  splice, most of the tree stays ``inflight`` on a pre-splice wave
-  whose SERVEs never arrive, while the anchor's residual chain cycles
-  empty waves;
-* ``stall-leave-never-quiesces`` — stack/async: every request
-  completes (``pending=0``) but a departing process never finishes the
-  LEAVE choreography, so the cluster never settles;
+* ``stall-wave-partition-after-leave`` — heap/sync: a ``SLICE_REQ``
+  raced the grant payload at a pending-joiner data holder, stranding a
+  carved element while the carved receiver's GET parked forever;
+* ``stall-leave-never-quiesces`` — stack/async: a responsible node's
+  retried ``DEPART_REQ`` to a just-departed replacement was forwarded
+  home by the zombie, poisoning the sender's own ``meta_sent``;
 * ``stall-stack-skew-delays`` — stack/async under adversarial skew
-  delays, same non-quiescence family.
+  delays: the same zombie-echo poisoning reached through a passive
+  epoch entry with joins in flight.
 
-This test asserts each open trace **still reproduces** its stall — so
-the reproducers cannot rot silently.  When a fix lands, the assertion
-flips and fails with instructions: move the trace to ``tests/traces/``
-(the regression corpus), where it guards the fix forever after.
+Closing the carve-out immediately earned its keep: the first un-carved
+1000-seed sweep surfaced two further stalls whose ``(liveness,
+stalled)`` signature the KNOWN triage had been absorbing — both fixed
+and promoted here too:
+
+* ``stall-passive-release-swallows-flood`` — queue/async, two
+  concurrent joins: a passive epoch entrant released by its grace
+  timer swallowed the ``UPDATE_OVER`` ring flood as a duplicate
+  instead of relaying it, suspending the active node spliced between
+  two such neighbours;
+* ``stall-orbiting-route-after-leave`` — stack/sync, two leaves: a
+  routed PUT orbited the cycle forever because the only eligible
+  De Bruijn middle had a departed sibling and the detour never
+  applied the wrap-relax, pinning the issuer's stage-4 barrier.
+
+The ``--churn heavy`` sweep axis (added alongside the gate) surfaced
+three more, likewise fixed and promoted:
+
+* ``stall-grant-arrives-last`` — stack/async: an ``A_LEAVE_GRANT``
+  delivered behind the whole departure choreography it authorised
+  left a fully-departed node lingering (no zombie-exit re-check in
+  the grant handler);
+* ``stall-anchor-xfer-while-inflight`` — heap/async: ``ANCHOR_XFER``
+  landing on a node whose own batch was riding a wave rooted at that
+  very node deadlocked the cycle with everyone inflight and nobody
+  waiting (so no NUDGE probe could originate);
+* ``stall-acks-on-a-cyclic-wave`` — queue/async: the serve cascade of
+  a transferred-anchor wave is not a tree, so the epoch's ACK_UP
+  choreography waited on a served "child" that was actually the
+  anchor itself.
+
+This module asserts the gate stays closed: no open-findings directory
+(new findings must either be fixed or explicitly parked with a tracking
+entry in ROADMAP.md — currently one such parked finding, the rootless
+wave after an anchor transfer amid total-ring churn), and the promoted
+stall traces replay green.
 """
 
 from pathlib import Path
 
 import pytest
 
-from repro.testing import load_trace, run_scenario
+from repro.testing import load_trace, replay_trace
 
-OPEN_DIR = Path(__file__).resolve().parents[1] / "traces" / "open"
-OPEN_PATHS = sorted(OPEN_DIR.glob("*.json"))
+TRACES_DIR = Path(__file__).resolve().parents[1] / "traces"
+OPEN_DIR = TRACES_DIR / "open"
+
+PROMOTED = [
+    "stall-wave-partition-after-leave",
+    "stall-leave-never-quiesces",
+    "stall-stack-skew-delays",
+    "stall-passive-release-swallows-flood",
+    "stall-orbiting-route-after-leave",
+    "stall-grant-arrives-last",
+    "stall-anchor-xfer-while-inflight",
+    "stall-acks-on-a-cyclic-wave",
+]
 
 
-def test_open_findings_exist():
-    assert OPEN_PATHS, f"no open findings under {OPEN_DIR} — delete this module"
+def test_no_open_findings():
+    open_paths = sorted(OPEN_DIR.glob("*.json")) if OPEN_DIR.exists() else []
+    assert not open_paths, (
+        f"open liveness findings under {OPEN_DIR}: "
+        f"{[p.name for p in open_paths]} — fix and promote them "
+        f"(`git mv` into tests/traces/) before merging; the nightly "
+        f"sweep no longer carries a KNOWN carve-out for this directory"
+    )
 
 
-@pytest.mark.parametrize("path", OPEN_PATHS, ids=lambda p: p.stem)
-def test_open_stall_still_reproduces(path):
+@pytest.mark.parametrize("name", PROMOTED)
+def test_promoted_stall_replays_green(name):
+    path = TRACES_DIR / f"{name}.json"
+    assert path.exists(), f"{name}.json left the regression corpus"
     trace = load_trace(path)
     assert trace.violation.kind == "liveness"
-    result = run_scenario(trace.scenario)
-    assert result.failed and result.violation.kind == "liveness", (
-        f"{path.name}: this open finding no longer reproduces — the bug "
-        f"appears fixed. Promote the trace: `git mv tests/traces/open/"
-        f"{path.name} tests/traces/` so the regression corpus "
-        f"(test_trace_corpus.py) guards the fix from now on."
+    report = replay_trace(trace)
+    violation = report.result.violation
+    assert violation is None, (
+        f"{name}: the stall is back: "
+        f"{violation.kind}/{violation.clause}: {violation.message}"
     )

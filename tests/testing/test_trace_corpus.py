@@ -11,7 +11,18 @@ then shrunk to a minimal reproducer:
 * ``consistency-heap-wrong-class.json`` — heap anchor mutated to drain
   priority classes top-down (property 3);
 * ``consistency-queue-rank-overlap.json`` — queue anchor mutated to
-  hand out overlapping value ranks (property 2).
+  hand out overlapping value ranks (property 2);
+* ``stall-*.json`` — the liveness stalls promoted when their fixes
+  landed: the three from ``tests/traces/open/`` (carve-race and
+  zombie-echo META poisoning), the two the un-carved 1000-seed sweep
+  then exposed (a released passive entrant swallowing the
+  ``UPDATE_OVER`` flood, and a routed PUT orbiting the cycle when the
+  only eligible De Bruijn middle lost its sibling), and the three the
+  ``--churn heavy`` axis surfaced (a LEAVE grant delivered behind its
+  own departure choreography, an ``ANCHOR_XFER`` landing on an
+  inflight node, and the cyclic-serve ACK deadlock that consume
+  enables; see test_open_findings.py and the "Wave liveness across
+  splices" catalog in DESIGN.md).
 
 On a healthy checkout the recorded violation must be *gone*: replaying
 the exact scenario under the exact recorded schedule settles and

@@ -15,6 +15,7 @@ import json
 import pytest
 
 from repro import SkueueCluster
+from repro.core.protocol import QueueNode
 from repro.sim.metrics import Metrics
 from repro.telemetry import (
     Counter,
@@ -26,6 +27,7 @@ from repro.telemetry import (
     maybe_profile,
     merge_traces,
     profile_env_prefix,
+    render_run_metrics,
     trace_sampled,
     validate_chrome_trace,
 )
@@ -107,6 +109,20 @@ class TestRegistry:
         assert snap["c"][""] == 1.0
         assert snap["g"][""] == 2.0
         assert snap["h"][""]["count"] == 0
+
+    def test_counter_set_fn_samples_at_render_time(self):
+        """A counter whose truth accumulates elsewhere (the engine's run
+        metrics) renders and snapshots the sampled value — how the net
+        host exposes skueue_wave_nudge_probes_total / _force_fires_total
+        without the core protocol knowing about the registry."""
+        backing = {"wave_force_fires": 0}
+        reg = MetricsRegistry()
+        reg.counter("skueue_wave_force_fires_total", "hatch trips").set_fn(
+            lambda: backing["wave_force_fires"])
+        assert "skueue_wave_force_fires_total 0" in reg.render()
+        backing["wave_force_fires"] = 7
+        assert "skueue_wave_force_fires_total 7" in reg.render()
+        assert reg.snapshot()["skueue_wave_force_fires_total"][""] == 7.0
 
 
 # -- deterministic sampling ---------------------------------------------------
@@ -254,6 +270,52 @@ class TestSimTracing:
             c.enqueue(0, "x")
             c.run_until_done()
             assert c.trace_export()["traceEvents"] == []
+
+
+# -- wave-liveness escape hatch counters (A_NUDGE path) -----------------------
+
+
+class TestWaveLivenessCounters:
+    """``wave_nudge_probes`` / ``wave_force_fires`` are the visibility
+    the force-fire escape hatch gets: a deployment riding it shows up in
+    a ``/metrics`` scrape instead of only stalling quietly."""
+
+    def test_nudge_probes_are_counted_and_scraped(self, monkeypatch):
+        # shrink the patience window so ordinary pipelining waits cross
+        # it and launch probes; the run still settles (probes are
+        # read-only unless they confirm a genuine wait cycle)
+        monkeypatch.setattr(QueueNode, "WAVE_PATIENCE", 2)
+        with SkueueCluster(n_processes=8, seed=3) as c:
+            for i in range(40):
+                c.enqueue(i % 8, i)
+            c.run_until_done()
+            for i in range(40):
+                c.dequeue(i % 8)
+            c.run_until_done()
+            assert c.metrics.counters["wave_nudge_probes"] > 0
+            assert "wave_force_fires" not in c.metrics.counters  # no cycles
+            text = render_run_metrics(c.metrics)
+        assert 'skueue_events_total{event="wave_nudge_probes"}' in text
+
+    def test_confirmed_probe_stamps_wave_force_fires(self):
+        """Bounce a waiting node's own probe back at it — the exact
+        delivery a wait cycle produces — and the fire-without-stragglers
+        branch must stamp the counter (and the run must still settle:
+        abandoned batches ride later waves as extras)."""
+        c = SkueueCluster(n_processes=8, seed=3)
+        for i in range(60):
+            c.enqueue(i % 8, i)
+        for _ in range(4000):
+            c.step(1)
+            for actor in list(c.runtime.actors.values()):
+                if isinstance(actor, QueueNode) and actor.wait_since is not None:
+                    actor._on_nudge((actor.vid, actor.nudge_token + 1))
+            if c.metrics.counters.get("wave_force_fires"):
+                break
+        assert c.metrics.counters["wave_force_fires"] > 0
+        c.run_until_settled(60_000)
+        text = render_run_metrics(c.metrics)
+        assert 'skueue_events_total{event="wave_force_fires"}' in text
 
 
 # -- run metrics (sim/metrics.py satellites) ----------------------------------
